@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// day-parallel aggregation, the flow fast path vs the full packet
+// path, and the binary codec vs CSV.
+
+// BenchmarkAggregationWorkers measures stage-one scaling across worker
+// counts — the design reason for making days independent.
+func BenchmarkAggregationWorkers(b *testing.B) {
+	days := core.MonthDays(2016, time.March)[:8]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := core.New(core.Config{
+					Seed:    3,
+					Scale:   simnet.Scale{ADSL: 40, FTTH: 20},
+					Workers: workers,
+				})
+				if _, err := p.Aggregate(days); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlowFastPath measures record generation without packets.
+func BenchmarkFlowFastPath(b *testing.B) {
+	w := simnet.NewWorld(1, simnet.Scale{ADSL: 40, FTTH: 20})
+	day := time.Date(2016, 5, 10, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	var records int
+	for i := 0; i < b.N; i++ {
+		records = 0
+		w.EmitDay(day, func(*flowrec.Record) { records++ })
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+// BenchmarkPacketPath measures the same day through packet rendering
+// and the full probe — the cost of measuring off the wire instead of
+// trusting the generator (the paper's deployment did not have the
+// choice).
+func BenchmarkPacketPath(b *testing.B) {
+	w := simnet.NewWorld(1, simnet.Scale{ADSL: 4, FTTH: 2})
+	day := time.Date(2016, 5, 10, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pr := newBenchProbe(w)
+		w.EmitDayPackets(day, simnet.PacketOptions{MaxFlowBytes: 16 << 10}, pr.Feed)
+		pr.Flush()
+	}
+}
+
+// BenchmarkCodecBinaryVsCSV contrasts the two record codecs.
+func BenchmarkCodecBinaryVsCSV(b *testing.B) {
+	w := simnet.NewWorld(1, simnet.Scale{ADSL: 10, FTTH: 5})
+	day := time.Date(2016, 5, 10, 0, 0, 0, 0, time.UTC)
+	var records []*flowrec.Record
+	w.EmitDay(day, func(r *flowrec.Record) {
+		c := *r
+		records = append(records, &c)
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cw := countWriter{}
+			enc, err := flowrec.NewEncoder(&cw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range records {
+				if err := enc.Encode(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cw.n)/float64(len(records)), "bytes/record")
+		}
+	})
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cw := countWriter{}
+			enc, err := flowrec.NewCSVWriter(&cw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range records {
+				if err := enc.Write(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cw.n)/float64(len(records)), "bytes/record")
+		}
+	})
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkWeeklyReach measures the extension analysis (it walks
+// per-subscriber maps across a 4-week window).
+func BenchmarkWeeklyReach(b *testing.B) {
+	p := core.New(core.Config{Seed: 3, Scale: simnet.Scale{ADSL: 40, FTTH: 20}, Workers: 4})
+	days := core.RangeDays(
+		time.Date(2017, 10, 2, 0, 0, 0, 0, time.UTC),
+		time.Date(2017, 10, 15, 0, 0, 0, 0, time.UTC), 1)
+	aggs, err := p.Aggregate(days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		analytics.WeeklyPopularity(aggs, "Netflix")
+	}
+}

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"repro/internal/flowrec"
+	"repro/internal/probe"
+	"repro/internal/simnet"
+)
+
+// newBenchProbe wires a probe against a world the way cmd/edgeprobe
+// does, discarding records.
+func newBenchProbe(w *simnet.World) *probe.Probe {
+	return probe.New(probe.Config{
+		Subscriber:       w.SubscriberLookup,
+		AnonKey:          w.AnonKey(),
+		SPDYVisibleSince: simnet.SPDYVisibleSince(),
+		OnRecord:         func(*flowrec.Record) {},
+	})
+}

@@ -1,0 +1,109 @@
+// Package bench is the reproduction's benchmark harness: one
+// testing.B benchmark per table and figure of the paper, each running
+// the full pipeline — synthetic world → flow records → per-day
+// aggregation → figure computation → rendered rows — at a reduced
+// scale. `go test -bench=. -benchmem` regenerates every result;
+// cmd/edgereport prints the full-size versions, and EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// benchPipeline builds a small, deterministic pipeline. Scale and
+// stride trade absolute runtime for identical code paths: every layer
+// the full runs use is exercised.
+func benchPipeline() *core.Pipeline {
+	return core.New(core.Config{
+		Seed:    1,
+		Scale:   simnet.Scale{ADSL: 24, FTTH: 12},
+		Stride:  60,
+		Workers: 4,
+	})
+}
+
+// runExperiment is the common body: a fresh pipeline per iteration so
+// aggregation work is measured, not cache hits.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := core.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchPipeline()
+		if err := e.Run(p, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Classify regenerates Table 1 (domain→service rules).
+func BenchmarkTable1Classify(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkActiveSubscribers reproduces the section 3 headline (~80%
+// of subscribers pass the activity filter each day).
+func BenchmarkActiveSubscribers(b *testing.B) { runExperiment(b, "active") }
+
+// BenchmarkFig2DailyCCDF regenerates Figure 2: CCDFs of daily traffic
+// per active subscriber, April 2014 vs April 2017, down/up × tech.
+func BenchmarkFig2DailyCCDF(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3MonthlyTrend regenerates Figure 3: average
+// per-subscription daily traffic across the 54 months.
+func BenchmarkFig3MonthlyTrend(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4HourlyRatio regenerates Figure 4: the Apr 2017/Apr 2014
+// download ratio per 10-minute bin, Bézier-smoothed.
+func BenchmarkFig4HourlyRatio(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5Popularity regenerates Figure 5: popularity and byte
+// share of the seventeen services over time.
+func BenchmarkFig5Popularity(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6VideoAndP2P regenerates Figure 6: P2P decline, Netflix
+// launch and Ultra-HD split, YouTube's steady dominance.
+func BenchmarkFig6VideoAndP2P(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7SocialApps regenerates Figure 7: SnapChat boom-bust,
+// WhatsApp saturation with holiday peaks, Instagram's volume climb.
+func BenchmarkFig7SocialApps(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8ProtocolShare regenerates Figure 8: the web protocol
+// mix across five years with events A-F.
+func BenchmarkFig8ProtocolShare(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Autoplay regenerates Figure 9: Facebook's per-user
+// daily traffic through 2014 (video auto-play rollout).
+func BenchmarkFig9Autoplay(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10RTTCDF regenerates Figure 10: per-flow minimum RTT
+// CDFs for Facebook/Instagram/YouTube/Google, 2014 vs 2017.
+func BenchmarkFig10RTTCDF(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Infrastructure regenerates Figure 11: per-day server
+// footprints, ASN breakdowns and domain shares for Facebook,
+// Instagram and YouTube.
+func BenchmarkFig11Infrastructure(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkEndToEndDay measures the raw generate→aggregate cost of a
+// single day at default scale — the unit every full-span run is made
+// of.
+func BenchmarkEndToEndDay(b *testing.B) {
+	days := core.MonthDays(2016, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh pipeline per iteration defeats the day cache, so the
+		// full generate→aggregate path is what gets timed.
+		p := core.New(core.Config{Seed: 1, Workers: 1})
+		if _, err := p.Aggregate(days[i%len(days) : i%len(days)+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command edgequery runs ad-hoc queries over an on-disk flow store —
+// the "specific queries on historical collections" of section 2.2.
+// It filters by day range, service, protocol and subscriber, and
+// prints matching records as CSV or a per-service summary.
+//
+// Usage:
+//
+//	edgequery -store /data/lake -from 2016-11-01 -to 2016-11-07 -summary
+//	edgequery -store /data/lake -from 2016-11-05 -service Netflix -csv -
+//	edgequery -store /data/lake -from 2016-11-05 -proto FB-ZERO -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/flowrec"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "flow store directory (required)")
+		from     = flag.String("from", "", "first day YYYY-MM-DD (required)")
+		to       = flag.String("to", "", "last day (default: same as -from)")
+		service  = flag.String("service", "", "only flows of this service (e.g. Netflix)")
+		proto    = flag.String("proto", "", "only flows with this protocol label (e.g. QUIC, FB-ZERO)")
+		subID    = flag.Int64("sub", -1, "only this subscription id")
+		rules    = flag.String("rules", "", "classification rules file (default: built-in list)")
+		csvOut   = flag.String("csv", "", "write matching records as CSV to this file ('-' = stdout)")
+		summary  = flag.Bool("summary", false, "print per-service volume summary")
+	)
+	flag.Parse()
+	if *storeDir == "" || *from == "" {
+		fmt.Fprintln(os.Stderr, "edgequery: -store and -from are required")
+		os.Exit(2)
+	}
+	start, err := time.Parse("2006-01-02", *from)
+	if err != nil {
+		fatal(err)
+	}
+	end := start
+	if *to != "" {
+		if end, err = time.Parse("2006-01-02", *to); err != nil {
+			fatal(err)
+		}
+	}
+
+	cls := classify.Default()
+	if *rules != "" {
+		f, err := os.Open(*rules)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := classify.ParseRules(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cls, err = classify.New(parsed); err != nil {
+			fatal(err)
+		}
+	}
+
+	store, err := flowrec.OpenStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cw *flowrec.CSVWriter
+	if *csvOut != "" {
+		out := os.Stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if cw, err = flowrec.NewCSVWriter(out); err != nil {
+			fatal(err)
+		}
+	}
+
+	type sum struct {
+		flows    uint64
+		down, up uint64
+	}
+	bySvc := make(map[classify.Service]*sum)
+	var matched, scanned uint64
+
+	for _, day := range core.RangeDays(start.UTC(), end.UTC(), 1) {
+		err := store.ReadDay(day, func(r *flowrec.Record) error {
+			scanned++
+			svc := analytics.ServiceOf(cls, r)
+			if *service != "" && svc != classify.Service(*service) {
+				return nil
+			}
+			if *proto != "" && r.Web.String() != *proto {
+				return nil
+			}
+			if *subID >= 0 && r.SubID != uint32(*subID) {
+				return nil
+			}
+			matched++
+			if cw != nil {
+				if err := cw.Write(r); err != nil {
+					return err
+				}
+			}
+			s := bySvc[svc]
+			if s == nil {
+				s = &sum{}
+				bySvc[svc] = s
+			}
+			s.flows++
+			s.down += r.BytesDown
+			s.up += r.BytesUp
+			return nil
+		})
+		if err != nil {
+			// Missing days are probe outages: mention and move on.
+			fmt.Fprintf(os.Stderr, "edgequery: %s: %v\n", day.Format("2006-01-02"), err)
+		}
+	}
+	if cw != nil {
+		if err := cw.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "scanned %d records, matched %d\n", scanned, matched)
+	if *summary {
+		type row struct {
+			svc classify.Service
+			s   *sum
+		}
+		var rows []row
+		for svc, s := range bySvc {
+			rows = append(rows, row{svc, s})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].s.down > rows[j].s.down })
+		var cells [][]string
+		for _, r := range rows {
+			name := string(r.svc)
+			if name == "" {
+				name = "(unclassified)"
+			}
+			cells = append(cells, []string{
+				name,
+				fmt.Sprint(r.s.flows),
+				report.MB(float64(r.s.down)),
+				report.MB(float64(r.s.up)),
+			})
+		}
+		if err := report.Table(os.Stdout, []string{"service", "flows", "down MB", "up MB"}, cells); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "edgequery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command edgereport regenerates the paper's tables and figures from
+// the simulated five-year dataset (or from a flow store previously
+// written by edgegen/edgeprobe) and prints them as text tables.
+//
+// Usage:
+//
+//	edgereport [flags] [experiment ...]
+//
+// With no experiment arguments it runs the full registry in paper
+// order. Available experiments: table1, active, fig2 ... fig11.
+//
+//	edgereport -stride 7 fig3 fig8
+//	edgereport -store /data/lake fig2
+//	edgereport -scale large -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "world seed (same seed, same dataset)")
+		stride  = flag.Int("stride", 7, "day sampling stride for full-span experiments")
+		scale   = flag.String("scale", "default", "population scale: small, default, large")
+		workers = flag.Int("workers", 0, "parallel aggregation workers (0 = NumCPU)")
+		store   = flag.String("store", "", "read records from this flow store instead of simulating")
+		rules   = flag.String("rules", "", "classification rules file (default: built-in list)")
+		aggDir  = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
+		export  = flag.String("export", "", "write the figure data tables (CSV) to this directory and exit")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.AllExperiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := core.Config{Seed: *seed, Stride: *stride, Workers: *workers, AggCacheDir: *aggDir}
+	switch *scale {
+	case "small":
+		cfg.Scale = simnet.Scale{ADSL: 60, FTTH: 30}
+	case "default":
+		cfg.Scale = simnet.Scale{}
+	case "large":
+		cfg.Scale = simnet.Scale{ADSL: 1000, FTTH: 500}
+	default:
+		fmt.Fprintf(os.Stderr, "edgereport: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *store != "" {
+		s, err := flowrec.OpenStore(*store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Store = s
+	}
+	if *rules != "" {
+		f, err := os.Open(*rules)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
+			os.Exit(1)
+		}
+		parsed, perr := classify.ParseRules(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", perr)
+			os.Exit(1)
+		}
+		cls, cerr := classify.New(parsed)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", cerr)
+			os.Exit(1)
+		}
+		cfg.Classifier = cls
+	}
+	p := core.New(cfg)
+
+	if *export != "" {
+		if err := p.ExportData(*export); err != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("figure data tables written to %s\n", *export)
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		e, ok := core.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "edgereport: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		if err := e.Run(p, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,85 @@
+// Quickstart: generate one simulated week of ISP edge traffic, run the
+// two-stage analytics over it, and print the headline numbers — total
+// traffic, active-subscriber share, and the day's top services.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// A pipeline over a small simulated population. Same seed, same
+	// dataset — rerun it and the numbers will not move.
+	p := core.New(core.Config{
+		Seed:  2018,
+		Scale: simnet.Scale{ADSL: 60, FTTH: 30},
+	})
+
+	// One week of November 2016: FB-Zero is three weeks old, QUIC is
+	// back after its 2015 outage, Netflix has been in Italy a year.
+	week := core.RangeDays(
+		time.Date(2016, 11, 21, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 11, 27, 0, 0, 0, 0, time.UTC), 1)
+
+	aggs, err := p.Aggregate(week)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var flows, down, up uint64
+	for _, a := range aggs {
+		flows += a.Flows
+		down += a.TotalDown
+		up += a.TotalUp
+	}
+	fmt.Printf("week of %s: %d flows, %.1f GB down, %.1f GB up\n",
+		week[0].Format("2006-01-02"), flows,
+		float64(down)/(1<<30), float64(up)/(1<<30))
+
+	act := analytics.ActiveSeries(aggs)
+	var pct float64
+	for _, a := range act {
+		pct += a.ActivePct
+	}
+	fmt.Printf("active subscribers (>=10 flows, >15kB down, >5kB up): %.1f%% on average\n\n",
+		pct/float64(len(act)))
+
+	// Top services by byte share.
+	type row struct {
+		svc   classify.Service
+		share float64
+	}
+	var rows []row
+	for _, svc := range classify.FigureServices {
+		pts := analytics.ServiceByteShare(aggs, svc)
+		var s float64
+		for _, pt := range pts {
+			s += pt.SharePct
+		}
+		rows = append(rows, row{svc, s / float64(len(pts))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].share > rows[j].share })
+	var cells [][]string
+	for _, r := range rows[:8] {
+		cells = append(cells, []string{string(r.svc), report.Pct(r.share)})
+	}
+	fmt.Println("top services by share of downloaded bytes:")
+	if err := report.Table(os.Stdout, []string{"service", "byte share"}, cells); err != nil {
+		log.Fatal(err)
+	}
+}

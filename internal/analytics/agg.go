@@ -1,0 +1,327 @@
+// Package analytics implements the paper's two-stage processing
+// (section 2.2): stage one reduces each day's raw flow records to a
+// compact per-day aggregate — per-subscription counters, per-service
+// counters, protocol bytes, RTT samples, server-address inventories —
+// and stage two (figures.go) turns slices of those aggregates into
+// every table and figure of the evaluation. Days are independent, so
+// stage one runs them in parallel, standing in for the Hadoop/Spark
+// cluster.
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// P2PService is the label used for peer-to-peer traffic, which carries
+// no domain and is recognised by the probe's payload heuristics.
+const P2PService classify.Service = "Peer-To-Peer"
+
+// Activity thresholds of section 3: a subscriber is active on a day
+// when it generated at least 10 flows, downloaded more than 15 kB and
+// uploaded more than 5 kB.
+const (
+	ActiveMinFlows = 10
+	ActiveMinDown  = 15 << 10
+	ActiveMinUp    = 5 << 10
+)
+
+// SubDay is one subscription's day.
+type SubDay struct {
+	Tech  flowrec.AccessTech
+	Flows int
+	Down  uint64
+	Up    uint64
+	// PerSvc accumulates the subscriber's traffic toward each
+	// classified service.
+	PerSvc map[classify.Service]*SvcUse
+}
+
+// SvcUse is a subscriber's daily traffic with one service.
+type SvcUse struct {
+	Down, Up uint64
+}
+
+// Active applies the section 3 filter.
+func (s *SubDay) Active() bool {
+	return s.Flows >= ActiveMinFlows && s.Down > ActiveMinDown && s.Up > ActiveMinUp
+}
+
+// TimeBinCount is the number of 10-minute bins per day (Figure 4).
+const TimeBinCount = 144
+
+// IPInfo tracks which services touched a server address on a day.
+type IPInfo struct {
+	Services map[classify.Service]bool
+	Bytes    uint64
+}
+
+// rttCap bounds stored RTT samples per service-day.
+const rttCap = 60000
+
+// DayAgg is the stage-one output for one day.
+type DayAgg struct {
+	Day  time.Time
+	Subs map[uint32]*SubDay
+
+	// ProtoBytes sums two-way bytes per probe protocol label.
+	ProtoBytes [flowrec.WebProtoCount]uint64
+
+	// DownBins holds downloaded bytes per 10-minute bin, per tech
+	// (index 0 ADSL, 1 FTTH).
+	DownBins [2][TimeBinCount]uint64
+
+	// ServiceBytes sums downloaded bytes per service (Unknown keyed
+	// by the empty service).
+	ServiceBytes map[classify.Service]uint64
+
+	// RTTMinMs holds per-flow minimum RTT samples in milliseconds for
+	// the services Figure 10 examines.
+	RTTMinMs map[classify.Service][]float64
+
+	// ServerIPs inventories the day's server addresses (Figure 11).
+	ServerIPs map[wire.Addr]*IPInfo
+
+	// DomainBytes sums downloaded bytes per (service, second-level
+	// domain) for Figure 11g-i.
+	DomainBytes map[classify.Service]map[string]uint64
+
+	// QUICVersions counts QUIC flows per gQUIC version tag (the
+	// per-protocol drill-down the paper leaves out for brevity).
+	QUICVersions map[string]uint64
+
+	// TotalDown/TotalUp are whole-day byte sums.
+	TotalDown, TotalUp uint64
+	Flows              uint64
+}
+
+// rttServices are the Figure 10 subjects.
+var rttServices = map[classify.Service]bool{
+	"Facebook": true, "Instagram": true, "YouTube": true, "Google": true,
+	"Netflix": true, "WhatsApp": true,
+}
+
+// Aggregator reduces one day's records. Not safe for concurrent use;
+// the Runner gives each day its own.
+type Aggregator struct {
+	cls *classify.Classifier
+	agg *DayAgg
+}
+
+// NewAggregator starts an aggregation for day using classifier cls
+// (nil means classify.Default()).
+func NewAggregator(day time.Time, cls *classify.Classifier) *Aggregator {
+	if cls == nil {
+		cls = classify.Default()
+	}
+	y, m, d := day.UTC().Date()
+	return &Aggregator{
+		cls: cls,
+		agg: &DayAgg{
+			Day:          time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
+			Subs:         make(map[uint32]*SubDay),
+			ServiceBytes: make(map[classify.Service]uint64),
+			RTTMinMs:     make(map[classify.Service][]float64),
+			ServerIPs:    make(map[wire.Addr]*IPInfo),
+			DomainBytes:  make(map[classify.Service]map[string]uint64),
+			QUICVersions: make(map[string]uint64),
+		},
+	}
+}
+
+// ServiceOf classifies a record: P2P by probe label, everything else
+// by server name.
+func ServiceOf(cls *classify.Classifier, rec *flowrec.Record) classify.Service {
+	if rec.Web == flowrec.WebP2P {
+		return P2PService
+	}
+	return cls.Lookup(rec.ServerName)
+}
+
+// Add accumulates one record.
+func (a *Aggregator) Add(rec *flowrec.Record) {
+	agg := a.agg
+	svc := ServiceOf(a.cls, rec)
+
+	sd := agg.Subs[rec.SubID]
+	if sd == nil {
+		sd = &SubDay{Tech: rec.Tech, PerSvc: make(map[classify.Service]*SvcUse)}
+		agg.Subs[rec.SubID] = sd
+	}
+	sd.Flows++
+	sd.Down += rec.BytesDown
+	sd.Up += rec.BytesUp
+	if svc != classify.Unknown {
+		use := sd.PerSvc[svc]
+		if use == nil {
+			use = &SvcUse{}
+			sd.PerSvc[svc] = use
+		}
+		use.Down += rec.BytesDown
+		use.Up += rec.BytesUp
+	}
+
+	agg.TotalDown += rec.BytesDown
+	agg.TotalUp += rec.BytesUp
+	agg.Flows++
+	agg.ProtoBytes[rec.Web] += rec.BytesDown + rec.BytesUp
+	agg.ServiceBytes[svc] += rec.BytesDown
+
+	if rec.Web == flowrec.WebQUIC && rec.QUICVer != "" {
+		agg.QUICVersions[rec.QUICVer]++
+	}
+
+	bin := timeBin(rec.Start)
+	tech := 0
+	if rec.Tech == flowrec.TechFTTH {
+		tech = 1
+	}
+	agg.DownBins[tech][bin] += rec.BytesDown
+
+	if rec.RTTSamples > 0 && rttServices[svc] {
+		samples := agg.RTTMinMs[svc]
+		if len(samples) < rttCap {
+			agg.RTTMinMs[svc] = append(samples, float64(rec.RTTMin)/float64(time.Millisecond))
+		}
+	}
+
+	// Server inventory: only classified, non-P2P services are worth
+	// tracking (P2P "servers" are other households), but unknown
+	// services still mark addresses as shared.
+	if svc != P2PService && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
+		info := agg.ServerIPs[rec.Server]
+		if info == nil {
+			info = &IPInfo{Services: make(map[classify.Service]bool, 2)}
+			agg.ServerIPs[rec.Server] = info
+		}
+		info.Services[svc] = true
+		info.Bytes += rec.BytesDown
+
+		if svc != classify.Unknown && rec.ServerName != "" {
+			dom := SecondLevelDomain(rec.ServerName)
+			m := agg.DomainBytes[svc]
+			if m == nil {
+				m = make(map[string]uint64, 4)
+				agg.DomainBytes[svc] = m
+			}
+			m[dom] += rec.BytesDown
+		}
+	}
+}
+
+// Result finalises and returns the aggregate.
+func (a *Aggregator) Result() *DayAgg { return a.agg }
+
+// timeBin maps a timestamp to its 10-minute bin.
+func timeBin(t time.Time) int {
+	t = t.UTC()
+	return (t.Hour()*60 + t.Minute()) / 10
+}
+
+// SecondLevelDomain trims a host name to its registrable-ish tail:
+// the last two labels ("scontent.xx.fbcdn.net" → "fbcdn.net"). The
+// handful of two-level public suffixes in our data (co.uk-style) do
+// not occur, so two labels suffice, as in the paper's Figure 11g-i.
+func SecondLevelDomain(host string) string {
+	host = strings.TrimSuffix(strings.ToLower(host), ".")
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// ActiveSubs counts subscriptions passing the activity filter, per
+// technology.
+func (d *DayAgg) ActiveSubs() (adsl, ftth int) {
+	for _, sd := range d.Subs {
+		if !sd.Active() {
+			continue
+		}
+		if sd.Tech == flowrec.TechFTTH {
+			ftth++
+		} else {
+			adsl++
+		}
+	}
+	return
+}
+
+// ObservedSubs counts all subscriptions seen, per technology.
+func (d *DayAgg) ObservedSubs() (adsl, ftth int) {
+	for _, sd := range d.Subs {
+		if sd.Tech == flowrec.TechFTTH {
+			ftth++
+		} else {
+			adsl++
+		}
+	}
+	return
+}
+
+// Source supplies raw records for a day. Implementations: the on-disk
+// store, or a simulation world directly (wired in core).
+type Source interface {
+	// Records streams one day's records. A day with no data returns
+	// ErrNoData (probe outage); stage one skips it.
+	Records(day time.Time, fn func(*flowrec.Record)) error
+}
+
+// ErrNoData marks a missing day — the probe outages of section 2.3.
+var ErrNoData = errors.New("analytics: no data for day")
+
+// Run aggregates the given days in parallel with workers goroutines
+// (<=0 means 4). Days with no data are silently skipped — exactly how
+// the paper's plots carry gaps across probe outages. The result is
+// sorted by day.
+func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([]*DayAgg, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	type result struct {
+		agg *DayAgg
+		err error
+	}
+	results := make([]result, len(days))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, day := range days {
+		wg.Add(1)
+		go func(i int, day time.Time) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			a := NewAggregator(day, cls)
+			err := src.Records(day, a.Add)
+			if err != nil {
+				if errors.Is(err, ErrNoData) {
+					return // probe outage: leave the gap
+				}
+				results[i] = result{err: fmt.Errorf("analytics: day %s: %w", day.Format("2006-01-02"), err)}
+				return
+			}
+			results[i] = result{agg: a.Result()}
+		}(i, day)
+	}
+	wg.Wait()
+
+	var out []*DayAgg
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.agg != nil {
+			out = append(out, r.agg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day.Before(out[j].Day) })
+	return out, nil
+}

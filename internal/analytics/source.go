@@ -1,0 +1,34 @@
+package analytics
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// StoreSource reads records from the on-disk day-partitioned store.
+type StoreSource struct {
+	Store *flowrec.Store
+}
+
+// Records implements Source.
+func (s StoreSource) Records(day time.Time, fn func(*flowrec.Record)) error {
+	err := s.Store.ReadDay(day, func(r *flowrec.Record) error {
+		fn(r)
+		return nil
+	})
+	if errors.Is(err, flowrec.ErrNoDay) {
+		return ErrNoData
+	}
+	return err
+}
+
+// FuncSource adapts a generator function (e.g. a simulation world's
+// EmitDay) to the Source interface.
+type FuncSource func(day time.Time, fn func(*flowrec.Record)) error
+
+// Records implements Source.
+func (f FuncSource) Records(day time.Time, fn func(*flowrec.Record)) error {
+	return f(day, fn)
+}

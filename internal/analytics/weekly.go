@@ -1,0 +1,106 @@
+package analytics
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+)
+
+// Weekly popularity: section 4.3 contrasts daily reach with weekly
+// reach ("more than 18% (12%) of FTTH (ADSL) subscribers access
+// Netflix at least once" weekly, against ~10% daily). Computing it
+// needs consecutive days, because a subscriber counts once per window
+// however many days they showed up.
+
+// WeeklyPoint is one window of WeeklyPopularity.
+type WeeklyPoint struct {
+	// WeekStart is the first day of the window.
+	WeekStart time.Time
+	// DailyPct is the mean daily popularity inside the window, per
+	// tech — the Figure 6-style number.
+	DailyPct [2]float64
+	// WeeklyPct is the share of the window's active subscribers that
+	// visited the service on at least one day.
+	WeeklyPct [2]float64
+}
+
+// WeeklyPopularity reduces consecutive day aggregates to 7-day
+// windows. Partial trailing windows are dropped.
+func WeeklyPopularity(aggs []*DayAgg, svc classify.Service) []WeeklyPoint {
+	thr := classify.VisitThreshold(svc)
+	sorted := append([]*DayAgg(nil), aggs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Day.Before(sorted[j].Day) })
+
+	var out []WeeklyPoint
+	for start := 0; start+7 <= len(sorted); start += 7 {
+		window := sorted[start : start+7]
+		var dailySum [2]float64
+		// Per subscriber: active on any day, visited on any day.
+		type seen struct {
+			tech    flowrec.AccessTech
+			active  bool
+			visited bool
+		}
+		subs := make(map[uint32]*seen)
+		for _, agg := range window {
+			var act, vis [2]float64
+			for id, sd := range agg.Subs {
+				s := subs[id]
+				if s == nil {
+					s = &seen{tech: sd.Tech}
+					subs[id] = s
+				}
+				if !sd.Active() {
+					continue
+				}
+				s.active = true
+				ti := techIndex(sd.Tech)
+				act[ti]++
+				if use := sd.PerSvc[svc]; use != nil && use.Down+use.Up >= thr {
+					s.visited = true
+					vis[ti]++
+				}
+			}
+			for ti := 0; ti < 2; ti++ {
+				if act[ti] > 0 {
+					dailySum[ti] += 100 * vis[ti] / act[ti]
+				}
+			}
+		}
+		pt := WeeklyPoint{WeekStart: window[0].Day}
+		var activeCount, visitedCount [2]float64
+		for _, s := range subs {
+			if !s.active {
+				continue
+			}
+			ti := techIndex(s.tech)
+			activeCount[ti]++
+			if s.visited {
+				visitedCount[ti]++
+			}
+		}
+		for ti := 0; ti < 2; ti++ {
+			pt.DailyPct[ti] = dailySum[ti] / 7
+			if activeCount[ti] > 0 {
+				pt.WeeklyPct[ti] = 100 * visitedCount[ti] / activeCount[ti]
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// QUICVersionShare counts QUIC flows per version tag over the given
+// days — the per-protocol drill-down the paper says its data would
+// allow ("e.g., as in [10]") but omits for brevity.
+func QUICVersionShare(aggs []*DayAgg) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, agg := range aggs {
+		for v, n := range agg.QUICVersions {
+			out[v] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package analytics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// buildWeek builds 7 consecutive day aggregates where sub 1 visits
+// Netflix every day, sub 2 only on day 3, and sub 3 never. All three
+// are active every day.
+func buildWeek(t *testing.T) []*DayAgg {
+	t.Helper()
+	start := time.Date(2017, 10, 2, 0, 0, 0, 0, time.UTC)
+	var aggs []*DayAgg
+	for i := 0; i < 7; i++ {
+		day := start.AddDate(0, 0, i)
+		a := NewAggregator(day, nil)
+		mk := func(sub uint32, name string, down uint64) *flowrec.Record {
+			r := mkRec(sub, flowrec.TechFTTH, name, down, 1<<20)
+			r.Start = day.Add(20 * time.Hour)
+			return r
+		}
+		feed(a, mk(1, "occ-0.nflxvideo.net", 500<<20), 12)
+		if i == 3 {
+			feed(a, mk(2, "occ-0.nflxvideo.net", 400<<20), 12)
+		} else {
+			feed(a, mk(2, "other.example", 50<<20), 12)
+		}
+		feed(a, mk(3, "other.example", 50<<20), 12)
+		aggs = append(aggs, a.Result())
+	}
+	return aggs
+}
+
+func TestWeeklyPopularityGap(t *testing.T) {
+	pts := WeeklyPopularity(buildWeek(t), "Netflix")
+	if len(pts) != 1 {
+		t.Fatalf("windows = %d, want 1", len(pts))
+	}
+	p := pts[0]
+	// Daily: day 3 has 2/3 users, other days 1/3 → mean = (6*33.3 + 66.7)/7.
+	wantDaily := (6*100.0/3 + 200.0/3) / 7
+	if diff := p.DailyPct[1] - wantDaily; diff > 0.01 || diff < -0.01 {
+		t.Errorf("DailyPct = %v, want %v", p.DailyPct[1], wantDaily)
+	}
+	// Weekly: subs 1 and 2 visited at least once → 2/3.
+	if diff := p.WeeklyPct[1] - 200.0/3; diff > 0.01 || diff < -0.01 {
+		t.Errorf("WeeklyPct = %v, want %v", p.WeeklyPct[1], 200.0/3)
+	}
+	if p.WeeklyPct[1] <= p.DailyPct[1] {
+		t.Error("weekly reach should exceed daily reach")
+	}
+}
+
+func TestWeeklyPopularityDropsPartialWindows(t *testing.T) {
+	aggs := buildWeek(t)
+	if pts := WeeklyPopularity(aggs[:6], "Netflix"); len(pts) != 0 {
+		t.Errorf("partial window produced %d points", len(pts))
+	}
+	// 13 days: one full window only.
+	more := append(aggs, buildWeek(t)[:6]...)
+	if pts := WeeklyPopularity(more, "Netflix"); len(pts) != 1 {
+		t.Errorf("13 days produced %d windows, want 1", len(pts))
+	}
+}
+
+func TestQUICVersionShare(t *testing.T) {
+	a := NewAggregator(testDay, nil)
+	q := mkRec(1, flowrec.TechADSL, "www.google.com", 1<<20, 1<<10)
+	q.Web = flowrec.WebQUIC
+	q.QUICVer = "Q039"
+	a.Add(q)
+	q2 := *q
+	q2.QUICVer = "Q035"
+	a.Add(&q2)
+	q3 := *q
+	a.Add(&q3) // Q039 again
+	notQuic := mkRec(1, flowrec.TechADSL, "x.example", 1<<20, 1<<10)
+	notQuic.QUICVer = "Q039" // bogus field on a TLS flow: ignored
+	a.Add(notQuic)
+
+	share := QUICVersionShare([]*DayAgg{a.Result()})
+	if share["Q039"] != 2 || share["Q035"] != 1 {
+		t.Errorf("share = %v", share)
+	}
+	if len(share) != 2 {
+		t.Errorf("versions = %v", share)
+	}
+}

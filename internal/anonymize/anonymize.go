@@ -1,0 +1,103 @@
+// Package anonymize implements the consistent client-address
+// anonymization the probes apply before any record leaves the capture
+// host (section 2.1 of the paper: "Customers are assigned fixed IP
+// addresses, that the probes immediately anonymize in a consistent
+// way").
+//
+// The mapper is a keyed 4-round Feistel permutation over the host
+// bits, keeping the topmost octet intact so that operators can still
+// tell customer ranges from server ranges in the logs. Being a
+// permutation it is collision-free: two distinct subscribers never
+// merge, which the per-subscriber analyses of sections 3-4 depend on.
+package anonymize
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Mapper anonymizes IPv4 addresses under a secret key. It is safe for
+// concurrent use; lookups after the first for an address are served
+// from a bounded cache.
+type Mapper struct {
+	key [32]byte
+
+	mu    sync.RWMutex
+	cache map[wire.Addr]wire.Addr
+}
+
+// cacheLimit bounds the memo table; beyond it the mapper recomputes.
+// 1<<20 entries ≈ 12 MB, far more than the subscriber population of a
+// PoP.
+const cacheLimit = 1 << 20
+
+// New returns a Mapper keyed by key. The same key always produces the
+// same mapping, so logs collected across five years remain joinable —
+// the property the longitudinal analyses need.
+func New(key []byte) *Mapper {
+	m := &Mapper{cache: make(map[wire.Addr]wire.Addr)}
+	sum := sha256.Sum256(key)
+	m.key = sum
+	return m
+}
+
+// Anon returns the anonymized counterpart of addr. The first octet is
+// preserved; the lower 24 bits are permuted by a keyed Feistel network.
+func (m *Mapper) Anon(addr wire.Addr) wire.Addr {
+	m.mu.RLock()
+	out, ok := m.cache[addr]
+	m.mu.RUnlock()
+	if ok {
+		return out
+	}
+	out = m.permute(addr, false)
+	m.mu.Lock()
+	if len(m.cache) < cacheLimit {
+		m.cache[addr] = out
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// Deanon inverts Anon. It exists for validation and tests only; a
+// deployed probe would not ship the key with the logs.
+func (m *Mapper) Deanon(addr wire.Addr) wire.Addr {
+	return m.permute(addr, true)
+}
+
+// permute runs the Feistel network over the low 24 bits of addr.
+// The 24-bit block is split into 12-bit halves.
+func (m *Mapper) permute(addr wire.Addr, invert bool) wire.Addr {
+	v := addr.Uint32()
+	hi := v & 0xFF000000
+	block := v & 0x00FFFFFF
+	l := (block >> 12) & 0xFFF
+	r := block & 0xFFF
+
+	const rounds = 4
+	if !invert {
+		for i := 0; i < rounds; i++ {
+			l, r = r, l^m.roundF(r, uint8(i))
+		}
+	} else {
+		for i := rounds - 1; i >= 0; i-- {
+			l, r = r^m.roundF(l, uint8(i)), l
+		}
+	}
+	return wire.AddrFromUint32(hi | l<<12 | r)
+}
+
+// roundF is the keyed round function: 12 bits of HMAC-SHA256 output.
+func (m *Mapper) roundF(half uint32, round uint8) uint32 {
+	mac := hmac.New(sha256.New, m.key[:])
+	var msg [5]byte
+	binary.BigEndian.PutUint32(msg[:4], half)
+	msg[4] = round
+	mac.Write(msg[:])
+	sum := mac.Sum(nil)
+	return uint32(binary.BigEndian.Uint16(sum[:2])) & 0xFFF
+}

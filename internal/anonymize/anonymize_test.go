@@ -1,0 +1,123 @@
+package anonymize
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestConsistent(t *testing.T) {
+	m := New([]byte("probe-key"))
+	a := wire.AddrFrom(10, 21, 33, 44)
+	first := m.Anon(a)
+	for i := 0; i < 5; i++ {
+		if got := m.Anon(a); got != first {
+			t.Fatalf("Anon not consistent: %v then %v", first, got)
+		}
+	}
+	// A second mapper with the same key agrees (cross-probe property).
+	if got := New([]byte("probe-key")).Anon(a); got != first {
+		t.Errorf("same key, different mapping: %v vs %v", got, first)
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a := wire.AddrFrom(10, 21, 33, 44)
+	m1, m2 := New([]byte("key-1")), New([]byte("key-2"))
+	if m1.Anon(a) == m2.Anon(a) {
+		t.Error("different keys produced the same mapping (possible but wildly unlikely)")
+	}
+}
+
+func TestFirstOctetPreserved(t *testing.T) {
+	m := New([]byte("k"))
+	f := func(v uint32) bool {
+		a := wire.AddrFromUint32(v)
+		return m.Anon(a)[0] == a[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationInvertible(t *testing.T) {
+	m := New([]byte("round-trip"))
+	f := func(v uint32) bool {
+		a := wire.AddrFromUint32(v)
+		return m.Deanon(m.Anon(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoCollisionsWithinSubnet(t *testing.T) {
+	// Exhaustively check a /16 slice: a permutation cannot collide.
+	m := New([]byte("collision-check"))
+	seen := make(map[wire.Addr]wire.Addr, 1<<12)
+	for i := 0; i < 1<<12; i++ {
+		a := wire.AddrFrom(10, 7, byte(i>>8), byte(i))
+		out := m.Anon(a)
+		if prev, dup := seen[out]; dup {
+			t.Fatalf("collision: %v and %v both map to %v", prev, a, out)
+		}
+		seen[out] = a
+	}
+}
+
+func TestActuallyChangesAddresses(t *testing.T) {
+	// A permutation technically may fix some points, but fixing many
+	// would mean broken keying. Count fixed points over 4096 addresses.
+	m := New([]byte("fixed-points"))
+	fixed := 0
+	for i := 0; i < 4096; i++ {
+		a := wire.AddrFrom(10, 0, byte(i>>8), byte(i))
+		if m.Anon(a) == a {
+			fixed++
+		}
+	}
+	if fixed > 8 {
+		t.Errorf("%d fixed points in 4096 addresses", fixed)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	m := New([]byte("race"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := wire.AddrFrom(10, byte(g), byte(i>>4), byte(i))
+				_ = m.Anon(a)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Spot-check consistency after the storm.
+	a := wire.AddrFrom(10, 3, 2, 1)
+	if m.Anon(a) != m.Anon(a) {
+		t.Error("inconsistent after concurrent use")
+	}
+}
+
+func BenchmarkAnonCached(b *testing.B) {
+	m := New([]byte("bench"))
+	a := wire.AddrFrom(10, 1, 2, 3)
+	m.Anon(a)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Anon(a)
+	}
+}
+
+func BenchmarkAnonCold(b *testing.B) {
+	m := New([]byte("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Deanon(wire.AddrFromUint32(uint32(i))) // Deanon skips the cache
+	}
+}

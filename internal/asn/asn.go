@@ -1,0 +1,239 @@
+// Package asn maps server IP addresses to Autonomous Systems, the way
+// the paper does for Figure 11 ("we use the Routing Information Base
+// for each month from a major vantage point in the Route Views project
+// to map IP addresses to ASNs"). A Table is a binary radix trie doing
+// longest-prefix match; a RIBSet holds one Table per month so lookups
+// are made against the routing state of the flow's epoch.
+package asn
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Org identifies the organisations the paper's Figure 11 breaks
+// traffic down by.
+type Org string
+
+// Organisations appearing in Figure 11d-f.
+const (
+	OrgFacebook Org = "FACEBOOK"
+	OrgAkamai   Org = "AKAMAI"
+	OrgGoogle   Org = "GOOGLE"
+	OrgTeliaNet Org = "TELIANET"
+	OrgGTT      Org = "GTT"
+	OrgISP      Org = "ISP"
+	OrgOther    Org = "OTHER"
+)
+
+// ASNum is an autonomous system number.
+type ASNum uint32
+
+// Well-known AS numbers used by the synthetic RIBs (real values, so
+// reports read naturally).
+const (
+	ASFacebook ASNum = 32934
+	ASAkamai   ASNum = 20940
+	ASGoogle   ASNum = 15169
+	ASTeliaNet ASNum = 1299
+	ASGTT      ASNum = 3257
+	ASISP      ASNum = 3269 // the monitored ISP's own AS
+)
+
+// OrgOf maps the AS numbers this reproduction uses to organisations.
+func OrgOf(as ASNum) Org {
+	switch as {
+	case ASFacebook:
+		return OrgFacebook
+	case ASAkamai:
+		return OrgAkamai
+	case ASGoogle:
+		return OrgGoogle
+	case ASTeliaNet:
+		return OrgTeliaNet
+	case ASGTT:
+		return OrgGTT
+	case ASISP:
+		return OrgISP
+	default:
+		return OrgOther
+	}
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr wire.Addr
+	Bits uint8
+}
+
+// ParsePrefix parses "a.b.c.d/n".
+func ParsePrefix(s string) (Prefix, error) {
+	ipStr, bitsStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return Prefix{}, fmt.Errorf("asn: prefix %q missing '/'", s)
+	}
+	var o [4]int
+	if _, err := fmt.Sscanf(ipStr, "%d.%d.%d.%d", &o[0], &o[1], &o[2], &o[3]); err != nil {
+		return Prefix{}, fmt.Errorf("asn: prefix %q: %w", s, err)
+	}
+	bits, err := strconv.Atoi(bitsStr)
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("asn: prefix %q has bad length", s)
+	}
+	var a wire.Addr
+	for i, v := range o {
+		if v < 0 || v > 255 {
+			return Prefix{}, fmt.Errorf("asn: prefix %q octet out of range", s)
+		}
+		a[i] = byte(v)
+	}
+	return Prefix{Addr: a, Bits: uint8(bits)}, nil
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr wire.Addr) bool {
+	if p.Bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - uint32(p.Bits))
+	return addr.Uint32()&mask == p.Addr.Uint32()&mask
+}
+
+// Table is a binary radix trie over IPv4 prefixes, answering
+// longest-prefix-match lookups. The zero value is an empty table.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	child [2]*node
+	as    ASNum
+	set   bool
+}
+
+// Insert adds a route. Later inserts of the same prefix overwrite.
+func (t *Table) Insert(p Prefix, as ASNum) {
+	if t.root == nil {
+		t.root = &node{}
+	}
+	cur := t.root
+	v := p.Addr.Uint32()
+	for i := 0; i < int(p.Bits); i++ {
+		b := v >> (31 - uint32(i)) & 1
+		if cur.child[b] == nil {
+			cur.child[b] = &node{}
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		t.n++
+	}
+	cur.as = as
+	cur.set = true
+}
+
+// Len returns the number of routes.
+func (t *Table) Len() int { return t.n }
+
+// Lookup returns the AS of the longest matching prefix, or (0, false)
+// when no route covers addr.
+func (t *Table) Lookup(addr wire.Addr) (ASNum, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	v := addr.Uint32()
+	cur := t.root
+	var best ASNum
+	found := false
+	for i := 0; ; i++ {
+		if cur.set {
+			best, found = cur.as, true
+		}
+		if i == 32 {
+			break
+		}
+		b := v >> (31 - uint32(i)) & 1
+		if cur.child[b] == nil {
+			break
+		}
+		cur = cur.child[b]
+	}
+	return best, found
+}
+
+// OrgLookup resolves addr to an organisation, OrgOther when unrouted.
+func (t *Table) OrgLookup(addr wire.Addr) Org {
+	as, ok := t.Lookup(addr)
+	if !ok {
+		return OrgOther
+	}
+	return OrgOf(as)
+}
+
+// RIBSet holds monthly routing snapshots. Lookups pick the snapshot in
+// effect at the flow's timestamp (the latest snapshot not after it).
+type RIBSet struct {
+	months []time.Time // sorted ascending, truncated to month start
+	tables []*Table
+}
+
+// MonthStart truncates t to the first of its month, UTC.
+func MonthStart(t time.Time) time.Time {
+	y, m, _ := t.UTC().Date()
+	return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Add registers a snapshot for the month containing when. Snapshots
+// may be added in any order; Add keeps the set sorted.
+func (r *RIBSet) Add(when time.Time, table *Table) {
+	month := MonthStart(when)
+	i := sort.Search(len(r.months), func(i int) bool { return !r.months[i].Before(month) })
+	if i < len(r.months) && r.months[i].Equal(month) {
+		r.tables[i] = table
+		return
+	}
+	r.months = append(r.months, time.Time{})
+	r.tables = append(r.tables, nil)
+	copy(r.months[i+1:], r.months[i:])
+	copy(r.tables[i+1:], r.tables[i:])
+	r.months[i] = month
+	r.tables[i] = table
+}
+
+// At returns the snapshot in effect at when, or nil when the set has
+// no snapshot that early.
+func (r *RIBSet) At(when time.Time) *Table {
+	month := MonthStart(when)
+	i := sort.Search(len(r.months), func(i int) bool { return r.months[i].After(month) })
+	if i == 0 {
+		return nil
+	}
+	return r.tables[i-1]
+}
+
+// Lookup resolves addr against the snapshot in effect at when.
+func (r *RIBSet) Lookup(when time.Time, addr wire.Addr) (ASNum, bool) {
+	t := r.At(when)
+	if t == nil {
+		return 0, false
+	}
+	return t.Lookup(addr)
+}
+
+// OrgLookup resolves addr to an organisation at when.
+func (r *RIBSet) OrgLookup(when time.Time, addr wire.Addr) Org {
+	t := r.At(when)
+	if t == nil {
+		return OrgOther
+	}
+	return t.OrgLookup(addr)
+}

@@ -1,0 +1,234 @@
+package asn
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func mustPrefix(t *testing.T, s string) Prefix {
+	t.Helper()
+	p, err := ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := mustPrefix(t, "31.13.64.0/18")
+	if p.Addr != wire.AddrFrom(31, 13, 64, 0) || p.Bits != 18 {
+		t.Errorf("parsed %+v", p)
+	}
+	if p.String() != "31.13.64.0/18" {
+		t.Errorf("String = %q", p.String())
+	}
+	for _, bad := range []string{"", "1.2.3.4", "1.2.3/8", "1.2.3.4/33", "1.2.3.400/8", "x.y.z.w/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := mustPrefix(t, "10.16.0.0/12")
+	if !p.Contains(wire.AddrFrom(10, 17, 200, 3)) {
+		t.Error("10.17.200.3 should be inside 10.16/12")
+	}
+	if p.Contains(wire.AddrFrom(10, 32, 0, 0)) {
+		t.Error("10.32.0.0 should be outside 10.16/12")
+	}
+	zero := Prefix{}
+	if !zero.Contains(wire.AddrFrom(200, 1, 2, 3)) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix(t, "31.0.0.0/8"), ASTeliaNet)
+	tbl.Insert(mustPrefix(t, "31.13.0.0/16"), ASAkamai)
+	tbl.Insert(mustPrefix(t, "31.13.64.0/18"), ASFacebook)
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	cases := []struct {
+		addr wire.Addr
+		want ASNum
+	}{
+		{wire.AddrFrom(31, 13, 86, 36), ASFacebook}, // most specific
+		{wire.AddrFrom(31, 13, 200, 1), ASAkamai},   // /16 only
+		{wire.AddrFrom(31, 200, 0, 1), ASTeliaNet},  // /8 only
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(c.addr)
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%v) = %v,%v want %v", c.addr, got, ok, c.want)
+		}
+	}
+	if _, ok := tbl.Lookup(wire.AddrFrom(8, 8, 8, 8)); ok {
+		t.Error("unrouted address matched")
+	}
+}
+
+func TestTableOverwrite(t *testing.T) {
+	var tbl Table
+	p := mustPrefix(t, "10.0.0.0/8")
+	tbl.Insert(p, ASGoogle)
+	tbl.Insert(p, ASFacebook)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", tbl.Len())
+	}
+	if got, _ := tbl.Lookup(wire.AddrFrom(10, 1, 1, 1)); got != ASFacebook {
+		t.Errorf("Lookup = %v, want overwritten value", got)
+	}
+}
+
+func TestTableHostRoute(t *testing.T) {
+	var tbl Table
+	tbl.Insert(mustPrefix(t, "192.0.2.1/32"), ASISP)
+	if got, ok := tbl.Lookup(wire.AddrFrom(192, 0, 2, 1)); !ok || got != ASISP {
+		t.Errorf("host route = %v,%v", got, ok)
+	}
+	if _, ok := tbl.Lookup(wire.AddrFrom(192, 0, 2, 2)); ok {
+		t.Error("neighbouring host matched a /32")
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	var tbl Table
+	tbl.Insert(Prefix{Bits: 0}, ASGTT)
+	if got, ok := tbl.Lookup(wire.AddrFrom(1, 2, 3, 4)); !ok || got != ASGTT {
+		t.Errorf("default route = %v,%v", got, ok)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tbl Table
+	if _, ok := tbl.Lookup(wire.AddrFrom(1, 2, 3, 4)); ok {
+		t.Error("empty table matched")
+	}
+	if tbl.OrgLookup(wire.AddrFrom(1, 2, 3, 4)) != OrgOther {
+		t.Error("empty table org != OTHER")
+	}
+}
+
+// Property: Lookup agrees with a linear scan over the inserted routes.
+func TestLPMAgainstLinearScan(t *testing.T) {
+	type route struct {
+		p  Prefix
+		as ASNum
+	}
+	f := func(seeds []uint32, probe uint32) bool {
+		if len(seeds) > 40 {
+			seeds = seeds[:40]
+		}
+		var tbl Table
+		routes := make([]route, 0, len(seeds))
+		for i, s := range seeds {
+			p := Prefix{Addr: wire.AddrFromUint32(s &^ 0xFF), Bits: uint8(8 + (s % 25))}
+			// Canonicalise: zero the host bits so Contains and Insert agree.
+			mask := ^uint32(0) << (32 - uint32(p.Bits))
+			p.Addr = wire.AddrFromUint32(p.Addr.Uint32() & mask)
+			as := ASNum(i + 1)
+			tbl.Insert(p, as)
+			routes = append(routes, route{p, as})
+		}
+		addr := wire.AddrFromUint32(probe)
+		// Linear LPM; later inserts win ties (overwrite semantics).
+		bestBits := -1
+		var bestAS ASNum
+		for _, r := range routes {
+			if r.p.Contains(addr) && int(r.p.Bits) >= bestBits {
+				bestBits, bestAS = int(r.p.Bits), r.as
+			}
+		}
+		got, ok := tbl.Lookup(addr)
+		if bestBits < 0 {
+			return !ok
+		}
+		return ok && got == bestAS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrgOf(t *testing.T) {
+	cases := map[ASNum]Org{
+		ASFacebook: OrgFacebook, ASAkamai: OrgAkamai, ASGoogle: OrgGoogle,
+		ASTeliaNet: OrgTeliaNet, ASGTT: OrgGTT, ASISP: OrgISP, 65000: OrgOther,
+	}
+	for as, want := range cases {
+		if got := OrgOf(as); got != want {
+			t.Errorf("OrgOf(%d) = %v, want %v", as, got, want)
+		}
+	}
+}
+
+func TestRIBSetMonthSelection(t *testing.T) {
+	var set RIBSet
+	early, late := new(Table), new(Table)
+	early.Insert(Prefix{Bits: 0}, ASAkamai)
+	late.Insert(Prefix{Bits: 0}, ASFacebook)
+	// Added out of order on purpose.
+	set.Add(time.Date(2016, 1, 15, 0, 0, 0, 0, time.UTC), late)
+	set.Add(time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC), early)
+
+	addr := wire.AddrFrom(31, 13, 86, 36)
+	if org := set.OrgLookup(time.Date(2015, 3, 10, 12, 0, 0, 0, time.UTC), addr); org != OrgAkamai {
+		t.Errorf("2015 lookup = %v, want AKAMAI", org)
+	}
+	if org := set.OrgLookup(time.Date(2017, 8, 1, 0, 0, 0, 0, time.UTC), addr); org != OrgFacebook {
+		t.Errorf("2017 lookup = %v, want FACEBOOK", org)
+	}
+	// Same month as a snapshot: uses it.
+	if org := set.OrgLookup(time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC), addr); org != OrgFacebook {
+		t.Errorf("snapshot month lookup = %v, want FACEBOOK", org)
+	}
+	// Before any snapshot.
+	if _, ok := set.Lookup(time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC), addr); ok {
+		t.Error("lookup before first snapshot succeeded")
+	}
+	if org := set.OrgLookup(time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC), addr); org != OrgOther {
+		t.Errorf("pre-history org = %v", org)
+	}
+}
+
+func TestRIBSetReplaceMonth(t *testing.T) {
+	var set RIBSet
+	t1, t2 := new(Table), new(Table)
+	t1.Insert(Prefix{Bits: 0}, ASGoogle)
+	t2.Insert(Prefix{Bits: 0}, ASISP)
+	when := time.Date(2015, 5, 2, 0, 0, 0, 0, time.UTC)
+	set.Add(when, t1)
+	set.Add(when.AddDate(0, 0, 10), t2) // same month replaces
+	if got := set.At(when); got != t2 {
+		t.Error("same-month Add did not replace")
+	}
+}
+
+func TestMonthStart(t *testing.T) {
+	in := time.Date(2016, 11, 28, 13, 14, 15, 0, time.UTC)
+	want := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
+	if !MonthStart(in).Equal(want) {
+		t.Errorf("MonthStart = %v", MonthStart(in))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var tbl Table
+	r := uint32(12345)
+	for i := 0; i < 500000; i++ {
+		r = r*1664525 + 1013904223
+		tbl.Insert(Prefix{Addr: wire.AddrFromUint32(r &^ 0x3FF), Bits: 22}, ASNum(i))
+	}
+	addr := wire.AddrFrom(31, 13, 86, 36)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addr)
+	}
+}

@@ -1,0 +1,177 @@
+// Package classify associates flow records with web services from the
+// server domain name — the methodology of section 2.2 of the paper
+// (Table 1). Matching is by domain suffix for the common case, with
+// regular-expression rules for the tangled ones, plus the per-service
+// byte thresholds of section 4.1 that separate intentional visits from
+// third-party-embed noise.
+package classify
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Service is a canonical service name ("Facebook", "Netflix", ...).
+type Service string
+
+// Unknown is the classification of flows matching no rule.
+const Unknown Service = ""
+
+// Rule associates one domain pattern with a service.
+type Rule struct {
+	// Suffix matches the domain itself and any subdomain, e.g.
+	// "netflix.com" matches "netflix.com" and "www.netflix.com".
+	// Empty when Regexp is set.
+	Suffix string
+	// Regexp matches the whole domain when set (Table 1's
+	// "^fbstatic-[a-z].akamaihd.net$" case).
+	Regexp string
+	// Service is the classification the rule yields.
+	Service Service
+}
+
+// Classifier answers domain → service queries. It is safe for
+// concurrent use after construction.
+type Classifier struct {
+	exact map[string]Service // suffix table keyed by label-sequence
+	regex []compiledRule
+
+	mu   sync.RWMutex
+	memo map[string]Service
+}
+
+type compiledRule struct {
+	re      *regexp.Regexp
+	service Service
+}
+
+// memoLimit bounds the domain-lookup cache.
+const memoLimit = 1 << 18
+
+// New compiles a rule set. Suffix rules must be bare domains
+// (no leading dot); regexp rules must compile.
+func New(rules []Rule) (*Classifier, error) {
+	c := &Classifier{
+		exact: make(map[string]Service, len(rules)),
+		memo:  make(map[string]Service),
+	}
+	for i, r := range rules {
+		switch {
+		case r.Suffix != "" && r.Regexp != "":
+			return nil, fmt.Errorf("classify: rule %d sets both suffix and regexp", i)
+		case r.Suffix != "":
+			s := strings.ToLower(strings.Trim(r.Suffix, "."))
+			if s == "" {
+				return nil, fmt.Errorf("classify: rule %d has empty suffix", i)
+			}
+			c.exact[s] = r.Service
+		case r.Regexp != "":
+			re, err := regexp.Compile(r.Regexp)
+			if err != nil {
+				return nil, fmt.Errorf("classify: rule %d: %w", i, err)
+			}
+			c.regex = append(c.regex, compiledRule{re: re, service: r.Service})
+		default:
+			return nil, fmt.Errorf("classify: rule %d is empty", i)
+		}
+	}
+	return c, nil
+}
+
+// Lookup classifies a domain. Suffix rules win over regexp rules, and
+// longer suffixes win over shorter ones, so "video.netflix.com" can be
+// carved out of "netflix.com" if ever needed.
+func (c *Classifier) Lookup(domain string) Service {
+	domain = strings.ToLower(strings.Trim(domain, "."))
+	if domain == "" {
+		return Unknown
+	}
+	c.mu.RLock()
+	s, ok := c.memo[domain]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = c.lookupSlow(domain)
+	c.mu.Lock()
+	if len(c.memo) < memoLimit {
+		c.memo[domain] = s
+	}
+	c.mu.Unlock()
+	return s
+}
+
+func (c *Classifier) lookupSlow(domain string) Service {
+	// Walk suffixes from most to least specific.
+	d := domain
+	for {
+		if s, ok := c.exact[d]; ok {
+			return s
+		}
+		i := strings.IndexByte(d, '.')
+		if i < 0 {
+			break
+		}
+		d = d[i+1:]
+	}
+	for _, r := range c.regex {
+		if r.re.MatchString(domain) {
+			return r.service
+		}
+	}
+	return Unknown
+}
+
+// Services returns the distinct service names of the rule set, sorted.
+func (c *Classifier) Services() []Service {
+	set := make(map[Service]bool)
+	for _, s := range c.exact {
+		set[s] = true
+	}
+	for _, r := range c.regex {
+		set[r.service] = true
+	}
+	out := make([]Service, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VisitThreshold returns the minimum bytes a subscriber must exchange
+// with a service in a day before they count as having visited it —
+// the section 4.1 heuristic. Services whose social buttons and
+// telemetry beacons pollute third-party pages (Facebook, Google, ...)
+// get larger thresholds; pure destination services get small ones.
+func VisitThreshold(s Service) uint64 {
+	if v, ok := visitThresholds[s]; ok {
+		return v
+	}
+	return 10 << 10 // 10 KB default
+}
+
+// visitThresholds, in bytes per subscriber per day.
+var visitThresholds = map[Service]uint64{
+	"Facebook":     200 << 10, // social buttons everywhere
+	"Google":       100 << 10, // fonts/analytics/apis
+	"Twitter":      100 << 10, // embedded timelines
+	"Instagram":    50 << 10,
+	"LinkedIn":     50 << 10,
+	"Amazon":       50 << 10, // ads and affiliate pixels
+	"Bing":         5 << 10,  // Windows telemetry counts as "use"
+	"DuckDuckGo":   5 << 10,
+	"YouTube":      300 << 10, // embedded players
+	"Netflix":      100 << 10,
+	"Adult":        50 << 10,
+	"Spotify":      50 << 10,
+	"Skype":        20 << 10,
+	"WhatsApp":     5 << 10,
+	"Telegram":     5 << 10,
+	"SnapChat":     10 << 10,
+	"Ebay":         20 << 10,
+	"Peer-To-Peer": 10 << 10,
+}

@@ -1,0 +1,178 @@
+package classify
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTable1Associations(t *testing.T) {
+	// The exact examples of Table 1 in the paper.
+	c := Default()
+	cases := []struct {
+		domain string
+		want   Service
+	}{
+		{"facebook.com", "Facebook"},
+		{"fbcdn.com", "Facebook"},
+		{"fbstatic-a.akamaihd.net", "Facebook"}, // the regexp row
+		{"netflix.com", "Netflix"},
+		{"nflxvideo.net", "Netflix"},
+	}
+	for _, cse := range cases {
+		if got := c.Lookup(cse.domain); got != cse.want {
+			t.Errorf("Lookup(%q) = %q, want %q", cse.domain, got, cse.want)
+		}
+	}
+}
+
+func TestSubdomainSuffixMatch(t *testing.T) {
+	c := Default()
+	cases := map[string]Service{
+		"www.netflix.com":                  "Netflix",
+		"occ-0-769-768.1.nflxvideo.net":    "Netflix",
+		"r3---sn-hpa7kn7s.googlevideo.com": "YouTube",
+		"scontent.xx.fbcdn.net":            "Facebook",
+		"scontent.cdninstagram.com":        "Instagram",
+		"mmx-ds.cdn.whatsapp.net":          "WhatsApp",
+		"WWW.GOOGLE.COM":                   "Google", // case folding
+		"google.com.":                      "Google", // trailing dot
+	}
+	for d, want := range cases {
+		if got := c.Lookup(d); got != want {
+			t.Errorf("Lookup(%q) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	c := Default()
+	for _, d := range []string{
+		"",
+		"example.com",
+		"notfacebook.com",         // suffix must break on label boundary
+		"facebook.com.evil.org",   // forged prefix
+		"akamaihd.net",            // bare CDN is not Facebook
+		"static.akamaihd.net",     // non-fbstatic host on the CDN
+		"fbstatic-9.akamaihd.net", // regexp requires [a-z]+
+	} {
+		if got := c.Lookup(d); got != Unknown {
+			t.Errorf("Lookup(%q) = %q, want unknown", d, got)
+		}
+	}
+}
+
+func TestRegexpOnlyWholeMatch(t *testing.T) {
+	c := Default()
+	if got := c.Lookup("fbstatic-a.akamaihd.net.example.org"); got != Unknown {
+		t.Errorf("anchored regexp leaked: %q", got)
+	}
+}
+
+func TestLongestSuffixWins(t *testing.T) {
+	c, err := New([]Rule{
+		{Suffix: "example.com", Service: "Generic"},
+		{Suffix: "video.example.com", Service: "Video"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup("cdn.video.example.com"); got != "Video" {
+		t.Errorf("Lookup = %q, want Video", got)
+	}
+	if got := c.Lookup("www.example.com"); got != "Generic" {
+		t.Errorf("Lookup = %q, want Generic", got)
+	}
+}
+
+func TestSuffixBeatsRegexp(t *testing.T) {
+	c, err := New([]Rule{
+		{Regexp: `^.*\.example\.com$`, Service: "ByRegexp"},
+		{Suffix: "example.com", Service: "BySuffix"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup("a.example.com"); got != "BySuffix" {
+		t.Errorf("Lookup = %q, want BySuffix", got)
+	}
+}
+
+func TestNewRejectsBadRules(t *testing.T) {
+	bad := [][]Rule{
+		{{Service: "X"}}, // empty rule
+		{{Suffix: "a.com", Regexp: "^a$", Service: "X"}}, // both set
+		{{Regexp: "([", Service: "X"}},                   // bad regexp
+		{{Suffix: "...", Service: "X"}},                  // empty after trim
+	}
+	for i, rules := range bad {
+		if _, err := New(rules); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestServicesList(t *testing.T) {
+	c := Default()
+	services := c.Services()
+	set := make(map[Service]bool, len(services))
+	for _, s := range services {
+		set[s] = true
+	}
+	for _, want := range FigureServices {
+		if !set[want] {
+			t.Errorf("rule set missing figure service %q", want)
+		}
+	}
+	for i := 1; i < len(services); i++ {
+		if services[i-1] >= services[i] {
+			t.Errorf("Services not sorted: %v", services)
+		}
+	}
+}
+
+func TestVisitThreshold(t *testing.T) {
+	if VisitThreshold("Facebook") <= VisitThreshold("WhatsApp") {
+		t.Error("embed-heavy Facebook should need a larger threshold than WhatsApp")
+	}
+	if VisitThreshold("NoSuchService") != 10<<10 {
+		t.Errorf("default threshold = %d", VisitThreshold("NoSuchService"))
+	}
+}
+
+func TestMemoConsistencyUnderConcurrency(t *testing.T) {
+	c := Default()
+	domains := []string{"www.netflix.com", "x.fbcdn.net", "unknown.example", "cdn.spotify.com"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				d := domains[i%len(domains)]
+				want := c.lookupSlow(d)
+				if got := c.Lookup(d); got != want {
+					t.Errorf("Lookup(%q) = %q, want %q", d, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkLookupMemoized(b *testing.B) {
+	c := Default()
+	c.Lookup("r4---sn-hpa7kn7z.googlevideo.com")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup("r4---sn-hpa7kn7z.googlevideo.com")
+	}
+}
+
+func BenchmarkLookupCold(b *testing.B) {
+	c := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.lookupSlow("r4---sn-hpa7kn7z.googlevideo.com")
+	}
+}

@@ -1,0 +1,72 @@
+package classify
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Rules-file support. The paper publishes its full domain→service list
+// as a downloadable file; operators curate it continuously (section
+// 2.3: "our team has to manually define and update rules"). The format
+// here is line-oriented and diff-friendly:
+//
+//	# comment
+//	suffix  netflix.com        Netflix
+//	suffix  nflxvideo.net      Netflix
+//	regexp  ^fbstatic-[a-z]+\.akamaihd\.net$   Facebook
+//
+// Fields are whitespace-separated; service names with spaces are not
+// supported (none exist).
+
+// ParseRules reads a rule file.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("classify: rules line %d: want 'kind pattern service', got %q", lineNo, line)
+		}
+		kind, pattern, service := fields[0], fields[1], Service(fields[2])
+		switch kind {
+		case "suffix":
+			rules = append(rules, Rule{Suffix: pattern, Service: service})
+		case "regexp":
+			rules = append(rules, Rule{Regexp: pattern, Service: service})
+		default:
+			return nil, fmt.Errorf("classify: rules line %d: unknown kind %q", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("classify: reading rules: %w", err)
+	}
+	return rules, nil
+}
+
+// WriteRules writes rules in the ParseRules format, so a curated
+// ruleset can round-trip through files.
+func WriteRules(w io.Writer, rules []Rule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# domain-to-service associations (suffix|regexp  pattern  service)")
+	for _, r := range rules {
+		var err error
+		switch {
+		case r.Suffix != "":
+			_, err = fmt.Fprintf(bw, "suffix\t%s\t%s\n", r.Suffix, r.Service)
+		case r.Regexp != "":
+			_, err = fmt.Fprintf(bw, "regexp\t%s\t%s\n", r.Regexp, r.Service)
+		}
+		if err != nil {
+			return fmt.Errorf("classify: writing rules: %w", err)
+		}
+	}
+	return bw.Flush()
+}

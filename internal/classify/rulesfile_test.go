@@ -1,0 +1,75 @@
+package classify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRules(t *testing.T) {
+	in := `
+# the Table 1 sample
+suffix	netflix.com	Netflix
+suffix  nflxvideo.net   Netflix
+
+regexp	^fbstatic-[a-z]+\.akamaihd\.net$	Facebook
+`
+	rules, err := ParseRules(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rules))
+	}
+	c, err := New(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup("www.netflix.com") != "Netflix" {
+		t.Error("suffix rule not applied")
+	}
+	if c.Lookup("fbstatic-a.akamaihd.net") != "Facebook" {
+		t.Error("regexp rule not applied")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []string{
+		"suffix netflix.com",        // missing service
+		"sufix netflix.com Netflix", // typo kind
+		"suffix a b c d",            // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ParseRules(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestRulesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRules(&buf, DefaultRules); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRules(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(DefaultRules) {
+		t.Fatalf("round trip: %d rules, want %d", len(back), len(DefaultRules))
+	}
+	// The round-tripped classifier behaves identically on a probe set.
+	orig := Default()
+	rt, err := New(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{
+		"www.netflix.com", "fbstatic-a.akamaihd.net", "r1.googlevideo.com",
+		"unknown.example.org", "scontent.cdninstagram.com", "e3.whatsapp.net",
+	} {
+		if orig.Lookup(d) != rt.Lookup(d) {
+			t.Errorf("divergence on %q: %q vs %q", d, orig.Lookup(d), rt.Lookup(d))
+		}
+	}
+}

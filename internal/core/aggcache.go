@@ -1,0 +1,89 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analytics"
+)
+
+// Persistent stage-one cache. The paper's cluster keeps per-day
+// aggregates materialised so that "advanced analytics and
+// visualizations" (stage two) iterate without touching the raw flow
+// records again (section 2.2). With a cache directory configured, a
+// pipeline does the same: each day's aggregate is written as a
+// gob-encoded, gzip-compressed file and reloaded on the next run.
+
+// aggCacheVersion invalidates old cache files when the aggregate
+// schema changes.
+const aggCacheVersion = 2
+
+// cachedAgg is the on-disk envelope.
+type cachedAgg struct {
+	Version int
+	Agg     *analytics.DayAgg
+}
+
+// aggCachePath names the cache file for a day.
+func aggCachePath(dir string, day time.Time) string {
+	return filepath.Join(dir, fmt.Sprintf("agg-%s-v%d.gob.gz", day.Format("20060102"), aggCacheVersion))
+}
+
+// loadAgg reads a cached aggregate, returning nil when absent or
+// unusable (a stale or damaged cache is recomputed, never trusted).
+func loadAgg(dir string, day time.Time) *analytics.DayAgg {
+	f, err := os.Open(aggCachePath(dir, day))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil
+	}
+	defer gz.Close()
+	var env cachedAgg
+	if err := gob.NewDecoder(gz).Decode(&env); err != nil {
+		return nil
+	}
+	if env.Version != aggCacheVersion || env.Agg == nil || !env.Agg.Day.Equal(day) {
+		return nil
+	}
+	return env.Agg
+}
+
+// saveAgg writes an aggregate to the cache. Failures are returned so
+// callers can surface them; a full disk should not pass silently.
+func saveAgg(dir string, agg *analytics.DayAgg) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: aggregate cache: %w", err)
+	}
+	path := aggCachePath(dir, agg.Day)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: aggregate cache: %w", err)
+	}
+	gz := gzip.NewWriter(f)
+	err = gob.NewEncoder(gz).Encode(cachedAgg{Version: aggCacheVersion, Agg: agg})
+	if cerr := gz.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: aggregate cache: %w", err)
+	}
+	// Atomic publish: readers never see half a file.
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: aggregate cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+)
+
+// Paper-claims regression suite: each headline event of the evaluation,
+// asserted against *measured* pipeline output at reduced scale. If a
+// model or pipeline change breaks a paper claim, one of these fails.
+
+// claimsPipeline is shared across the claims tests (the day cache makes
+// that cheap).
+var claimsPipeline = New(Config{
+	Seed:    2,
+	Scale:   simnet.Scale{ADSL: 48, FTTH: 24},
+	Workers: 4,
+})
+
+// monthShare aggregates one month and returns the protocol share map.
+func monthShare(t *testing.T, year int, month time.Month) map[flowrec.WebProto]float64 {
+	t.Helper()
+	days := MonthDays(year, month)
+	// Thin the month to every 3rd day: shares are ratios, sampling is
+	// harmless, and the suite stays fast.
+	var sampled []time.Time
+	for i := 0; i < len(days); i += 3 {
+		sampled = append(sampled, days[i])
+	}
+	aggs, err := claimsPipeline.Aggregate(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := analytics.ProtocolShares(aggs)
+	if len(shares) != 1 {
+		t.Fatalf("months = %d", len(shares))
+	}
+	return shares[0].SharePct
+}
+
+func TestClaimEventA_YouTubeHTTPSMigration(t *testing.T) {
+	before := monthShare(t, 2013, time.October)
+	after := monthShare(t, 2015, time.April)
+	if before[flowrec.WebHTTP] < 65 {
+		t.Errorf("2013-10 HTTP share = %.1f, want clear majority", before[flowrec.WebHTTP])
+	}
+	if after[flowrec.WebHTTP] > 45 {
+		t.Errorf("2015-04 HTTP share = %.1f, want the migration done", after[flowrec.WebHTTP])
+	}
+	if after[flowrec.WebTLS]+after[flowrec.WebSPDY] < 40 {
+		t.Errorf("2015-04 encrypted share = %.1f, want >= 40",
+			after[flowrec.WebTLS]+after[flowrec.WebSPDY])
+	}
+}
+
+func TestClaimEventB_QUICAppears(t *testing.T) {
+	if s := monthShare(t, 2014, time.September)[flowrec.WebQUIC]; s > 0 {
+		t.Errorf("QUIC before its deployment: %.2f%%", s)
+	}
+	if s := monthShare(t, 2015, time.June)[flowrec.WebQUIC]; s < 2 {
+		t.Errorf("mid-2015 QUIC share = %.2f%%, want growth", s)
+	}
+}
+
+func TestClaimEventC_SPDYVisibility(t *testing.T) {
+	// Before the June 2015 probe update SPDY hides inside TLS.
+	if s := monthShare(t, 2015, time.April)[flowrec.WebSPDY]; s != 0 {
+		t.Errorf("SPDY visible before the probe update: %.2f%%", s)
+	}
+	s := monthShare(t, 2015, time.September)[flowrec.WebSPDY]
+	if s < 5 || s > 20 {
+		t.Errorf("2015-09 SPDY share = %.2f%%, paper ~10%%", s)
+	}
+}
+
+func TestClaimEventD_QUICOutage(t *testing.T) {
+	nov := monthShare(t, 2015, time.November)[flowrec.WebQUIC]
+	dec := monthShare(t, 2015, time.December)[flowrec.WebQUIC]
+	feb := monthShare(t, 2016, time.February)[flowrec.WebQUIC]
+	if nov < 5 {
+		t.Errorf("2015-11 QUIC = %.2f%%, want ~8-10%%", nov)
+	}
+	// December's monthly mean keeps a sliver from Dec 1-4, before the
+	// shutdown; the collapse must still be unmistakable.
+	if dec > nov/2 {
+		t.Errorf("2015-12 QUIC = %.2f%% vs 2015-11 %.2f%%: no visible outage", dec, nov)
+	}
+	// Mid-outage, QUIC is literally gone.
+	aggs, err := claimsPipeline.Aggregate([]time.Time{date(2015, time.December, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := analytics.ProtocolShares(aggs)[0].SharePct[flowrec.WebQUIC]; s != 0 {
+		t.Errorf("2015-12-20 QUIC = %.2f%%, want exactly 0", s)
+	}
+	if feb < 5 {
+		t.Errorf("2016-02 QUIC = %.2f%%, want the comeback", feb)
+	}
+}
+
+func TestClaimEventE_SPDYToHTTP2(t *testing.T) {
+	jan := monthShare(t, 2016, time.January)
+	aug := monthShare(t, 2016, time.August)
+	if jan[flowrec.WebSPDY] < 5 || jan[flowrec.WebHTTP2] > 1 {
+		t.Errorf("2016-01: SPDY %.1f / H2 %.1f, want SPDY era", jan[flowrec.WebSPDY], jan[flowrec.WebHTTP2])
+	}
+	if aug[flowrec.WebSPDY] > 1 || aug[flowrec.WebHTTP2] < 3 {
+		t.Errorf("2016-08: SPDY %.1f / H2 %.1f, want the handover done", aug[flowrec.WebSPDY], aug[flowrec.WebHTTP2])
+	}
+}
+
+func TestClaimEventF_FBZero(t *testing.T) {
+	oct := monthShare(t, 2016, time.October)[flowrec.WebFBZero]
+	dec := monthShare(t, 2016, time.December)[flowrec.WebFBZero]
+	if oct != 0 {
+		t.Errorf("Zero before deployment: %.2f%%", oct)
+	}
+	if dec < 4 || dec > 14 {
+		t.Errorf("2016-12 Zero share = %.2f%%, paper ~8%%", dec)
+	}
+}
+
+func TestClaimEndState2017(t *testing.T) {
+	end := monthShare(t, 2017, time.November)
+	if end[flowrec.WebHTTP] < 15 || end[flowrec.WebHTTP] > 35 {
+		t.Errorf("end-2017 HTTP = %.1f%%, paper ~25%%", end[flowrec.WebHTTP])
+	}
+	newProtos := end[flowrec.WebQUIC] + end[flowrec.WebFBZero]
+	if newProtos < 14 || newProtos > 32 {
+		t.Errorf("end-2017 QUIC+Zero = %.1f%%, paper 20-25%%", newProtos)
+	}
+}
+
+func TestClaimTrafficDoubled(t *testing.T) {
+	mean := func(year int) float64 {
+		days := []time.Time{
+			date(year, time.April, 5), date(year, time.April, 12),
+			date(year, time.April, 19), date(year, time.April, 26),
+		}
+		aggs, err := claimsPipeline.Aggregate(days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := analytics.MonthlySeries(aggs)
+		return ms[0].Mean[0][analytics.Down]
+	}
+	ratio := mean(2017) / mean(2014)
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Errorf("2017/2014 download ratio = %.2f, paper ~2", ratio)
+	}
+}
+
+func TestClaimSubMillisecondYouTube(t *testing.T) {
+	aggs, err := claimsPipeline.Aggregate([]time.Time{
+		date(2017, time.April, 5), date(2017, time.April, 12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := analytics.RTTDist(aggs, "YouTube")
+	if dist.N() == 0 {
+		t.Fatal("no YouTube RTT samples")
+	}
+	if p := dist.P(1); p < 0.3 {
+		t.Errorf("2017 YouTube P(RTT<=1ms) = %.2f, want the in-PoP cache", p)
+	}
+	// And Google search did not reach sub-ms (the paper's contrast).
+	goog := analytics.RTTDist(aggs, "Google")
+	if p := goog.P(1); p > 0.05 {
+		t.Errorf("Google search sub-ms share = %.2f, want ~0", p)
+	}
+}
+
+func TestClaimWhatsAppCentralised(t *testing.T) {
+	aggs, err := claimsPipeline.Aggregate([]time.Time{date(2017, time.April, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := analytics.RTTDist(aggs, "WhatsApp")
+	if dist.N() == 0 {
+		t.Fatal("no WhatsApp RTT samples")
+	}
+	if p := dist.P(50); p > 0.05 {
+		t.Errorf("WhatsApp P(RTT<=50ms) = %.2f, want centralised ~100ms servers", p)
+	}
+}

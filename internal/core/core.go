@@ -1,0 +1,238 @@
+// Package core ties the reproduction together: it wires the simulated
+// ISP (the dataset substitute), the probe, the flow store, the
+// classifier and the analytics into a Pipeline, and exposes the
+// experiment registry — one entry per table and figure of the paper —
+// that cmd/edgereport, the benchmarks and the examples all share.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/asn"
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+)
+
+// Config parameterises a Pipeline.
+type Config struct {
+	// Seed drives the simulation; equal seeds give identical datasets.
+	Seed uint64
+	// Scale sets the subscriber population (zero fields use defaults).
+	Scale simnet.Scale
+	// Stride is the day-sampling stride for full-span experiments:
+	// 1 processes every day of the 54 months, 7 (the default) one day
+	// per week.
+	Stride int
+	// Workers bounds stage-one parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Store, when set, reads flow records from an on-disk lake
+	// instead of generating them on the fly. Days missing from the
+	// store are treated as probe outages.
+	Store *flowrec.Store
+	// Classifier overrides the built-in domain→service rules (for
+	// curated rule files loaded with classify.ParseRules). Nil means
+	// classify.Default().
+	Classifier *classify.Classifier
+	// AggCacheDir, when set, persists per-day aggregates to disk (gob
+	// + gzip) so later runs skip stage one for days already reduced —
+	// the materialised-aggregate workflow of section 2.2.
+	AggCacheDir string
+}
+
+// Pipeline is the assembled system.
+type Pipeline struct {
+	cfg   Config
+	World *simnet.World
+	Cls   *classify.Classifier
+	RIBs  *asn.RIBSet
+
+	mu    sync.Mutex
+	cache map[time.Time]*analytics.DayAgg
+}
+
+// New assembles a pipeline.
+func New(cfg Config) *Pipeline {
+	if cfg.Stride <= 0 {
+		cfg.Stride = 7
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	w := simnet.NewWorld(cfg.Seed, cfg.Scale)
+	cls := cfg.Classifier
+	if cls == nil {
+		cls = classify.Default()
+	}
+	return &Pipeline{
+		cfg:   cfg,
+		World: w,
+		Cls:   cls,
+		RIBs:  w.RIBs(),
+		cache: make(map[time.Time]*analytics.DayAgg),
+	}
+}
+
+// Stride returns the configured day-sampling stride.
+func (p *Pipeline) Stride() int { return p.cfg.Stride }
+
+// Source returns the record source experiments aggregate from: the
+// store when configured, the simulation world otherwise.
+func (p *Pipeline) Source() analytics.Source {
+	if p.cfg.Store != nil {
+		return analytics.StoreSource{Store: p.cfg.Store}
+	}
+	return analytics.FuncSource(func(day time.Time, fn func(*flowrec.Record)) error {
+		p.World.EmitDay(day, fn)
+		return nil
+	})
+}
+
+// Aggregate runs stage one for the given days, serving repeated days
+// from an in-memory cache so experiments sharing windows (Figures 2,
+// 4 and 10 all want April 2014/2017) pay once.
+func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
+	var missing []time.Time
+	p.mu.Lock()
+	for _, d := range days {
+		if _, ok := p.cache[d]; !ok {
+			p.cache[d] = nil // reserve
+			missing = append(missing, d)
+		}
+	}
+	p.mu.Unlock()
+
+	// Disk cache: days reduced by an earlier run load directly.
+	if p.cfg.AggCacheDir != "" && len(missing) > 0 {
+		still := missing[:0]
+		for _, d := range missing {
+			if agg := loadAgg(p.cfg.AggCacheDir, d); agg != nil {
+				p.mu.Lock()
+				p.cache[d] = agg
+				p.mu.Unlock()
+				continue
+			}
+			still = append(still, d)
+		}
+		missing = still
+	}
+
+	if len(missing) > 0 {
+		aggs, err := analytics.Run(p.Source(), missing, p.Cls, p.cfg.Workers)
+		if err != nil {
+			// Un-reserve, or a retry would mistake these days for
+			// permanent outages and silently skip them.
+			p.mu.Lock()
+			for _, d := range missing {
+				if p.cache[d] == nil {
+					delete(p.cache, d)
+				}
+			}
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.mu.Lock()
+		for _, a := range aggs {
+			p.cache[a.Day] = a
+		}
+		p.mu.Unlock()
+		if p.cfg.AggCacheDir != "" {
+			for _, a := range aggs {
+				if err := saveAgg(p.cfg.AggCacheDir, a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	out := make([]*analytics.DayAgg, 0, len(days))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range days {
+		if a := p.cache[d]; a != nil {
+			out = append(out, a)
+		}
+		// nil entries are outages (store gaps): skipped, like the
+		// paper's plots skip probe-down periods.
+	}
+	return out, nil
+}
+
+// GenerateStore materialises the given days of the simulation into an
+// on-disk flow store — the "copy logs to long-term storage" step. It
+// parallelises across days and reports total records written.
+func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64, error) {
+	var total uint64
+	var mu sync.Mutex
+	sem := make(chan struct{}, p.cfg.Workers)
+	errs := make(chan error, len(days))
+	var wg sync.WaitGroup
+	for _, day := range days {
+		wg.Add(1)
+		go func(day time.Time) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w, err := store.CreateDay(day)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var werr error
+			p.World.EmitDay(day, func(r *flowrec.Record) {
+				if werr == nil {
+					werr = w.Write(r)
+				}
+			})
+			n := w.Count()
+			if cerr := w.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				errs <- fmt.Errorf("core: generating %s: %w", day.Format("2006-01-02"), werr)
+				return
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(day)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// SpanDays returns the experiment's full-span sample under the
+// configured stride.
+func (p *Pipeline) SpanDays() []time.Time { return simnet.Days(p.cfg.Stride) }
+
+// MonthDays lists every day of one month.
+func MonthDays(year int, month time.Month) []time.Time {
+	start := time.Date(year, month, 1, 0, 0, 0, 0, time.UTC)
+	var out []time.Time
+	for d := start; d.Month() == month; d = d.AddDate(0, 0, 1) {
+		out = append(out, d)
+	}
+	return out
+}
+
+// RangeDays lists days from start to end inclusive with a stride.
+func RangeDays(start, end time.Time, stride int) []time.Time {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []time.Time
+	for d := start; !d.After(end); d = d.AddDate(0, 0, stride) {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestExportData(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 10, FTTH: 5}, Stride: 180, Workers: 4})
+	if err := p.ExportData(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig3_monthly.csv", "fig5_popularity.csv", "fig5_byteshare.csv",
+		"fig6_7_services.csv", "fig8_protocols.csv", "active.csv",
+	}
+	for _, name := range want {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows", name, len(rows))
+		}
+	}
+
+	// Spot-check fig8: per-month shares sum to ~100 (or 0 for months
+	// before the web existed in the sample — there are none).
+	f, err := os.Open(filepath.Join(dir, "fig8_protocols.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make(map[string]float64)
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad share %q: %v", row[2], err)
+		}
+		sums[row[0]] += v
+	}
+	for month, sum := range sums {
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: protocol shares sum to %.2f", month, sum)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+)
+
+// flakySource fails its first call, then delegates to the world.
+type flakySource struct {
+	fails int
+	world *simnet.World
+}
+
+func (f *flakySource) Records(day time.Time, fn func(*flowrec.Record)) error {
+	if f.fails > 0 {
+		f.fails--
+		return errors.New("transient storage failure")
+	}
+	f.world.EmitDay(day, fn)
+	return nil
+}
+
+func TestAggregateRetriesAfterError(t *testing.T) {
+	p := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 8, FTTH: 4}, Workers: 1})
+	src := &flakySource{fails: 1, world: p.World}
+	day := time.Date(2016, 4, 9, 0, 0, 0, 0, time.UTC)
+
+	// Drive Aggregate's internals through a source shim: swap the
+	// pipeline's source by using the store-free path but injecting the
+	// failure through analytics.Run directly.
+	_, err := analytics.Run(src, []time.Time{day}, p.Cls, 1)
+	if err == nil {
+		t.Fatal("flaky source did not fail")
+	}
+
+	// The pipeline-level behaviour: an error must not poison the day
+	// cache. Simulate by reserving through a failed call.
+	failing := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 8, FTTH: 4}, Workers: 1,
+		Store: brokenStore(t)})
+	if _, err := failing.Aggregate([]time.Time{day}); err == nil {
+		t.Fatal("broken store did not error")
+	}
+	// Retrying after the failure yields the day (from a fixed store —
+	// here we just switch to the simulation source via a new pipeline
+	// sharing the same cache is not possible, so assert the cache was
+	// cleaned: a second failing call still reports the error rather
+	// than silently returning zero aggregates).
+	if _, err := failing.Aggregate([]time.Time{day}); err == nil {
+		t.Fatal("second call silently swallowed the failure (poisoned cache)")
+	}
+}
+
+// brokenStore returns a store whose day file exists but is corrupt, so
+// reads fail with a real error (not ErrNoDay).
+func brokenStore(t *testing.T) *flowrec.Store {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := flowrec.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2016, 4, 9, 0, 0, 0, 0, time.UTC)
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flowrec.Record{Start: day.Add(time.Hour), Proto: flowrec.ProtoTCP}
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the gzip mid-stream.
+	path := dir + "/2016/04/flows-20160409.efl.gz"
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, data[:len(data)-4]); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func readFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,187 @@
+// Package btx recognises peer-to-peer file-sharing traffic: the
+// BitTorrent TCP handshake (with info-hash and extension bits), the
+// uTP transport header, bencoded DHT datagrams, and the eMule/ed2k
+// UDP framing. Together these are the "Bittorrent, eMule and variants"
+// of the paper's Peer-To-Peer class (section 4.2).
+package btx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// protocolString is the BitTorrent wire identifier.
+const protocolString = "BitTorrent protocol"
+
+// HandshakeLen is the fixed BitTorrent handshake length.
+const HandshakeLen = 1 + len(protocolString) + 8 + 20 + 20
+
+// Errors returned by the parser.
+var (
+	ErrNotBitTorrent = errors.New("btx: not a BitTorrent handshake")
+	ErrTruncated     = errors.New("btx: truncated handshake")
+)
+
+// Handshake is a parsed BitTorrent handshake.
+type Handshake struct {
+	Reserved [8]byte
+	InfoHash [20]byte
+	PeerID   [20]byte
+}
+
+// Reserved-bit capabilities (observed from the least significant end
+// of the reserved block, per BEP conventions).
+const (
+	capDHT      = 0x01 // reserved[7] bit 0: BEP 5, DHT
+	capExtProto = 0x10 // reserved[5] bit 4: BEP 10, extension protocol
+	capFast     = 0x04 // reserved[7] bit 2: BEP 6, fast extension
+)
+
+// SupportsDHT reports the DHT reserved bit.
+func (h *Handshake) SupportsDHT() bool { return h.Reserved[7]&capDHT != 0 }
+
+// SupportsExtensions reports the BEP 10 reserved bit.
+func (h *Handshake) SupportsExtensions() bool { return h.Reserved[5]&capExtProto != 0 }
+
+// SupportsFast reports the fast-extension reserved bit.
+func (h *Handshake) SupportsFast() bool { return h.Reserved[7]&capFast != 0 }
+
+// SniffHandshake reports whether data plausibly begins a BitTorrent
+// handshake (enough for flow labelling on truncated captures).
+func SniffHandshake(data []byte) bool {
+	if len(data) < 1+len(protocolString) {
+		return false
+	}
+	return data[0] == 19 && string(data[1:1+len(protocolString)]) == protocolString
+}
+
+// ParseHandshake parses a complete handshake.
+func ParseHandshake(data []byte) (*Handshake, error) {
+	if !SniffHandshake(data) {
+		return nil, ErrNotBitTorrent
+	}
+	if len(data) < HandshakeLen {
+		return nil, fmt.Errorf("%w: %d of %d bytes", ErrTruncated, len(data), HandshakeLen)
+	}
+	h := &Handshake{}
+	off := 1 + len(protocolString)
+	copy(h.Reserved[:], data[off:off+8])
+	copy(h.InfoHash[:], data[off+8:off+28])
+	copy(h.PeerID[:], data[off+28:off+48])
+	return h, nil
+}
+
+// AppendHandshake builds a handshake announcing DHT + extension
+// support, for the traffic simulator.
+func AppendHandshake(dst []byte, infoHash, peerID [20]byte) []byte {
+	dst = append(dst, 19)
+	dst = append(dst, protocolString...)
+	var reserved [8]byte
+	reserved[5] |= capExtProto
+	reserved[7] |= capDHT | capFast
+	dst = append(dst, reserved[:]...)
+	dst = append(dst, infoHash[:]...)
+	return append(dst, peerID[:]...)
+}
+
+// --- UDP dialects ----------------------------------------------------------
+
+// UDPKind labels what a P2P UDP datagram is.
+type UDPKind uint8
+
+// UDP dialects.
+const (
+	UDPNone  UDPKind = iota
+	UDPuTP           // BEP 29 micro transport protocol
+	UDPDHT           // bencoded Kademlia RPC
+	UDPeMule         // ed2k/KAD framing (0xE3 / 0xC5 opcodes)
+)
+
+// String names the dialect.
+func (k UDPKind) String() string {
+	switch k {
+	case UDPuTP:
+		return "utp"
+	case UDPDHT:
+		return "dht"
+	case UDPeMule:
+		return "emule"
+	default:
+		return "none"
+	}
+}
+
+// utp header: type (4 bits) | version (4 bits), extension, conn id,
+// timestamps, wnd, seq, ack — 20 bytes. Version is always 1; types
+// run 0 (data) through 4 (syn).
+const utpHeaderLen = 20
+
+// ClassifyUDP identifies the P2P dialect of a UDP payload, or UDPNone.
+// Port is the server-side port; well-known service ports never carry
+// P2P (the QUIC/DNS parsers own them).
+func ClassifyUDP(payload []byte, port uint16) UDPKind {
+	if port < 1024 {
+		return UDPNone
+	}
+	switch {
+	case isDHT(payload):
+		return UDPDHT
+	case isUTP(payload):
+		return UDPuTP
+	case iseMule(payload):
+		return UDPeMule
+	default:
+		return UDPNone
+	}
+}
+
+// isDHT matches the bencoded dictionary a mainline-DHT RPC starts
+// with: "d1:" (e.g. d1:ad2:id20:...) or "d2:" variants.
+func isDHT(p []byte) bool {
+	if len(p) < 4 || p[0] != 'd' {
+		return false
+	}
+	return (p[1] == '1' || p[1] == '2') && p[2] == ':' ||
+		bytes.HasPrefix(p, []byte("d4:"))
+}
+
+// isUTP validates a uTP header: known type, version 1, sane extension.
+func isUTP(p []byte) bool {
+	if len(p) < utpHeaderLen {
+		return false
+	}
+	typ, ver := p[0]>>4, p[0]&0x0F
+	if ver != 1 || typ > 4 {
+		return false
+	}
+	ext := p[1]
+	return ext == 0 || ext == 1 || ext == 2
+}
+
+// iseMule matches the ed2k/KAD UDP opcodes.
+func iseMule(p []byte) bool {
+	if len(p) < 2 {
+		return false
+	}
+	return p[0] == 0xE3 || p[0] == 0xC5 || p[0] == 0xD4
+}
+
+// AppendUTPSyn builds a uTP ST_SYN datagram for the simulator.
+func AppendUTPSyn(dst []byte, connID uint16, tsMicros uint32) []byte {
+	var hdr [utpHeaderLen]byte
+	hdr[0] = 4<<4 | 1 // ST_SYN, version 1
+	binary.BigEndian.PutUint16(hdr[2:4], connID)
+	binary.BigEndian.PutUint32(hdr[4:8], tsMicros)
+	binary.BigEndian.PutUint32(hdr[12:16], 0x00040000) // wnd
+	binary.BigEndian.PutUint16(hdr[16:18], 1)          // seq
+	return append(dst, hdr[:]...)
+}
+
+// AppendDHTPing builds a mainline-DHT ping query.
+func AppendDHTPing(dst []byte, nodeID [20]byte) []byte {
+	dst = append(dst, "d1:ad2:id20:"...)
+	dst = append(dst, nodeID[:]...)
+	return append(dst, "e1:q4:ping1:t2:aa1:y1:qe"...)
+}

@@ -1,0 +1,128 @@
+package btx
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func ids() (ih, pid [20]byte) {
+	for i := range ih {
+		ih[i] = byte(i)
+		pid[i] = byte(0x40 + i)
+	}
+	return
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	ih, pid := ids()
+	raw := AppendHandshake(nil, ih, pid)
+	if len(raw) != HandshakeLen {
+		t.Fatalf("handshake = %d bytes, want %d", len(raw), HandshakeLen)
+	}
+	if !SniffHandshake(raw) {
+		t.Fatal("Sniff rejected own handshake")
+	}
+	h, err := ParseHandshake(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.InfoHash != ih || h.PeerID != pid {
+		t.Errorf("ids corrupted: %x / %x", h.InfoHash, h.PeerID)
+	}
+	if !h.SupportsDHT() || !h.SupportsExtensions() || !h.SupportsFast() {
+		t.Errorf("capability bits lost: %x", h.Reserved)
+	}
+}
+
+func TestHandshakeTruncated(t *testing.T) {
+	ih, pid := ids()
+	raw := AppendHandshake(nil, ih, pid)
+	if _, err := ParseHandshake(raw[:30]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+	// Sniffable prefix, though.
+	if !SniffHandshake(raw[:25]) {
+		t.Error("Sniff should work on a labelled prefix")
+	}
+}
+
+func TestHandshakeRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("GET / HTTP/1.1\r\n"),
+		append([]byte{18}, []byte("BitTorrent protocol")...), // wrong length byte
+		[]byte{19, 'B', 'i', 't'},
+	}
+	for i, c := range cases {
+		if SniffHandshake(c) {
+			t.Errorf("case %d sniffed", i)
+		}
+		if _, err := ParseHandshake(c); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}
+
+func TestClassifyUDP(t *testing.T) {
+	var nid [20]byte
+	cases := []struct {
+		name string
+		data []byte
+		port uint16
+		want UDPKind
+	}{
+		{"dht ping", AppendDHTPing(nil, nid), 6881, UDPDHT},
+		{"utp syn", AppendUTPSyn(nil, 7, 1000), 51413, UDPuTP},
+		{"emule", []byte{0xE3, 0x96, 1, 2, 3}, 4672, UDPeMule},
+		{"kad2", []byte{0xC5, 0x01, 1, 2, 3}, 4672, UDPeMule},
+		{"dns-ish on 53", AppendDHTPing(nil, nid), 53, UDPNone},
+		{"ntp", append([]byte{0x1B}, make([]byte, 47)...), 123, UDPNone},
+		{"random", []byte{0x99, 0x88, 0x77}, 40000, UDPNone},
+		{"short", []byte{0xE3}, 4672, UDPNone},
+	}
+	for _, c := range cases {
+		if got := ClassifyUDP(c.data, c.port); got != c.want {
+			t.Errorf("%s: ClassifyUDP = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestUTPValidation(t *testing.T) {
+	syn := AppendUTPSyn(nil, 1, 2)
+	if !isUTP(syn) {
+		t.Fatal("own SYN rejected")
+	}
+	bad := append([]byte(nil), syn...)
+	bad[0] = 5<<4 | 1 // unknown type
+	if isUTP(bad) {
+		t.Error("type 5 accepted")
+	}
+	bad[0] = 4<<4 | 2 // wrong version
+	if isUTP(bad) {
+		t.Error("version 2 accepted")
+	}
+	if isUTP(syn[:10]) {
+		t.Error("short header accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[UDPKind]string{UDPuTP: "utp", UDPDHT: "dht", UDPeMule: "emule", UDPNone: "none"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFuzzNoPanic(t *testing.T) {
+	f := func(data []byte, port uint16) bool {
+		SniffHandshake(data)
+		ParseHandshake(data)
+		ClassifyUDP(data, port)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package dnsx implements the subset of the DNS wire format an edge
+// probe needs: encoding queries and responses for A/AAAA/CNAME records,
+// and decoding them back, including RFC 1035 name compression. The
+// probe uses it to feed DN-Hunter — the DNS-based server-name
+// annotation mechanism described in section 2.1 of the paper — and the
+// traffic simulator uses it to synthesise resolver traffic.
+package dnsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Record types understood by this package.
+const (
+	TypeA     uint16 = 1
+	TypeCNAME uint16 = 5
+	TypeAAAA  uint16 = 28
+)
+
+// ClassIN is the Internet class, the only one in real traffic.
+const ClassIN uint16 = 1
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated = errors.New("dnsx: truncated message")
+	ErrMalformed = errors.New("dnsx: malformed message")
+)
+
+// maxNameLen bounds an encoded domain name per RFC 1035.
+const maxNameLen = 255
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Answer is a DNS resource record from the answer section. Data holds
+// the IPv4 address for TypeA, the target name for TypeCNAME.
+type Answer struct {
+	Name string
+	Type uint16
+	TTL  uint32
+	IP   [4]byte // valid when Type == TypeA
+	Data string  // valid when Type == TypeCNAME
+}
+
+// Message is a decoded DNS message (only the sections the probe uses).
+type Message struct {
+	ID        uint16
+	Response  bool
+	RCode     uint8
+	Questions []Question
+	Answers   []Answer
+}
+
+// header flag bits.
+const (
+	flagQR uint16 = 1 << 15
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+)
+
+// AppendQuery encodes a standard recursive query for an A record of
+// name and appends it to dst.
+func AppendQuery(dst []byte, id uint16, name string) ([]byte, error) {
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:2], id)
+	binary.BigEndian.PutUint16(hdr[2:4], flagRD)
+	binary.BigEndian.PutUint16(hdr[4:6], 1) // QDCOUNT
+	dst = append(dst, hdr[:]...)
+	var err error
+	dst, err = appendName(dst, name)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint16(dst, TypeA)
+	dst = binary.BigEndian.AppendUint16(dst, ClassIN)
+	return dst, nil
+}
+
+// AppendResponse encodes a response to a query for name, answering
+// with a single A record holding ip, and appends it to dst. The
+// question is echoed, and the answer name uses a compression pointer
+// to it, as real resolvers do.
+func AppendResponse(dst []byte, id uint16, name string, ip [4]byte, ttl uint32) ([]byte, error) {
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:2], id)
+	binary.BigEndian.PutUint16(hdr[2:4], flagQR|flagRD|flagRA)
+	binary.BigEndian.PutUint16(hdr[4:6], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(hdr[6:8], 1) // ANCOUNT
+	base := len(dst)
+	dst = append(dst, hdr[:]...)
+	nameOff := len(dst) - base
+	var err error
+	dst, err = appendName(dst, name)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint16(dst, TypeA)
+	dst = binary.BigEndian.AppendUint16(dst, ClassIN)
+	// Answer: pointer to the question name.
+	dst = binary.BigEndian.AppendUint16(dst, 0xC000|uint16(nameOff))
+	dst = binary.BigEndian.AppendUint16(dst, TypeA)
+	dst = binary.BigEndian.AppendUint16(dst, ClassIN)
+	dst = binary.BigEndian.AppendUint32(dst, ttl)
+	dst = binary.BigEndian.AppendUint16(dst, 4)
+	dst = append(dst, ip[:]...)
+	return dst, nil
+}
+
+// appendName encodes name in DNS label format.
+func appendName(dst []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(dst, 0), nil
+	}
+	if len(name)+2 > maxNameLen {
+		return nil, fmt.Errorf("dnsx: name %q too long: %w", name, ErrMalformed)
+	}
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > 63 {
+			return nil, fmt.Errorf("dnsx: bad label %q in %q: %w", label, name, ErrMalformed)
+		}
+		dst = append(dst, byte(len(label)))
+		dst = append(dst, label...)
+	}
+	return append(dst, 0), nil
+}
+
+// Decode parses a DNS message. It is tolerant of trailing sections it
+// does not understand (NS/AR records are skipped by count accounting
+// only when parseable; otherwise decoding stops after the answers).
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("dnsx: message %d bytes: %w", len(data), ErrTruncated)
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&flagQR != 0
+	m.RCode = uint8(flags & 0x000f)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	if qd > 32 || an > 256 {
+		return nil, fmt.Errorf("dnsx: implausible counts qd=%d an=%d: %w", qd, an, ErrMalformed)
+	}
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("dnsx: question %d: %w", i, ErrTruncated)
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+10 > len(data) {
+			return nil, fmt.Errorf("dnsx: answer %d header: %w", i, ErrTruncated)
+		}
+		a := Answer{Name: name}
+		a.Type = binary.BigEndian.Uint16(data[off : off+2])
+		a.TTL = binary.BigEndian.Uint32(data[off+4 : off+8])
+		rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(data) {
+			return nil, fmt.Errorf("dnsx: answer %d rdata: %w", i, ErrTruncated)
+		}
+		switch a.Type {
+		case TypeA:
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dnsx: A record rdlength %d: %w", rdlen, ErrMalformed)
+			}
+			copy(a.IP[:], data[off:off+4])
+		case TypeCNAME:
+			target, _, err := decodeName(data, off)
+			if err != nil {
+				return nil, err
+			}
+			a.Data = target
+		}
+		off += rdlen
+		m.Answers = append(m.Answers, a)
+	}
+	return m, nil
+}
+
+// decodeName parses a possibly-compressed name starting at off,
+// returning the dotted name and the offset just past it in the
+// uncompressed stream.
+func decodeName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	end := -1 // where parsing resumes after the first pointer
+	hops := 0
+	for {
+		if off >= len(data) {
+			return "", 0, fmt.Errorf("dnsx: name runs past message: %w", ErrTruncated)
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if end == -1 {
+				end = off + 1
+			}
+			return sb.String(), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(data) {
+				return "", 0, fmt.Errorf("dnsx: pointer at end of message: %w", ErrTruncated)
+			}
+			if end == -1 {
+				end = off + 2
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:off+2]) & 0x3FFF)
+			if ptr >= off {
+				return "", 0, fmt.Errorf("dnsx: forward compression pointer: %w", ErrMalformed)
+			}
+			hops++
+			if hops > 16 {
+				return "", 0, fmt.Errorf("dnsx: compression pointer loop: %w", ErrMalformed)
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnsx: reserved label type %#x: %w", b&0xC0, ErrMalformed)
+		default:
+			l := int(b)
+			if off+1+l > len(data) {
+				return "", 0, fmt.Errorf("dnsx: label overruns message: %w", ErrTruncated)
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(data[off+1 : off+1+l])
+			if sb.Len() > maxNameLen {
+				return "", 0, fmt.Errorf("dnsx: name too long: %w", ErrMalformed)
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// QueryName returns the name of the first question, or "".
+func (m *Message) QueryName() string {
+	if len(m.Questions) == 0 {
+		return ""
+	}
+	return m.Questions[0].Name
+}
+
+// ARecords returns every (name, ip) pair answered with an A record,
+// resolving CNAME chains so the returned name is the one the client
+// asked for whenever the chain is complete.
+func (m *Message) ARecords() []Answer {
+	// Map CNAME target -> queried alias (reverse chain).
+	alias := make(map[string]string)
+	for _, a := range m.Answers {
+		if a.Type == TypeCNAME {
+			alias[a.Data] = a.Name
+		}
+	}
+	var out []Answer
+	for _, a := range m.Answers {
+		if a.Type != TypeA {
+			continue
+		}
+		name := a.Name
+		for i := 0; i < 16; i++ { // bounded chain walk
+			from, ok := alias[name]
+			if !ok {
+				break
+			}
+			name = from
+		}
+		out = append(out, Answer{Name: name, Type: TypeA, TTL: a.TTL, IP: a.IP})
+	}
+	return out
+}

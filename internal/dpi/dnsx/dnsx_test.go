@@ -1,0 +1,192 @@
+package dnsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	buf, err := AppendQuery(nil, 0x1234, "www.netflix.com")
+	if err != nil {
+		t.Fatalf("AppendQuery: %v", err)
+	}
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m.ID != 0x1234 {
+		t.Errorf("ID = %#x, want 0x1234", m.ID)
+	}
+	if m.Response {
+		t.Error("query decoded as response")
+	}
+	if got := m.QueryName(); got != "www.netflix.com" {
+		t.Errorf("QueryName = %q", got)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Type != TypeA || m.Questions[0].Class != ClassIN {
+		t.Errorf("question = %+v", m.Questions)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	ip := [4]byte{198, 38, 120, 10}
+	buf, err := AppendResponse(nil, 7, "nflxvideo.net", ip, 300)
+	if err != nil {
+		t.Fatalf("AppendResponse: %v", err)
+	}
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !m.Response {
+		t.Error("response decoded as query")
+	}
+	if len(m.Answers) != 1 {
+		t.Fatalf("answers = %d, want 1", len(m.Answers))
+	}
+	a := m.Answers[0]
+	if a.Name != "nflxvideo.net" {
+		t.Errorf("answer name = %q (compression pointer decode)", a.Name)
+	}
+	if a.IP != ip {
+		t.Errorf("answer IP = %v, want %v", a.IP, ip)
+	}
+	if a.TTL != 300 {
+		t.Errorf("TTL = %d, want 300", a.TTL)
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	// Any well-formed name (labels of [a-z0-9]{1..20}) survives a
+	// query round trip.
+	f := func(seed uint32, depth uint8) bool {
+		n := int(depth%5) + 1
+		labels := make([]string, n)
+		r := seed
+		for i := range labels {
+			r = r*1664525 + 1013904223
+			l := int(r%19) + 1
+			b := make([]byte, l)
+			for j := range b {
+				r = r*1664525 + 1013904223
+				b[j] = "abcdefghijklmnopqrstuvwxyz0123456789"[r%36]
+			}
+			labels[i] = string(b)
+		}
+		name := strings.Join(labels, ".")
+		buf, err := AppendQuery(nil, 1, name)
+		if err != nil {
+			return false
+		}
+		m, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return m.QueryName() == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectsBadLabels(t *testing.T) {
+	if _, err := AppendQuery(nil, 1, "bad..name"); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty label: err = %v, want ErrMalformed", err)
+	}
+	long := strings.Repeat("a", 64)
+	if _, err := AppendQuery(nil, 1, long+".com"); !errors.Is(err, ErrMalformed) {
+		t.Errorf("64-byte label: err = %v, want ErrMalformed", err)
+	}
+	huge := strings.Repeat("abcdefgh.", 40) + "com"
+	if _, err := AppendQuery(nil, 1, huge); !errors.Is(err, ErrMalformed) {
+		t.Errorf("over-long name: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestTrailingDotAccepted(t *testing.T) {
+	buf, err := AppendQuery(nil, 1, "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QueryName() != "example.com" {
+		t.Errorf("QueryName = %q", m.QueryName())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf, err := AppendResponse(nil, 7, "example.com", [4]byte{1, 2, 3, 4}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 5, 11, len(buf) - 1} {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Errorf("Decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsPointerLoop(t *testing.T) {
+	// Hand-craft a message whose question name is a pointer to itself.
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint16(buf[0:2], 1)
+	binary.BigEndian.PutUint16(buf[4:6], 1)           // QDCOUNT=1
+	binary.BigEndian.PutUint16(buf[12:14], 0xC000|12) // pointer to itself
+	if _, err := Decode(buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("self-pointer: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeRejectsImplausibleCounts(t *testing.T) {
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint16(buf[4:6], 60000)
+	if _, err := Decode(buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestARecordsCNAMEChain(t *testing.T) {
+	// Build a response manually: question www.facebook.com, CNAME to
+	// star-mini.c10r.facebook.com, then an A for the CNAME target.
+	m := &Message{
+		Response: true,
+		Answers: []Answer{
+			{Name: "www.facebook.com", Type: TypeCNAME, Data: "star-mini.c10r.facebook.com"},
+			{Name: "star-mini.c10r.facebook.com", Type: TypeA, IP: [4]byte{31, 13, 86, 36}},
+		},
+	}
+	recs := m.ARecords()
+	if len(recs) != 1 {
+		t.Fatalf("ARecords = %d, want 1", len(recs))
+	}
+	if recs[0].Name != "www.facebook.com" {
+		t.Errorf("resolved name = %q, want the queried alias", recs[0].Name)
+	}
+}
+
+func TestARecordsNoCNAME(t *testing.T) {
+	m := &Message{Answers: []Answer{{Name: "x.com", Type: TypeA, IP: [4]byte{9, 9, 9, 9}}}}
+	recs := m.ARecords()
+	if len(recs) != 1 || recs[0].Name != "x.com" {
+		t.Errorf("ARecords = %+v", recs)
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	buf, err := AppendResponse(nil, 7, "scontent.xx.fbcdn.net", [4]byte{31, 13, 86, 4}, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package dpi_test hosts the native fuzz targets for every parser that
+// faces raw wire bytes. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzX ./internal/dpi` explores further. None of the parsers may
+// panic on any input — a passive probe dies for nobody.
+package dpi_test
+
+import (
+	"testing"
+
+	"repro/internal/dpi/btx"
+	"repro/internal/dpi/dnsx"
+	"repro/internal/dpi/httpx"
+	"repro/internal/dpi/quicx"
+	"repro/internal/dpi/tlsx"
+	"repro/internal/wire"
+)
+
+func FuzzTLSClientHello(f *testing.F) {
+	f.Add(tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "a.example", ALPN: []string{"h2"}}))
+	f.Add(tlsx.AppendClientHello(nil, tlsx.HelloSpec{FBZero: true}))
+	f.Add([]byte{0x16, 0x03, 0x01, 0x00, 0x05, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tlsx.Sniff(data)
+		if h, err := tlsx.ParseClientHello(data); err == nil && h == nil {
+			t.Fatal("nil hello without error")
+		}
+		tlsx.ParseServerHello(data)
+		tlsx.RecordLen(data)
+	})
+}
+
+func FuzzDNSDecode(f *testing.F) {
+	q, _ := dnsx.AppendQuery(nil, 1, "www.example.com")
+	f.Add(q)
+	r, _ := dnsx.AppendResponse(nil, 2, "cdn.example.net", [4]byte{1, 2, 3, 4}, 60)
+	f.Add(r)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := dnsx.Decode(data); err == nil {
+			m.QueryName()
+			m.ARecords()
+		}
+	})
+}
+
+func FuzzHTTPRequest(f *testing.F) {
+	f.Add(httpx.AppendRequest(nil, "GET", "example.com", "/", "ua"))
+	f.Add(httpx.AppendResponse(nil, 200, 10))
+	f.Add([]byte("POST /x HTTP/1.0\r\nHost:\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		httpx.ParseRequest(data)
+		httpx.ParseResponse(data)
+		httpx.SniffRequest(data)
+		httpx.SniffResponse(data)
+	})
+}
+
+func FuzzQUICHeader(f *testing.F) {
+	f.Add(quicx.AppendGQUIC(nil, "Q039", 7, 32))
+	f.Add(quicx.AppendIETF(nil, 1, 7, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		quicx.Sniff(data)
+		quicx.Parse(data)
+	})
+}
+
+func FuzzBitTorrent(f *testing.F) {
+	var id [20]byte
+	f.Add(btx.AppendHandshake(nil, id, id), uint16(6881))
+	f.Add(btx.AppendDHTPing(nil, id), uint16(6881))
+	f.Add(btx.AppendUTPSyn(nil, 1, 2), uint16(51413))
+	f.Fuzz(func(t *testing.T, data []byte, port uint16) {
+		btx.SniffHandshake(data)
+		btx.ParseHandshake(data)
+		btx.ClassifyUDP(data, port)
+	})
+}
+
+func FuzzLayerParser(f *testing.F) {
+	var b wire.Builder
+	ip := wire.IPv4{Src: wire.AddrFrom(10, 0, 0, 1), Dst: wire.AddrFrom(1, 2, 3, 4)}
+	tcp := wire.TCP{SrcPort: 1, DstPort: 443, Flags: wire.TCPSyn}
+	if pkt, err := b.TCPPacket(&ip, &tcp, []byte("hi")); err == nil {
+		f.Add(append([]byte(nil), pkt...))
+	}
+	udp := wire.UDP{SrcPort: 53, DstPort: 53}
+	if pkt, err := b.UDPPacket(&ip, &udp, []byte{0, 1}); err == nil {
+		f.Add(append([]byte(nil), pkt...))
+	}
+	parser := wire.NewLayerParser(wire.LayerEthernet)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := parser.Parse(data)
+		if err == nil && d == nil {
+			t.Fatal("nil decode without error")
+		}
+	})
+}
+
+func FuzzTCPOptions(f *testing.F) {
+	f.Add(wire.AppendTCPOptions(nil, wire.TCPOptions{MSS: 1460, SACKPermitted: true}))
+	f.Add([]byte{2, 4, 5, 0xb4, 1, 1, 8, 10, 0, 0, 0, 1, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wire.ParseTCPOptions(data)
+	})
+}

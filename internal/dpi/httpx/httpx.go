@@ -1,0 +1,233 @@
+// Package httpx parses clear-text HTTP/1.x traffic deeply enough for
+// passive classification: the request line and the Host header from
+// client payloads, and the status line from server payloads. Per the
+// paper (section 2.1), the Host header is one of the three sources of
+// server names used to map flows to services.
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the parsers.
+var (
+	ErrNotHTTP   = errors.New("httpx: not HTTP/1.x")
+	ErrTruncated = errors.New("httpx: truncated message head")
+)
+
+// methods recognised in request lines, longest first where it matters.
+var methods = []string{"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "CONNECT", "PATCH", "TRACE"}
+
+// Request holds the fields extracted from an HTTP/1.x request head.
+type Request struct {
+	Method  string
+	Target  string // request-target as sent (origin-form usually)
+	Proto   string // "HTTP/1.1"
+	Host    string // Host header value, lower-cased, port stripped
+	Agent   string // User-Agent value, verbatim
+	HeadLen int    // bytes consumed up to and including the blank line
+}
+
+// Response holds the fields extracted from an HTTP/1.x status line.
+type Response struct {
+	Proto      string
+	StatusCode int
+	ContentLen int64 // -1 when absent
+}
+
+// SniffRequest reports whether data plausibly starts an HTTP/1.x
+// request (used to pick a parser before committing).
+func SniffRequest(data []byte) bool {
+	for _, m := range methods {
+		if len(data) > len(m) && string(data[:len(m)]) == m && data[len(m)] == ' ' {
+			return true
+		}
+	}
+	return false
+}
+
+// SniffResponse reports whether data plausibly starts an HTTP/1.x
+// status line.
+func SniffResponse(data []byte) bool {
+	return bytes.HasPrefix(data, []byte("HTTP/1.")) && len(data) > 12
+}
+
+// ParseRequest parses a request head from the start of a client
+// stream. Headers after the blank line terminator — or after the end
+// of the capture — are ignored; like the TLS parser, it extracts what
+// the captured bytes contain. It fails only when the bytes are not an
+// HTTP request at all.
+func ParseRequest(data []byte) (*Request, error) {
+	if !SniffRequest(data) {
+		return nil, ErrNotHTTP
+	}
+	lineEnd := bytes.IndexByte(data, '\n')
+	if lineEnd < 0 {
+		return nil, fmt.Errorf("%w: no request line terminator", ErrTruncated)
+	}
+	line := strings.TrimRight(string(data[:lineEnd]), "\r")
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrNotHTTP, line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+
+	rest := data[lineEnd+1:]
+	consumed := lineEnd + 1
+	for {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			req.HeadLen = consumed + len(rest)
+			return req, nil // truncated inside headers: keep what we got
+		}
+		hline := strings.TrimRight(string(rest[:nl]), "\r")
+		rest = rest[nl+1:]
+		consumed += nl + 1
+		if hline == "" {
+			req.HeadLen = consumed
+			return req, nil
+		}
+		name, value, ok := strings.Cut(hline, ":")
+		if !ok {
+			continue // tolerate junk header lines
+		}
+		value = strings.TrimSpace(value)
+		switch {
+		case strings.EqualFold(name, "Host"):
+			req.Host = CanonicalHost(value)
+		case strings.EqualFold(name, "User-Agent"):
+			req.Agent = value
+		}
+	}
+}
+
+// ParseResponse parses a status line and scans the head for
+// Content-Length.
+func ParseResponse(data []byte) (*Response, error) {
+	if !SniffResponse(data) {
+		return nil, ErrNotHTTP
+	}
+	lineEnd := bytes.IndexByte(data, '\n')
+	if lineEnd < 0 {
+		return nil, fmt.Errorf("%w: no status line terminator", ErrTruncated)
+	}
+	line := strings.TrimRight(string(data[:lineEnd]), "\r")
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("%w: status line %q", ErrNotHTTP, line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: status %q", ErrNotHTTP, parts[1])
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code, ContentLen: -1}
+	rest := data[lineEnd+1:]
+	for {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return resp, nil
+		}
+		hline := strings.TrimRight(string(rest[:nl]), "\r")
+		rest = rest[nl+1:]
+		if hline == "" {
+			return resp, nil
+		}
+		name, value, ok := strings.Cut(hline, ":")
+		if ok && strings.EqualFold(name, "Content-Length") {
+			if n, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64); err == nil {
+				resp.ContentLen = n
+			}
+		}
+	}
+}
+
+// CanonicalHost lower-cases a Host header value and strips any port,
+// so "WWW.YouTube.COM:80" and "www.youtube.com" classify identically.
+func CanonicalHost(host string) string {
+	host = strings.TrimSpace(host)
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") {
+		// Reject only when everything after ':' is digits (a port).
+		port := host[i+1:]
+		isPort := port != ""
+		for _, r := range port {
+			if r < '0' || r > '9' {
+				isPort = false
+				break
+			}
+		}
+		if isPort {
+			host = host[:i]
+		}
+	}
+	return strings.ToLower(host)
+}
+
+// AppendRequest builds a minimal HTTP/1.1 request head for the traffic
+// simulator and appends it to dst.
+func AppendRequest(dst []byte, method, host, target, agent string) []byte {
+	if method == "" {
+		method = "GET"
+	}
+	if target == "" {
+		target = "/"
+	}
+	dst = append(dst, method...)
+	dst = append(dst, ' ')
+	dst = append(dst, target...)
+	dst = append(dst, " HTTP/1.1\r\nHost: "...)
+	dst = append(dst, host...)
+	dst = append(dst, "\r\n"...)
+	if agent != "" {
+		dst = append(dst, "User-Agent: "...)
+		dst = append(dst, agent...)
+		dst = append(dst, "\r\n"...)
+	}
+	dst = append(dst, "Accept: */*\r\nConnection: keep-alive\r\n\r\n"...)
+	return dst
+}
+
+// AppendResponse builds a minimal HTTP/1.1 response head and appends
+// it to dst.
+func AppendResponse(dst []byte, code int, contentLen int64) []byte {
+	dst = append(dst, "HTTP/1.1 "...)
+	dst = strconv.AppendInt(dst, int64(code), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, statusText(code)...)
+	dst = append(dst, "\r\n"...)
+	if contentLen >= 0 {
+		dst = append(dst, "Content-Length: "...)
+		dst = strconv.AppendInt(dst, contentLen, 10)
+		dst = append(dst, "\r\n"...)
+	}
+	dst = append(dst, "Content-Type: application/octet-stream\r\n\r\n"...)
+	return dst
+}
+
+// statusText returns a reason phrase for the handful of codes the
+// simulator emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 206:
+		return "Partial Content"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}

@@ -1,0 +1,184 @@
+package httpx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRequestBasics(t *testing.T) {
+	raw := AppendRequest(nil, "GET", "www.Facebook.com:80", "/home.php", "Mozilla/5.0")
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if req.Method != "GET" {
+		t.Errorf("method = %q", req.Method)
+	}
+	if req.Host != "www.facebook.com" {
+		t.Errorf("host = %q, want lower-cased, port-stripped", req.Host)
+	}
+	if req.Target != "/home.php" {
+		t.Errorf("target = %q", req.Target)
+	}
+	if req.Proto != "HTTP/1.1" {
+		t.Errorf("proto = %q", req.Proto)
+	}
+	if req.Agent != "Mozilla/5.0" {
+		t.Errorf("agent = %q", req.Agent)
+	}
+	if req.HeadLen != len(raw) {
+		t.Errorf("HeadLen = %d, want %d", req.HeadLen, len(raw))
+	}
+}
+
+func TestParseRequestAllMethods(t *testing.T) {
+	for _, m := range []string{"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "CONNECT", "PATCH", "TRACE"} {
+		raw := AppendRequest(nil, m, "example.com", "/", "")
+		req, err := ParseRequest(raw)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if req.Method != m {
+			t.Errorf("method = %q, want %q", req.Method, m)
+		}
+	}
+}
+
+func TestParseRequestRejectsNonHTTP(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("\x16\x03\x01\x00\x10"),
+		[]byte("NOTAMETHOD / HTTP/1.1\r\n"),
+		[]byte("GETX / HTTP/1.1\r\n"),
+	}
+	for i, c := range cases {
+		if _, err := ParseRequest(c); !errors.Is(err, ErrNotHTTP) {
+			t.Errorf("case %d: err = %v, want ErrNotHTTP", i, err)
+		}
+	}
+}
+
+func TestParseRequestTruncatedInHeaders(t *testing.T) {
+	raw := AppendRequest(nil, "GET", "video.google.com", "/watch", "app/1.0")
+	// Cut after the Host header line but before the blank line.
+	hostEnd := strings.Index(string(raw), "google.com\r\n") + len("google.com\r\n")
+	req, err := ParseRequest(raw[:hostEnd])
+	if err != nil {
+		t.Fatalf("truncated parse failed: %v", err)
+	}
+	if req.Host != "video.google.com" {
+		t.Errorf("host = %q", req.Host)
+	}
+	if req.Agent != "" {
+		t.Errorf("agent = %q recovered from cut capture", req.Agent)
+	}
+}
+
+func TestParseRequestNoLineTerminator(t *testing.T) {
+	if _, err := ParseRequest([]byte("GET / HTTP/1.1")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	raw := AppendResponse(nil, 206, 1048576)
+	resp, err := ParseResponse(raw)
+	if err != nil {
+		t.Fatalf("ParseResponse: %v", err)
+	}
+	if resp.StatusCode != 206 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if resp.ContentLen != 1048576 {
+		t.Errorf("content length = %d", resp.ContentLen)
+	}
+}
+
+func TestParseResponseNoContentLength(t *testing.T) {
+	resp, err := ParseResponse([]byte("HTTP/1.1 304 Not Modified\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ContentLen != -1 {
+		t.Errorf("content length = %d, want -1", resp.ContentLen)
+	}
+}
+
+func TestParseResponseRejects(t *testing.T) {
+	cases := []string{"", "HTTP/1.1 XYZ\r\n\r\n", "HTTP/1.1 999 Bogus but long enough\r\n\r\n", "SIP/2.0 200 OK\r\n\r\n"}
+	for i, c := range cases {
+		if _, err := ParseResponse([]byte(c)); !errors.Is(err, ErrNotHTTP) {
+			t.Errorf("case %d: err = %v, want ErrNotHTTP", i, err)
+		}
+	}
+}
+
+func TestCanonicalHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"WWW.YouTube.COM", "www.youtube.com"},
+		{"www.youtube.com:8080", "www.youtube.com"},
+		{" netflix.com ", "netflix.com"},
+		{"host:notaport", "host:notaport"},
+		{"192.168.0.1:80", "192.168.0.1"},
+	}
+	for _, c := range cases {
+		if got := CanonicalHost(c.in); got != c.want {
+			t.Errorf("CanonicalHost(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSniffs(t *testing.T) {
+	if !SniffRequest([]byte("POST /upload HTTP/1.1\r\n")) {
+		t.Error("SniffRequest rejected POST")
+	}
+	if SniffRequest([]byte("HTTP/1.1 200 OK\r\n")) {
+		t.Error("SniffRequest accepted a response")
+	}
+	if !SniffResponse([]byte("HTTP/1.1 200 OK\r\n")) {
+		t.Error("SniffResponse rejected a response")
+	}
+	if SniffResponse([]byte("GET / HTTP/1.1\r\n")) {
+		t.Error("SniffResponse accepted a request")
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(hostSeed uint16, pathSeed uint8) bool {
+		host := "h" + strings.Repeat("x", int(hostSeed%20)) + ".example.org"
+		target := "/" + strings.Repeat("p", int(pathSeed%30))
+		raw := AppendRequest(nil, "GET", host, target, "probe-test")
+		req, err := ParseRequest(raw)
+		if err != nil {
+			return false
+		}
+		return req.Host == host && req.Target == target && req.Agent == "probe-test"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanicsOnFuzzedInput(t *testing.T) {
+	f := func(data []byte) bool {
+		ParseRequest(data)
+		ParseResponse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseRequest(b *testing.B) {
+	raw := AppendRequest(nil, "GET", "r3---sn-hpa7kn7s.googlevideo.com", "/videoplayback?id=abc", "Mozilla/5.0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRequest(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

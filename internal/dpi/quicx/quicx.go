@@ -1,0 +1,185 @@
+// Package quicx parses QUIC public headers as seen by a passive probe
+// on UDP/443: the original Google QUIC ("gQUIC") public header, whose
+// version tag the paper's probes used to track the QUIC deployment,
+// and the IETF QUIC long header that later replaced it. It also
+// synthesises both, for the traffic simulator.
+//
+// Only the clear-text public header is parsed; everything after it is
+// encrypted and invisible to a probe, exactly as in the paper.
+package quicx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the parser.
+var (
+	ErrNotQUIC   = errors.New("quicx: not a QUIC public header")
+	ErrTruncated = errors.New("quicx: truncated header")
+)
+
+// gQUIC public flags.
+const (
+	gquicFlagVersion uint8 = 0x01
+	gquicFlagReset   uint8 = 0x02
+	gquicFlagCID8    uint8 = 0x08
+)
+
+// ietfLongHeaderForm is the high bit of the first byte of an IETF QUIC
+// long header; the next bit is always set ("fixed bit").
+const (
+	ietfFormBit  uint8 = 0x80
+	ietfFixedBit uint8 = 0x40
+)
+
+// Dialect tells which flavour of QUIC a header belongs to.
+type Dialect uint8
+
+// Dialects.
+const (
+	DialectUnknown Dialect = iota
+	DialectGQUIC           // Google QUIC (Q0xx versions), 2013-2018 era
+	DialectIETF            // IETF QUIC long header
+)
+
+// String names the dialect.
+func (d Dialect) String() string {
+	switch d {
+	case DialectGQUIC:
+		return "gquic"
+	case DialectIETF:
+		return "ietf-quic"
+	default:
+		return "unknown"
+	}
+}
+
+// Header is a decoded QUIC public header.
+type Header struct {
+	Dialect      Dialect
+	Version      string // "Q039" for gQUIC, "v1" style for IETF, "" when absent
+	ConnectionID uint64 // gQUIC 8-byte CID (0 when absent); IETF DCID folded to 8 bytes
+	VersionBit   bool   // client set the version-present flag (first packets)
+}
+
+// Sniff reports whether data on UDP/443 plausibly starts a QUIC packet
+// of either dialect.
+func Sniff(data []byte) bool {
+	if len(data) < 1 {
+		return false
+	}
+	b0 := data[0]
+	if b0&ietfFormBit != 0 {
+		return b0&ietfFixedBit != 0 && len(data) >= 7
+	}
+	// gQUIC: public flags with only known bits, version flag packets
+	// carry "Q" at the version offset.
+	if b0&^(gquicFlagVersion|gquicFlagReset|gquicFlagCID8|0x30) != 0 {
+		return false
+	}
+	if b0&gquicFlagVersion != 0 {
+		off := 1
+		if b0&gquicFlagCID8 != 0 {
+			off += 8
+		}
+		return len(data) >= off+4 && data[off] == 'Q'
+	}
+	return b0&gquicFlagCID8 != 0 && len(data) >= 9
+}
+
+// Parse decodes the public header of either dialect.
+func Parse(data []byte) (*Header, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: empty datagram", ErrTruncated)
+	}
+	if data[0]&ietfFormBit != 0 {
+		return parseIETF(data)
+	}
+	return parseGQUIC(data)
+}
+
+func parseGQUIC(data []byte) (*Header, error) {
+	flags := data[0]
+	h := &Header{Dialect: DialectGQUIC}
+	off := 1
+	if flags&gquicFlagCID8 != 0 {
+		if len(data) < off+8 {
+			return nil, fmt.Errorf("%w: CID", ErrTruncated)
+		}
+		h.ConnectionID = binary.LittleEndian.Uint64(data[off : off+8])
+		off += 8
+	}
+	if flags&gquicFlagVersion != 0 {
+		h.VersionBit = true
+		if len(data) < off+4 {
+			return nil, fmt.Errorf("%w: version tag", ErrTruncated)
+		}
+		tag := data[off : off+4]
+		if tag[0] != 'Q' {
+			return nil, fmt.Errorf("%w: version tag %q", ErrNotQUIC, tag)
+		}
+		h.Version = string(tag)
+	}
+	return h, nil
+}
+
+func parseIETF(data []byte) (*Header, error) {
+	if data[0]&ietfFixedBit == 0 {
+		return nil, fmt.Errorf("%w: fixed bit clear", ErrNotQUIC)
+	}
+	if len(data) < 7 {
+		return nil, fmt.Errorf("%w: long header", ErrTruncated)
+	}
+	h := &Header{Dialect: DialectIETF, VersionBit: true}
+	ver := binary.BigEndian.Uint32(data[1:5])
+	h.Version = fmt.Sprintf("v%d", ver)
+	dcidLen := int(data[5])
+	if dcidLen > 20 {
+		return nil, fmt.Errorf("%w: DCID length %d", ErrNotQUIC, dcidLen)
+	}
+	if len(data) < 6+dcidLen {
+		return nil, fmt.Errorf("%w: DCID", ErrTruncated)
+	}
+	var cid [8]byte
+	copy(cid[:], data[6:6+dcidLen])
+	h.ConnectionID = binary.LittleEndian.Uint64(cid[:])
+	return h, nil
+}
+
+// AppendGQUIC builds a gQUIC client first-packet public header
+// (version flag + 8-byte CID + version tag like "Q039") and appends
+// it plus padding bytes of encrypted-looking payload to dst.
+func AppendGQUIC(dst []byte, version string, cid uint64, payloadLen int) []byte {
+	if len(version) != 4 || version[0] != 'Q' {
+		version = "Q039"
+	}
+	dst = append(dst, gquicFlagVersion|gquicFlagCID8)
+	dst = binary.LittleEndian.AppendUint64(dst, cid)
+	dst = append(dst, version...)
+	return appendOpaque(dst, payloadLen, cid)
+}
+
+// AppendIETF builds an IETF QUIC Initial-style long header and appends
+// it plus opaque payload to dst.
+func AppendIETF(dst []byte, version uint32, cid uint64, payloadLen int) []byte {
+	dst = append(dst, ietfFormBit|ietfFixedBit)
+	dst = binary.BigEndian.AppendUint32(dst, version)
+	dst = append(dst, 8)
+	dst = binary.LittleEndian.AppendUint64(dst, cid)
+	return appendOpaque(dst, payloadLen, cid)
+}
+
+// appendOpaque pads with deterministic pseudo-random bytes standing in
+// for the encrypted payload.
+func appendOpaque(dst []byte, n int, seed uint64) []byte {
+	x := seed*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		dst = append(dst, byte(x))
+	}
+	return dst
+}

@@ -1,0 +1,140 @@
+package quicx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGQUICRoundTrip(t *testing.T) {
+	pkt := AppendGQUIC(nil, "Q039", 0xDEADBEEFCAFE, 100)
+	if !Sniff(pkt) {
+		t.Fatal("Sniff rejected gQUIC packet")
+	}
+	h, err := Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.Dialect != DialectGQUIC {
+		t.Errorf("dialect = %v", h.Dialect)
+	}
+	if h.Version != "Q039" {
+		t.Errorf("version = %q", h.Version)
+	}
+	if h.ConnectionID != 0xDEADBEEFCAFE {
+		t.Errorf("cid = %#x", h.ConnectionID)
+	}
+	if !h.VersionBit {
+		t.Error("version bit not reported")
+	}
+}
+
+func TestGQUICVersionDefaulted(t *testing.T) {
+	pkt := AppendGQUIC(nil, "bogus", 1, 10)
+	h, err := Parse(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != "Q039" {
+		t.Errorf("version = %q, want default Q039", h.Version)
+	}
+}
+
+func TestIETFRoundTrip(t *testing.T) {
+	pkt := AppendIETF(nil, 1, 0x1122334455667788, 60)
+	if !Sniff(pkt) {
+		t.Fatal("Sniff rejected IETF packet")
+	}
+	h, err := Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h.Dialect != DialectIETF {
+		t.Errorf("dialect = %v", h.Dialect)
+	}
+	if h.Version != "v1" {
+		t.Errorf("version = %q", h.Version)
+	}
+	if h.ConnectionID != 0x1122334455667788 {
+		t.Errorf("cid = %#x", h.ConnectionID)
+	}
+}
+
+func TestSniffRejectsOtherUDP(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00},                     // DNS-ish start, no CID flag
+		{0x04, 0x01, 0x02},         // unknown public flag bits... 0x04 is unused
+		[]byte("\x12\x34\x01\x00"), // DNS header
+	}
+	for i, c := range cases {
+		if Sniff(c) {
+			t.Errorf("case %d: Sniff accepted %v", i, c)
+		}
+	}
+}
+
+func TestIETFRejectsFixedBitClear(t *testing.T) {
+	pkt := AppendIETF(nil, 1, 7, 10)
+	pkt[0] &^= 0x40
+	if _, err := Parse(pkt); err == nil {
+		t.Error("fixed-bit-clear packet parsed")
+	}
+	if Sniff(pkt) {
+		t.Error("Sniff accepted fixed-bit-clear packet")
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	full := AppendGQUIC(nil, "Q043", 7, 0)
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Parse(full[:cut]); err == nil && cut < 13 {
+			t.Errorf("cut=%d parsed without error", cut)
+		}
+	}
+}
+
+func TestDialectString(t *testing.T) {
+	if DialectGQUIC.String() != "gquic" || DialectIETF.String() != "ietf-quic" || DialectUnknown.String() != "unknown" {
+		t.Error("Dialect.String wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	versions := []string{"Q035", "Q039", "Q043", "Q046"}
+	f := func(cid uint64, vi uint8, ietf bool, payload uint8) bool {
+		n := int(payload % 64)
+		if ietf {
+			pkt := AppendIETF(nil, uint32(vi)+1, cid, n)
+			h, err := Parse(pkt)
+			return err == nil && h.Dialect == DialectIETF && h.ConnectionID == cid
+		}
+		v := versions[vi%4]
+		pkt := AppendGQUIC(nil, v, cid, n)
+		h, err := Parse(pkt)
+		return err == nil && h.Dialect == DialectGQUIC && h.Version == v && h.ConnectionID == cid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanicsOnFuzzedInput(t *testing.T) {
+	f := func(data []byte) bool {
+		Parse(data)
+		Sniff(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseGQUIC(b *testing.B) {
+	pkt := AppendGQUIC(nil, "Q039", 0xABCDEF, 1200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package tlsx
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ServerHello holds the fields a probe reads from the server's first
+// flight: the negotiated version and, crucially, the ALPN protocol the
+// server *selected* — the ground truth for labelling a session HTTP/2
+// vs SPDY vs plain TLS when the client offered several.
+type ServerHello struct {
+	Version uint16
+	ALPN    string // selected protocol, "" when the extension is absent
+}
+
+// ParseServerHello parses a ServerHello from the start of a server
+// stream (record header included). Like ParseClientHello it extracts
+// what the captured bytes contain and fails only when the bytes are
+// not a ServerHello at all.
+func ParseServerHello(data []byte) (*ServerHello, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("%w: %d record bytes", ErrTruncated, len(data))
+	}
+	if data[0] != RecordHandshake {
+		return nil, fmt.Errorf("%w: content type %d", ErrNotTLS, data[0])
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	body := data[5:]
+	if recLen < len(body) {
+		body = body[:recLen]
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: %d handshake bytes", ErrTruncated, len(body))
+	}
+	if body[0] != HandshakeServerHello {
+		return nil, fmt.Errorf("%w: handshake type %d", ErrNotTLS, body[0])
+	}
+	hsLen := int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+	body = body[4:]
+	if hsLen < len(body) {
+		body = body[:hsLen]
+	}
+	hello := &ServerHello{}
+	// legacy_version (2) + random (32)
+	if len(body) < 34 {
+		return hello, nil
+	}
+	hello.Version = binary.BigEndian.Uint16(body[0:2])
+	off := 34
+	// session_id
+	if off >= len(body) {
+		return hello, nil
+	}
+	off += 1 + int(body[off])
+	// cipher_suite (2) + compression_method (1)
+	off += 3
+	// extensions
+	if off+2 > len(body) {
+		return hello, nil
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	end := off + extLen
+	if end > len(body) {
+		end = len(body)
+	}
+	for off+4 <= end {
+		extType := binary.BigEndian.Uint16(body[off : off+2])
+		l := int(binary.BigEndian.Uint16(body[off+2 : off+4]))
+		off += 4
+		if off+l > end {
+			break
+		}
+		if extType == extALPN {
+			if protos, err := parseALPN(body[off : off+l]); err == nil && len(protos) > 0 {
+				hello.ALPN = protos[0] // servers select exactly one
+			}
+		}
+		off += l
+	}
+	return hello, nil
+}
+
+// AppendServerHello builds a wire-format ServerHello record selecting
+// the given ALPN protocol ("" omits the extension) and appends it to
+// dst. The traffic simulator uses it so packet-path sessions carry the
+// server's side of the negotiation, as real captures do.
+func AppendServerHello(dst []byte, version uint16, alpn string) []byte {
+	if version == 0 {
+		version = VersionTLS12
+	}
+	var ext []byte
+	if alpn != "" {
+		list := append([]byte{byte(len(alpn))}, alpn...)
+		body := binary.BigEndian.AppendUint16(nil, uint16(len(list)))
+		body = append(body, list...)
+		ext = binary.BigEndian.AppendUint16(ext, extALPN)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(body)))
+		ext = append(ext, body...)
+	}
+	body := make([]byte, 0, 48+len(ext))
+	body = binary.BigEndian.AppendUint16(body, version)
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i*11 + 5)
+	}
+	body = append(body, random[:]...)
+	body = append(body, 0)                             // empty session_id
+	body = binary.BigEndian.AppendUint16(body, 0xc02f) // cipher_suite
+	body = append(body, 0)                             // null compression
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	dst = append(dst, RecordHandshake)
+	dst = binary.BigEndian.AppendUint16(dst, VersionTLS12)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(4+len(body)))
+	dst = append(dst, HandshakeServerHello, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	return append(dst, body...)
+}
+
+// RecordLen reports the total byte length of the first TLS record in
+// data (header included), and whether data already contains it in
+// full. The probe's reassembler uses it to know when a split
+// ClientHello is complete.
+func RecordLen(data []byte) (n int, complete bool) {
+	if len(data) < 5 {
+		return 0, false
+	}
+	n = 5 + int(binary.BigEndian.Uint16(data[3:5]))
+	return n, len(data) >= n
+}

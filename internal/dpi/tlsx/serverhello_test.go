@@ -1,0 +1,82 @@
+package tlsx
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	rec := AppendServerHello(nil, VersionTLS12, "h2")
+	h, err := ParseServerHello(rec)
+	if err != nil {
+		t.Fatalf("ParseServerHello: %v", err)
+	}
+	if h.ALPN != "h2" {
+		t.Errorf("ALPN = %q", h.ALPN)
+	}
+	if h.Version != VersionTLS12 {
+		t.Errorf("version = %#x", h.Version)
+	}
+}
+
+func TestServerHelloNoALPN(t *testing.T) {
+	rec := AppendServerHello(nil, VersionTLS12, "")
+	h, err := ParseServerHello(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ALPN != "" {
+		t.Errorf("ALPN = %q, want empty", h.ALPN)
+	}
+}
+
+func TestServerHelloRejectsClientHello(t *testing.T) {
+	rec := AppendClientHello(nil, HelloSpec{SNI: "x.example"})
+	if _, err := ParseServerHello(rec); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("err = %v, want ErrNotTLS", err)
+	}
+	// And vice versa.
+	srv := AppendServerHello(nil, 0, "h2")
+	if _, err := ParseClientHello(srv); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("client parse of server hello: err = %v, want ErrNotTLS", err)
+	}
+}
+
+func TestServerHelloFuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		ParseServerHello(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	base := AppendServerHello(nil, VersionTLS13, "spdy/3.1")
+	for i := range base {
+		mut := append([]byte(nil), base...)
+		mut[i] ^= 0xFF
+		ParseServerHello(mut)
+	}
+}
+
+func TestRecordLen(t *testing.T) {
+	rec := AppendClientHello(nil, HelloSpec{SNI: "host.example", ALPN: []string{"h2"}})
+	n, complete := RecordLen(rec)
+	if !complete || n != len(rec) {
+		t.Errorf("RecordLen = %d,%v over %d bytes", n, complete, len(rec))
+	}
+	// A prefix is incomplete but reports the same total.
+	n2, complete2 := RecordLen(rec[:20])
+	if complete2 || n2 != n {
+		t.Errorf("prefix RecordLen = %d,%v", n2, complete2)
+	}
+	if _, c := RecordLen(rec[:4]); c {
+		t.Error("sub-header prefix reported complete")
+	}
+	// Trailing data beyond the record does not change the answer.
+	ext := append(append([]byte(nil), rec...), 0xAA, 0xBB)
+	n3, complete3 := RecordLen(ext)
+	if !complete3 || n3 != n {
+		t.Errorf("extended RecordLen = %d,%v", n3, complete3)
+	}
+}

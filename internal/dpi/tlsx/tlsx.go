@@ -1,0 +1,314 @@
+// Package tlsx parses the first bytes of a TLS session deeply enough
+// for passive classification: the record header, the ClientHello with
+// its Server Name Indication (SNI) and Application-Layer Protocol
+// Negotiation (ALPN) extensions, and Facebook's "Zero" variant — a
+// custom 0-RTT modification of TLS that the paper observes appearing
+// suddenly in November 2016 (event F in Figure 8).
+//
+// The parser never allocates for the common path and never reads
+// beyond the supplied bytes, so it is safe to feed reassembled or
+// truncated segments straight from the capture path.
+package tlsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Record content types.
+const (
+	RecordHandshake uint8 = 22
+)
+
+// Handshake message types.
+const (
+	HandshakeClientHello uint8 = 1
+	HandshakeServerHello uint8 = 2
+)
+
+// Extension numbers the probe understands.
+const (
+	extServerName uint16 = 0
+	extALPN       uint16 = 16
+)
+
+// TLS versions as they appear on the wire.
+const (
+	VersionSSL30 uint16 = 0x0300
+	VersionTLS10 uint16 = 0x0301
+	VersionTLS11 uint16 = 0x0302
+	VersionTLS12 uint16 = 0x0303
+	VersionTLS13 uint16 = 0x0304
+	// VersionFBZero marks Facebook Zero protocol handshakes. Zero was
+	// deployed without documentation; probes identify it by its
+	// non-standard version field on TCP/443 traffic from Facebook apps.
+	VersionFBZero uint16 = 0xFB00
+)
+
+// Errors returned by the parser.
+var (
+	ErrNotTLS    = errors.New("tlsx: not a TLS handshake")
+	ErrTruncated = errors.New("tlsx: truncated handshake")
+	ErrMalformed = errors.New("tlsx: malformed handshake")
+)
+
+// ClientHello holds the fields a passive probe extracts from the first
+// client flight.
+type ClientHello struct {
+	Version    uint16 // legacy_version from the hello body
+	SNI        string // server_name extension, "" when absent
+	ALPN       []string
+	CipherLen  int  // number of offered cipher suites
+	FBZero     bool // true when the record carries the Zero variant
+	SessionLen int  // session ID length (0-RTT resumption signal)
+}
+
+// ALPNContains reports whether proto was offered.
+func (h *ClientHello) ALPNContains(proto string) bool {
+	for _, p := range h.ALPN {
+		if p == proto {
+			return true
+		}
+	}
+	return false
+}
+
+// Sniff reports whether data plausibly begins a TLS handshake record:
+// content type 22, known version, sane length.
+func Sniff(data []byte) bool {
+	if len(data) < 5 {
+		return false
+	}
+	if data[0] != RecordHandshake {
+		return false
+	}
+	v := binary.BigEndian.Uint16(data[1:3])
+	if v != VersionSSL30 && v != VersionTLS10 && v != VersionTLS11 &&
+		v != VersionTLS12 && v != VersionTLS13 && v != VersionFBZero {
+		return false
+	}
+	recLen := binary.BigEndian.Uint16(data[3:5])
+	return recLen > 0 && recLen <= 16384+2048
+}
+
+// ParseClientHello parses a ClientHello from the start of a TLS stream
+// (record header included). It tolerates captures that truncate the
+// record — extensions present in the captured bytes are still
+// extracted; missing ones simply stay empty — because a probe must
+// classify what it sees, not what it wishes it saw. A nil error means
+// the bytes were a ClientHello; check the individual fields for what
+// was recovered.
+func ParseClientHello(data []byte) (*ClientHello, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("%w: %d record bytes", ErrTruncated, len(data))
+	}
+	if data[0] != RecordHandshake {
+		return nil, fmt.Errorf("%w: content type %d", ErrNotTLS, data[0])
+	}
+	recVersion := binary.BigEndian.Uint16(data[1:3])
+	hello := &ClientHello{FBZero: recVersion == VersionFBZero}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	body := data[5:]
+	if recLen < len(body) {
+		body = body[:recLen]
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: %d handshake bytes", ErrTruncated, len(body))
+	}
+	if body[0] != HandshakeClientHello {
+		return nil, fmt.Errorf("%w: handshake type %d", ErrNotTLS, body[0])
+	}
+	hsLen := int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+	body = body[4:]
+	if hsLen < len(body) {
+		body = body[:hsLen]
+	}
+	// legacy_version (2) + random (32)
+	if len(body) < 34 {
+		return hello, nil // truncated before anything useful
+	}
+	hello.Version = binary.BigEndian.Uint16(body[0:2])
+	if hello.Version == VersionFBZero {
+		hello.FBZero = true
+	}
+	off := 34
+	// session_id
+	if off >= len(body) {
+		return hello, nil
+	}
+	hello.SessionLen = int(body[off])
+	off += 1 + hello.SessionLen
+	// cipher_suites
+	if off+2 > len(body) {
+		return hello, nil
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	if csLen%2 != 0 {
+		return nil, fmt.Errorf("%w: odd cipher_suites length %d", ErrMalformed, csLen)
+	}
+	hello.CipherLen = csLen / 2
+	off += 2 + csLen
+	// compression_methods
+	if off >= len(body) {
+		return hello, nil
+	}
+	compLen := int(body[off])
+	off += 1 + compLen
+	// extensions
+	if off+2 > len(body) {
+		return hello, nil
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	end := off + extLen
+	if end > len(body) {
+		end = len(body)
+	}
+	for off+4 <= end {
+		extType := binary.BigEndian.Uint16(body[off : off+2])
+		l := int(binary.BigEndian.Uint16(body[off+2 : off+4]))
+		off += 4
+		if off+l > end {
+			break // extension truncated by the capture
+		}
+		ext := body[off : off+l]
+		off += l
+		switch extType {
+		case extServerName:
+			if name, err := parseSNI(ext); err == nil {
+				hello.SNI = name
+			}
+		case extALPN:
+			if protos, err := parseALPN(ext); err == nil {
+				hello.ALPN = protos
+			}
+		}
+	}
+	return hello, nil
+}
+
+// parseSNI extracts the first host_name entry of a server_name
+// extension body.
+func parseSNI(ext []byte) (string, error) {
+	if len(ext) < 2 {
+		return "", ErrTruncated
+	}
+	listLen := int(binary.BigEndian.Uint16(ext[0:2]))
+	ext = ext[2:]
+	if listLen < len(ext) {
+		ext = ext[:listLen]
+	}
+	for len(ext) >= 3 {
+		nameType := ext[0]
+		l := int(binary.BigEndian.Uint16(ext[1:3]))
+		if 3+l > len(ext) {
+			return "", ErrTruncated
+		}
+		if nameType == 0 { // host_name
+			return string(ext[3 : 3+l]), nil
+		}
+		ext = ext[3+l:]
+	}
+	return "", ErrMalformed
+}
+
+// parseALPN extracts the protocol list of an ALPN extension body.
+func parseALPN(ext []byte) ([]string, error) {
+	if len(ext) < 2 {
+		return nil, ErrTruncated
+	}
+	listLen := int(binary.BigEndian.Uint16(ext[0:2]))
+	ext = ext[2:]
+	if listLen < len(ext) {
+		ext = ext[:listLen]
+	}
+	var out []string
+	for len(ext) > 0 {
+		l := int(ext[0])
+		if 1+l > len(ext) {
+			return out, ErrTruncated
+		}
+		if l == 0 {
+			return out, ErrMalformed
+		}
+		out = append(out, string(ext[1:1+l]))
+		ext = ext[1+l:]
+	}
+	return out, nil
+}
+
+// HelloSpec describes a ClientHello to synthesise. The traffic
+// simulator uses it to emit byte-accurate handshakes for the probe to
+// parse — the reproduction's substitute for real captured TLS.
+type HelloSpec struct {
+	Version uint16
+	SNI     string
+	ALPN    []string
+	FBZero  bool
+}
+
+// AppendClientHello builds a wire-format ClientHello record for spec
+// and appends it to dst.
+func AppendClientHello(dst []byte, spec HelloSpec) []byte {
+	version := spec.Version
+	if version == 0 {
+		version = VersionTLS12
+	}
+	recVersion := uint16(VersionTLS10)
+	if spec.FBZero {
+		recVersion = VersionFBZero
+		version = VersionFBZero
+	}
+
+	// Extensions block.
+	var ext []byte
+	if spec.SNI != "" {
+		name := []byte(spec.SNI)
+		entry := make([]byte, 0, 5+len(name))
+		entry = binary.BigEndian.AppendUint16(entry, uint16(3+len(name))) // list length
+		entry = append(entry, 0)                                          // host_name
+		entry = binary.BigEndian.AppendUint16(entry, uint16(len(name)))
+		entry = append(entry, name...)
+		ext = binary.BigEndian.AppendUint16(ext, extServerName)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(entry)))
+		ext = append(ext, entry...)
+	}
+	if len(spec.ALPN) > 0 {
+		var list []byte
+		for _, p := range spec.ALPN {
+			list = append(list, byte(len(p)))
+			list = append(list, p...)
+		}
+		body := binary.BigEndian.AppendUint16(nil, uint16(len(list)))
+		body = append(body, list...)
+		ext = binary.BigEndian.AppendUint16(ext, extALPN)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(body)))
+		ext = append(ext, body...)
+	}
+
+	// ClientHello body.
+	body := make([]byte, 0, 64+len(ext))
+	body = binary.BigEndian.AppendUint16(body, version)
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i*7 + 13) // fixed: probes never check entropy
+	}
+	body = append(body, random[:]...)
+	body = append(body, 0) // empty session_id
+	suites := []uint16{0x1301, 0x1302, 0xc02f, 0xc030}
+	body = binary.BigEndian.AppendUint16(body, uint16(2*len(suites)))
+	for _, s := range suites {
+		body = binary.BigEndian.AppendUint16(body, s)
+	}
+	body = append(body, 1, 0) // null compression only
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	// Handshake + record framing.
+	dst = append(dst, RecordHandshake)
+	dst = binary.BigEndian.AppendUint16(dst, recVersion)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(4+len(body)))
+	dst = append(dst, HandshakeClientHello, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	return append(dst, body...)
+}

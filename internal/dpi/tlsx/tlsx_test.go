@@ -1,0 +1,225 @@
+package tlsx
+
+import (
+	"crypto/tls"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSNIAndALPN(t *testing.T) {
+	spec := HelloSpec{SNI: "scontent.cdninstagram.com", ALPN: []string{"h2", "http/1.1"}}
+	rec := AppendClientHello(nil, spec)
+	if !Sniff(rec) {
+		t.Fatal("Sniff rejected our own hello")
+	}
+	h, err := ParseClientHello(rec)
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if h.SNI != spec.SNI {
+		t.Errorf("SNI = %q, want %q", h.SNI, spec.SNI)
+	}
+	if len(h.ALPN) != 2 || h.ALPN[0] != "h2" || h.ALPN[1] != "http/1.1" {
+		t.Errorf("ALPN = %v", h.ALPN)
+	}
+	if !h.ALPNContains("h2") || h.ALPNContains("spdy/3.1") {
+		t.Errorf("ALPNContains wrong")
+	}
+	if h.FBZero {
+		t.Error("FBZero true for plain TLS")
+	}
+	if h.Version != VersionTLS12 {
+		t.Errorf("version = %#x, want TLS 1.2", h.Version)
+	}
+	if h.CipherLen != 4 {
+		t.Errorf("CipherLen = %d, want 4", h.CipherLen)
+	}
+}
+
+func TestFBZeroDetection(t *testing.T) {
+	rec := AppendClientHello(nil, HelloSpec{SNI: "graph.facebook.com", FBZero: true})
+	if !Sniff(rec) {
+		t.Fatal("Sniff rejected FB-Zero hello")
+	}
+	h, err := ParseClientHello(rec)
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if !h.FBZero {
+		t.Error("FBZero not detected")
+	}
+	if h.SNI != "graph.facebook.com" {
+		t.Errorf("SNI = %q", h.SNI)
+	}
+}
+
+func TestNoExtensions(t *testing.T) {
+	rec := AppendClientHello(nil, HelloSpec{})
+	h, err := ParseClientHello(rec)
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if h.SNI != "" || len(h.ALPN) != 0 {
+		t.Errorf("unexpected extension data: %+v", h)
+	}
+}
+
+func TestSniffRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x17, 0x03, 0x03, 0x00, 0x10},          // application data record
+		{0x16, 0x09, 0x09, 0x00, 0x10},          // bogus version
+		{0x16, 0x03, 0x01, 0xFF, 0xFF},          // implausible record length
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n"), // HTTP
+	}
+	for i, c := range cases {
+		if Sniff(c) {
+			t.Errorf("case %d: Sniff accepted %v", i, c)
+		}
+	}
+}
+
+func TestParseRejectsNonHello(t *testing.T) {
+	rec := AppendClientHello(nil, HelloSpec{SNI: "a.example"})
+	rec[5] = HandshakeServerHello
+	if _, err := ParseClientHello(rec); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("err = %v, want ErrNotTLS", err)
+	}
+	appData := []byte{0x17, 0x03, 0x03, 0x00, 0x01, 0x00}
+	if _, err := ParseClientHello(appData); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("err = %v, want ErrNotTLS", err)
+	}
+}
+
+func TestTruncationTolerance(t *testing.T) {
+	// SNI appears before ALPN in our encoder; a capture cut inside the
+	// ALPN extension must still yield the SNI.
+	full := AppendClientHello(nil, HelloSpec{SNI: "www.youtube.com", ALPN: []string{"h2"}})
+	for cut := len(full) - 1; cut > len(full)-8; cut-- {
+		h, err := ParseClientHello(full[:cut])
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if h.SNI != "www.youtube.com" {
+			t.Errorf("cut=%d: SNI lost: %q", cut, h.SNI)
+		}
+	}
+	// Cut before the extensions entirely: parses, but empty SNI.
+	h, err := ParseClientHello(full[:60])
+	if err != nil {
+		t.Fatalf("deep cut: %v", err)
+	}
+	if h.SNI != "" {
+		t.Errorf("deep cut recovered SNI %q from nothing", h.SNI)
+	}
+}
+
+// TestParseRealCryptoTLSHello feeds the parser a ClientHello produced
+// by the standard library's TLS stack, ensuring interoperability with
+// real-world handshakes, not just our own encoder.
+func TestParseRealCryptoTLSHello(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cfg := &tls.Config{
+			ServerName: "edge-probe.test.example",
+			NextProtos: []string{"h2", "http/1.1"},
+			MinVersion: tls.VersionTLS12,
+		}
+		c := tls.Client(client, cfg)
+		c.Handshake() // fails: our side never answers; we only need the bytes
+		c.Close()
+	}()
+	buf := make([]byte, 8192)
+	n, err := server.Read(buf)
+	if err != nil {
+		t.Fatalf("reading hello: %v", err)
+	}
+	// Unblock the client, which is waiting for a ServerHello that will
+	// never come: closing our end fails its handshake immediately.
+	server.Close()
+	<-done
+	if !Sniff(buf[:n]) {
+		t.Fatal("Sniff rejected crypto/tls hello")
+	}
+	h, err := ParseClientHello(buf[:n])
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if h.SNI != "edge-probe.test.example" {
+		t.Errorf("SNI = %q", h.SNI)
+	}
+	if !h.ALPNContains("h2") {
+		t.Errorf("ALPN = %v, want h2 present", h.ALPN)
+	}
+}
+
+// Property: every spec round-trips through encode+parse.
+func TestHelloRoundTripProperty(t *testing.T) {
+	protos := []string{"http/1.1", "h2", "spdy/3.1"}
+	f := func(nameSeed uint16, useALPN, zero bool) bool {
+		sni := ""
+		if nameSeed%4 != 0 {
+			sni = "host-" + string(rune('a'+nameSeed%26)) + ".example.com"
+		}
+		spec := HelloSpec{SNI: sni, FBZero: zero}
+		if useALPN {
+			spec.ALPN = protos[:1+nameSeed%3]
+		}
+		rec := AppendClientHello(nil, spec)
+		h, err := ParseClientHello(rec)
+		if err != nil {
+			return false
+		}
+		if h.SNI != sni || h.FBZero != zero {
+			return false
+		}
+		if len(h.ALPN) != len(spec.ALPN) {
+			return false
+		}
+		for i := range h.ALPN {
+			if h.ALPN[i] != spec.ALPN[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanicsOnFuzzedInput(t *testing.T) {
+	f := func(data []byte) bool {
+		ParseClientHello(data) // must not panic
+		Sniff(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// And mutations of a valid hello.
+	base := AppendClientHello(nil, HelloSpec{SNI: "x.example", ALPN: []string{"h2"}})
+	for i := range base {
+		for _, v := range []byte{0x00, 0xFF, base[i] ^ 0x80} {
+			mut := make([]byte, len(base))
+			copy(mut, base)
+			mut[i] = v
+			ParseClientHello(mut) // must not panic
+		}
+	}
+}
+
+func BenchmarkParseClientHello(b *testing.B) {
+	rec := AppendClientHello(nil, HelloSpec{SNI: "scontent.xx.fbcdn.net", ALPN: []string{"h2", "http/1.1"}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseClientHello(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package flowrec
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// CSV codec: one row per flow, Tstat-log style, for interoperability
+// with external tooling. The binary codec remains the storage format.
+
+// csvHeader is the column list, stable across versions.
+var csvHeader = []string{
+	"client", "server", "cli_port", "srv_port", "proto", "tech", "sub_id",
+	"start_ms", "duration_ms", "pkts_up", "pkts_down", "bytes_up", "bytes_down",
+	"web", "server_name", "name_src", "alpn", "quic_ver",
+	"rtt_min_us", "rtt_avg_us", "rtt_max_us", "rtt_samples",
+}
+
+// CSVWriter writes records as CSV rows.
+type CSVWriter struct {
+	w   *csv.Writer
+	row []string
+}
+
+// NewCSVWriter writes the header row and returns a writer.
+func NewCSVWriter(w io.Writer) (*CSVWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return nil, fmt.Errorf("flowrec: writing csv header: %w", err)
+	}
+	return &CSVWriter{w: cw, row: make([]string, len(csvHeader))}, nil
+}
+
+// Write appends one record.
+func (c *CSVWriter) Write(r *Record) error {
+	row := c.row
+	row[0] = r.Client.String()
+	row[1] = r.Server.String()
+	row[2] = strconv.Itoa(int(r.CliPort))
+	row[3] = strconv.Itoa(int(r.SrvPort))
+	row[4] = strconv.Itoa(int(r.Proto))
+	row[5] = strconv.Itoa(int(r.Tech))
+	row[6] = strconv.FormatUint(uint64(r.SubID), 10)
+	row[7] = strconv.FormatInt(r.Start.UnixMilli(), 10)
+	row[8] = strconv.FormatInt(int64(r.Duration/time.Millisecond), 10)
+	row[9] = strconv.FormatUint(uint64(r.PktsUp), 10)
+	row[10] = strconv.FormatUint(uint64(r.PktsDown), 10)
+	row[11] = strconv.FormatUint(r.BytesUp, 10)
+	row[12] = strconv.FormatUint(r.BytesDown, 10)
+	row[13] = strconv.Itoa(int(r.Web))
+	row[14] = r.ServerName
+	row[15] = strconv.Itoa(int(r.NameSrc))
+	row[16] = r.ALPN
+	row[17] = r.QUICVer
+	row[18] = strconv.FormatInt(int64(r.RTTMin/time.Microsecond), 10)
+	row[19] = strconv.FormatInt(int64(r.RTTAvg/time.Microsecond), 10)
+	row[20] = strconv.FormatInt(int64(r.RTTMax/time.Microsecond), 10)
+	row[21] = strconv.FormatUint(uint64(r.RTTSamples), 10)
+	return c.w.Write(row)
+}
+
+// Flush flushes the underlying csv writer and reports its error.
+func (c *CSVWriter) Flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// CSVReader reads records written by CSVWriter.
+type CSVReader struct {
+	r *csv.Reader
+}
+
+// NewCSVReader validates the header and returns a reader.
+func NewCSVReader(r io.Reader) (*CSVReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flowrec: reading csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if hdr[i] != col {
+			return nil, fmt.Errorf("flowrec: csv column %d is %q, want %q: %w", i, hdr[i], col, ErrCorrupt)
+		}
+	}
+	return &CSVReader{r: cr}, nil
+}
+
+// Read decodes the next row into rec, returning io.EOF at end.
+func (c *CSVReader) Read(rec *Record) error {
+	row, err := c.r.Read()
+	if err != nil {
+		return err
+	}
+	cli, err := parseAddr(row[0])
+	if err != nil {
+		return err
+	}
+	srv, err := parseAddr(row[1])
+	if err != nil {
+		return err
+	}
+	rec.Client, rec.Server = cli, srv
+	ints := make([]uint64, len(row))
+	for _, i := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 18, 19, 20, 21} {
+		v, err := strconv.ParseUint(row[i], 10, 64)
+		if err != nil {
+			return fmt.Errorf("flowrec: csv column %s: %w", csvHeader[i], err)
+		}
+		ints[i] = v
+	}
+	rec.CliPort = uint16(ints[2])
+	rec.SrvPort = uint16(ints[3])
+	rec.Proto = Proto(ints[4])
+	rec.Tech = AccessTech(ints[5])
+	rec.SubID = uint32(ints[6])
+	rec.Start = time.UnixMilli(int64(ints[7])).UTC()
+	rec.Duration = time.Duration(ints[8]) * time.Millisecond
+	rec.PktsUp = uint32(ints[9])
+	rec.PktsDown = uint32(ints[10])
+	rec.BytesUp = ints[11]
+	rec.BytesDown = ints[12]
+	rec.Web = WebProto(ints[13])
+	rec.ServerName = row[14]
+	rec.NameSrc = NameSource(ints[15])
+	rec.ALPN = row[16]
+	rec.QUICVer = row[17]
+	rec.RTTMin = time.Duration(ints[18]) * time.Microsecond
+	rec.RTTAvg = time.Duration(ints[19]) * time.Microsecond
+	rec.RTTMax = time.Duration(ints[20]) * time.Microsecond
+	rec.RTTSamples = uint32(ints[21])
+	return nil
+}
+
+func parseAddr(s string) (wire.Addr, error) {
+	var a wire.Addr
+	var o [4]int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &o[0], &o[1], &o[2], &o[3]); err != nil {
+		return a, fmt.Errorf("flowrec: address %q: %w", s, err)
+	}
+	for i, v := range o {
+		if v < 0 || v > 255 {
+			return a, fmt.Errorf("flowrec: address %q octet out of range: %w", s, ErrCorrupt)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}

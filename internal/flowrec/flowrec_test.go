@@ -1,0 +1,434 @@
+package flowrec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// sampleRecord builds a representative record.
+func sampleRecord() Record {
+	return Record{
+		Client:     wire.AddrFrom(10, 55, 2, 3),
+		Server:     wire.AddrFrom(31, 13, 86, 36),
+		CliPort:    51342,
+		SrvPort:    443,
+		Proto:      ProtoTCP,
+		Tech:       TechFTTH,
+		SubID:      1234,
+		Start:      time.Date(2016, 11, 12, 21, 4, 5, 0, time.UTC).Add(250 * time.Millisecond),
+		Duration:   92 * time.Second,
+		PktsUp:     120,
+		PktsDown:   800,
+		BytesUp:    15000,
+		BytesDown:  1200000,
+		Web:        WebFBZero,
+		ServerName: "scontent.xx.fbcdn.net",
+		NameSrc:    NameSNI,
+		ALPN:       "h2",
+		RTTMin:     2900 * time.Microsecond,
+		RTTAvg:     3400 * time.Microsecond,
+		RTTMax:     9100 * time.Microsecond,
+		RTTSamples: 310,
+	}
+}
+
+// randomRecord draws a record with rng-controlled fields for property
+// tests.
+func randomRecord(rng *rand.Rand) Record {
+	names := []string{"", "netflix.com", "googlevideo.com", "scontent.cdninstagram.com", "very-long-host-name.example.org"}
+	return Record{
+		Client:     wire.AddrFromUint32(rng.Uint32()),
+		Server:     wire.AddrFromUint32(rng.Uint32()),
+		CliPort:    uint16(rng.Uint32()),
+		SrvPort:    uint16(rng.Uint32()),
+		Proto:      []Proto{ProtoTCP, ProtoUDP}[rng.Intn(2)],
+		Tech:       AccessTech(rng.Intn(2)),
+		SubID:      rng.Uint32() >> 8,
+		Start:      time.UnixMilli(1356998400000 + rng.Int63n(5*365*24*3600*1000)).UTC(),
+		Duration:   time.Duration(rng.Int63n(3600_000)) * time.Millisecond,
+		PktsUp:     rng.Uint32() >> 10,
+		PktsDown:   rng.Uint32() >> 10,
+		BytesUp:    uint64(rng.Int63n(1 << 34)),
+		BytesDown:  uint64(rng.Int63n(1 << 34)),
+		Web:        WebProto(rng.Intn(WebProtoCount)),
+		ServerName: names[rng.Intn(len(names))],
+		NameSrc:    NameSource(rng.Intn(4)),
+		ALPN:       []string{"", "h2", "spdy/3.1", "http/1.1"}[rng.Intn(4)],
+		QUICVer:    []string{"", "Q039"}[rng.Intn(2)],
+		RTTMin:     time.Duration(rng.Int63n(200_000)) * time.Microsecond,
+		RTTAvg:     time.Duration(rng.Int63n(200_000)) * time.Microsecond,
+		RTTMax:     time.Duration(rng.Int63n(200_000)) * time.Microsecond,
+		RTTSamples: rng.Uint32() >> 16,
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecord()
+	if err := enc.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Count() != 1 {
+		t.Errorf("Count = %d", enc.Count())
+	}
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if err := dec.Decode(&got); !errors.Is(err, io.EOF) {
+		t.Errorf("second decode err = %v, want EOF", err)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	records := make([]Record, n)
+	for i := range records {
+		records[i] = randomRecord(rng)
+		if err := enc.Encode(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		var got Record
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, records[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, records[i])
+		}
+	}
+}
+
+func TestDecoderRejectsBadMagic(t *testing.T) {
+	if _, err := NewDecoder(bytes.NewReader([]byte("nope...."))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecoderRejectsHugeRecord(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(codecMagic[:])
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // huge varint length
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Record
+	if err := dec.Decode(&r); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeBodyNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var r Record
+		decodeBody(data, &r) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	w, err := NewCSVWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]Record, 100)
+	for i := range records {
+		records[i] = randomRecord(rng)
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewCSVReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		var got Record
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, records[i]) {
+			t.Fatalf("row %d mismatch:\n got %+v\nwant %+v", i, got, records[i])
+		}
+	}
+	var extra Record
+	if err := r.Read(&extra); !errors.Is(err, io.EOF) {
+		t.Errorf("after last row err = %v, want EOF", err)
+	}
+}
+
+func TestCSVRejectsWrongHeader(t *testing.T) {
+	if _, err := NewCSVReader(bytes.NewReader([]byte("a,b,c\n"))); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestRecordDay(t *testing.T) {
+	r := Record{Start: time.Date(2015, 6, 12, 23, 59, 59, 0, time.UTC)}
+	want := time.Date(2015, 6, 12, 0, 0, 0, 0, time.UTC)
+	if !r.Day().Equal(want) {
+		t.Errorf("Day() = %v, want %v", r.Day(), want)
+	}
+}
+
+func TestWebProtoStrings(t *testing.T) {
+	cases := map[WebProto]string{
+		WebHTTP: "HTTP", WebTLS: "TLS", WebSPDY: "SPDY", WebHTTP2: "HTTP/2",
+		WebQUIC: "QUIC", WebFBZero: "FB-ZERO", WebP2P: "P2P", WebDNS: "DNS", WebOther: "OTHER",
+	}
+	for w, want := range cases {
+		if got := w.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestStoreWriteReadDay(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2014, 4, 2, 0, 0, 0, 0, time.UTC)
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	rec.Start = day.Add(10 * time.Hour)
+	const n = 50
+	for i := 0; i < n; i++ {
+		rec.SubID = uint32(i)
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != n {
+		t.Errorf("Count = %d, want %d", w.Count(), n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got int
+	err = s.ReadDay(day, func(r *Record) error {
+		if r.SubID != uint32(got) {
+			t.Errorf("record %d: SubID = %d", got, r.SubID)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("read %d records, want %d", got, n)
+	}
+}
+
+func TestStoreRejectsWrongDay(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2014, 4, 2, 0, 0, 0, 0, time.UTC)
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := sampleRecord()
+	rec.Start = day.Add(25 * time.Hour) // next day
+	if err := w.Write(&rec); err == nil {
+		t.Error("cross-day write accepted")
+	}
+}
+
+func TestStoreMissingDay(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2014, 4, 2, 0, 0, 0, 0, time.UTC)
+	err = s.ReadDay(day, func(*Record) error { return nil })
+	if !errors.Is(err, ErrNoDay) {
+		t.Errorf("err = %v, want ErrNoDay", err)
+	}
+	if s.HasDay(day) {
+		t.Error("HasDay true for missing day")
+	}
+}
+
+func TestStoreDaysSorted(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Time{
+		time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2014, 4, 2, 0, 0, 0, 0, time.UTC),
+		time.Date(2017, 12, 31, 0, 0, 0, 0, time.UTC),
+	}
+	// Create out of order.
+	for _, d := range []time.Time{want[1], want[2], want[0]} {
+		w, err := s.CreateDay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := sampleRecord()
+		rec.Start = d.Add(time.Hour)
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != len(want) {
+		t.Fatalf("Days() = %v", days)
+	}
+	for i := range want {
+		if !days[i].Equal(want[i]) {
+			t.Errorf("days[%d] = %v, want %v", i, days[i], want[i])
+		}
+	}
+	for _, d := range want {
+		if !s.HasDay(d) {
+			t.Errorf("HasDay(%v) = false", d)
+		}
+	}
+}
+
+func TestReadDayStopsOnCallbackError(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	rec.Start = day.Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	count := 0
+	err = s.ReadDay(day, func(*Record) error {
+		count++
+		if count == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if count != 3 {
+		t.Errorf("callback ran %d times, want 3", count)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	enc, err := NewEncoder(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := sampleRecord()
+	for i := 0; i < 1000; i++ {
+		if err := enc.Encode(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r Record
+		for {
+			if err := dec.Decode(&r); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+}

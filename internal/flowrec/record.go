@@ -1,0 +1,178 @@
+// Package flowrec defines the flow record — the single unit of data
+// the probes export, one entry per TCP/UDP stream (section 2.1 of the
+// paper) — and a day-partitioned on-disk log store with a compact
+// gzip-compressed binary codec and a CSV codec for interoperability.
+package flowrec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Proto is the transport protocol of a flow.
+type Proto uint8
+
+// Transport protocols.
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// WebProto is the application protocol label the probe assigns to a
+// flow — the categories of Figure 8 of the paper.
+type WebProto uint8
+
+// Application protocol labels. Order matters: it is the stacking order
+// of Figure 8 and the wire encoding.
+const (
+	WebOther  WebProto = iota
+	WebHTTP            // clear-text HTTP/1.x
+	WebTLS             // HTTPS (TLS without a newer ALPN)
+	WebSPDY            // TLS with spdy/* ALPN
+	WebHTTP2           // TLS with h2 ALPN
+	WebQUIC            // gQUIC / IETF QUIC over UDP
+	WebFBZero          // Facebook Zero protocol
+	WebP2P             // BitTorrent / eMule and variants
+	WebDNS             // DNS over UDP/53
+	webProtoCount
+)
+
+// String names the protocol as the paper's figures do.
+func (w WebProto) String() string {
+	switch w {
+	case WebHTTP:
+		return "HTTP"
+	case WebTLS:
+		return "TLS"
+	case WebSPDY:
+		return "SPDY"
+	case WebHTTP2:
+		return "HTTP/2"
+	case WebQUIC:
+		return "QUIC"
+	case WebFBZero:
+		return "FB-ZERO"
+	case WebP2P:
+		return "P2P"
+	case WebDNS:
+		return "DNS"
+	default:
+		return "OTHER"
+	}
+}
+
+// WebProtoCount is the number of distinct labels (for share arrays).
+const WebProtoCount = int(webProtoCount)
+
+// NameSource records where the server name of a flow came from,
+// mirroring Tstat: the HTTP Host header, the TLS SNI, or a preceding
+// DNS resolution (DN-Hunter).
+type NameSource uint8
+
+// Name sources.
+const (
+	NameNone NameSource = iota
+	NameHTTPHost
+	NameSNI
+	NameDNS
+)
+
+// String names the source.
+func (s NameSource) String() string {
+	switch s {
+	case NameHTTPHost:
+		return "http-host"
+	case NameSNI:
+		return "sni"
+	case NameDNS:
+		return "dns"
+	default:
+		return "none"
+	}
+}
+
+// AccessTech is the subscriber's access technology.
+type AccessTech uint8
+
+// Access technologies monitored by the two PoPs of the paper.
+const (
+	TechADSL AccessTech = iota
+	TechFTTH
+)
+
+// String names the technology.
+func (t AccessTech) String() string {
+	if t == TechFTTH {
+		return "FTTH"
+	}
+	return "ADSL"
+}
+
+// Record is one exported flow record. Field set follows the Tstat log
+// described in section 2.1: the 5-tuple (client address anonymized),
+// packet/byte counters per direction, timestamps, the server name and
+// its source, the application protocol, and the TCP RTT estimate.
+type Record struct {
+	// Identity.
+	Client  wire.Addr // anonymized subscriber address
+	Server  wire.Addr
+	CliPort uint16
+	SrvPort uint16
+	Proto   Proto
+	Tech    AccessTech
+	SubID   uint32 // stable anonymized subscription index
+
+	// Time. Start is the first packet; Duration spans to the last.
+	Start    time.Time
+	Duration time.Duration
+
+	// Counters. Down = server→client, Up = client→server.
+	PktsUp    uint32
+	PktsDown  uint32
+	BytesUp   uint64
+	BytesDown uint64
+
+	// Application layer.
+	Web        WebProto
+	ServerName string // domain from Host/SNI/DN-Hunter; "" if unknown
+	NameSrc    NameSource
+	ALPN       string // raw ALPN token when present
+	QUICVer    string // gQUIC version tag when Web == WebQUIC
+
+	// TCP RTT estimate, probe→server (section 2.1: access delay excluded).
+	RTTMin     time.Duration
+	RTTAvg     time.Duration
+	RTTMax     time.Duration
+	RTTSamples uint32
+}
+
+// Day returns the UTC day the flow started, truncated to midnight —
+// the partitioning key of the log store.
+func (r *Record) Day() time.Time {
+	y, m, d := r.Start.UTC().Date()
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// TotalBytes returns the two-way byte count.
+func (r *Record) TotalBytes() uint64 { return r.BytesUp + r.BytesDown }
+
+// String renders a one-line summary for logs and debugging.
+func (r *Record) String() string {
+	return fmt.Sprintf("%s %s:%d -> %s:%d %s name=%q up=%dB down=%dB rtt=%s",
+		r.Proto, r.Client, r.CliPort, r.Server, r.SrvPort, r.Web,
+		r.ServerName, r.BytesUp, r.BytesDown, r.RTTMin)
+}

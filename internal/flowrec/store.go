@@ -1,0 +1,177 @@
+package flowrec
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Store is the data lake of the reproduction: a directory of
+// day-partitioned, gzip-compressed flow logs, mirroring the paper's
+// "daily, logs are copied into a long-term storage" workflow
+// (section 2.2). File layout: <root>/YYYY/MM/flows-YYYYMMDD.efl.gz.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flowrec: opening store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store directory.
+func (s *Store) Root() string { return s.root }
+
+// dayPath returns the log path for a UTC day.
+func (s *Store) dayPath(day time.Time) string {
+	day = day.UTC()
+	return filepath.Join(s.root,
+		fmt.Sprintf("%04d", day.Year()),
+		fmt.Sprintf("%02d", int(day.Month())),
+		fmt.Sprintf("flows-%04d%02d%02d.efl.gz", day.Year(), int(day.Month()), day.Day()))
+}
+
+// DayWriter appends records to one day's log. Records must all belong
+// to the day it was opened for; Write enforces this because a
+// mis-partitioned lake silently corrupts every per-day aggregate.
+type DayWriter struct {
+	day  time.Time
+	f    *os.File
+	gz   *gzip.Writer
+	enc  *Encoder
+	path string
+}
+
+// CreateDay creates (truncating) the log for day.
+func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
+	path := s.dayPath(day)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("flowrec: creating day dir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowrec: creating day log: %w", err)
+	}
+	gz, err := gzip.NewWriterLevel(f, gzip.BestSpeed)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	enc, err := NewEncoder(gz)
+	if err != nil {
+		gz.Close()
+		f.Close()
+		return nil, err
+	}
+	y, m, d := day.UTC().Date()
+	return &DayWriter{
+		day: time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
+		f:   f, gz: gz, enc: enc, path: path,
+	}, nil
+}
+
+// Day returns the UTC midnight this writer covers.
+func (w *DayWriter) Day() time.Time { return w.day }
+
+// Count returns the number of records written so far.
+func (w *DayWriter) Count() uint64 { return w.enc.Count() }
+
+// Write appends one record, validating its partition.
+func (w *DayWriter) Write(r *Record) error {
+	if !r.Day().Equal(w.day) {
+		return fmt.Errorf("flowrec: record of %s written to log of %s",
+			r.Day().Format("2006-01-02"), w.day.Format("2006-01-02"))
+	}
+	return w.enc.Encode(r)
+}
+
+// Close flushes and closes the log.
+func (w *DayWriter) Close() error {
+	var firstErr error
+	if err := w.enc.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := w.gz.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// ErrNoDay reports a missing day partition — a probe outage in the
+// paper's terms (section 2.3); callers skip and carry on.
+var ErrNoDay = errors.New("flowrec: no log for day")
+
+// ReadDay streams every record of one day to fn. Iteration stops early
+// if fn returns a non-nil error, which is then returned.
+func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
+	path := s.dayPath(day)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNoDay, day.UTC().Format("2006-01-02"))
+		}
+		return fmt.Errorf("flowrec: opening day log: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("flowrec: %s: %w", path, err)
+	}
+	defer gz.Close()
+	dec, err := NewDecoder(gz)
+	if err != nil {
+		return fmt.Errorf("flowrec: %s: %w", path, err)
+	}
+	var rec Record
+	for {
+		rec = Record{}
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("flowrec: %s: %w", path, err)
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Days lists every day with a log, sorted ascending.
+func (s *Store) Days() ([]time.Time, error) {
+	var days []time.Time
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		var y, m, dd int
+		base := filepath.Base(path)
+		if _, err := fmt.Sscanf(base, "flows-%4d%2d%2d.efl.gz", &y, &m, &dd); err != nil {
+			return nil // not a log file
+		}
+		days = append(days, time.Date(y, time.Month(m), dd, 0, 0, 0, 0, time.UTC))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flowrec: listing days: %w", err)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i].Before(days[j]) })
+	return days, nil
+}
+
+// HasDay reports whether a log exists for day.
+func (s *Store) HasDay(day time.Time) bool {
+	_, err := os.Stat(s.dayPath(day))
+	return err == nil
+}

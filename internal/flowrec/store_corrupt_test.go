@@ -1,0 +1,116 @@
+package flowrec
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Failure injection: a data lake accumulates damage over five years —
+// truncated copies, bad blocks, stray files. The reader must fail
+// loudly on damage and ignore impostors, never return garbage records.
+
+func writeOneDay(t *testing.T, s *Store, day time.Time) string {
+	t.Helper()
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	rec.Start = day.Add(2 * time.Hour)
+	for i := 0; i < 20; i++ {
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(s.Root(),
+		day.Format("2006"), day.Format("01"),
+		"flows-"+day.Format("20060102")+".efl.gz")
+}
+
+func TestReadDayTruncatedGzip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 2, 3, 0, 0, 0, 0, time.UTC)
+	path := writeOneDay(t, s, day)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = s.ReadDay(day, func(*Record) error { n++; return nil })
+	if err == nil {
+		t.Fatal("truncated log read without error")
+	}
+}
+
+func TestReadDayGarbageFile(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 2, 3, 0, 0, 0, 0, time.UTC)
+	path := writeOneDay(t, s, day)
+	if err := os.WriteFile(path, []byte("this is not a flow log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadDay(day, func(*Record) error { return nil }); err == nil {
+		t.Fatal("garbage file read without error")
+	}
+}
+
+func TestReadDayWrongInnerMagic(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 2, 3, 0, 0, 0, 0, time.UTC)
+	path := writeOneDay(t, s, day)
+
+	// Valid gzip, wrong payload.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	gz.Write([]byte("EVIL payload that is not a flow log at all"))
+	gz.Close()
+	f.Close()
+
+	err = s.ReadDay(day, func(*Record) error { return nil })
+	if err == nil {
+		t.Fatal("wrong-magic payload read without error")
+	}
+}
+
+func TestDaysIgnoresStrayFiles(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2016, 8, 9, 0, 0, 0, 0, time.UTC)
+	writeOneDay(t, s, day)
+	// Stray files a real lake accumulates.
+	os.WriteFile(filepath.Join(s.Root(), "README"), []byte("x"), 0o644)
+	os.MkdirAll(filepath.Join(s.Root(), "2016", "08", "tmp"), 0o755)
+	os.WriteFile(filepath.Join(s.Root(), "2016", "08", "notes.txt"), []byte("y"), 0o644)
+
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 1 || !days[0].Equal(day) {
+		t.Errorf("Days = %v, want just %v", days, day)
+	}
+}

@@ -1,0 +1,155 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (the .pcap files tcpdump produces). The probe consumes packets from
+// any source; with this package it can replay real captures, and the
+// simulator's packet stream can be exported for inspection with
+// standard tools — the interchange format every measurement system
+// ends up needing.
+//
+// Only the original format (magic 0xa1b2c3d4, microsecond timestamps,
+// and its nanosecond variant 0xa1b23c4d) is implemented; pcapng is out
+// of scope. Both byte orders are read; writing uses little-endian
+// microseconds, the most widely understood flavour.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// LinkTypeEthernet is the only link type the probe understands.
+const LinkTypeEthernet = 1
+
+// Magic numbers.
+const (
+	magicMicro = 0xa1b2c3d4
+	magicNano  = 0xa1b23c4d
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("pcap: not a pcap file")
+	ErrCorrupt   = errors.New("pcap: corrupt packet header")
+	ErrWrongLink = errors.New("pcap: unsupported link type")
+)
+
+// maxSnapLen bounds a sane packet length; anything above is damage.
+const maxSnapLen = 256 << 10
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	snapLen uint32
+}
+
+// NewWriter writes the file header. snapLen 0 defaults to 65535.
+func NewWriter(w io.Writer, snapLen uint32) (*Writer, error) {
+	if snapLen == 0 {
+		snapLen = 65535
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone (4) and sigfigs (4) stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing file header: %w", err)
+	}
+	return &Writer{w: bw, snapLen: snapLen}, nil
+}
+
+// WritePacket appends one packet, truncating data to the snap length.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	origLen := uint32(len(data))
+	if origLen > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], origLen)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: writing packet header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: writing packet data: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered bytes down.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	nano    bool
+	snapLen uint32
+	// LinkType is the capture's link layer (LinkTypeEthernet for
+	// probe-compatible files).
+	LinkType uint32
+}
+
+// NewReader parses the file header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading file header: %w", err)
+	}
+	rd := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNano:
+		rd.order, rd.nano = binary.LittleEndian, true
+	case magicBE == magicMicro:
+		rd.order = binary.BigEndian
+	case magicBE == magicNano:
+		rd.order, rd.nano = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.snapLen = rd.order.Uint32(hdr[16:20])
+	rd.LinkType = rd.order.Uint32(hdr[20:24])
+	return rd, nil
+}
+
+// ReadPacket returns the next packet. It returns io.EOF cleanly at the
+// end of the stream. The data slice is freshly allocated per call and
+// safe to retain.
+func (r *Reader) ReadPacket() (ts time.Time, data []byte, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return time.Time{}, nil, io.EOF
+		}
+		return time.Time{}, nil, fmt.Errorf("pcap: reading packet header: %w", err)
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	frac := r.order.Uint32(hdr[4:8])
+	capLen := r.order.Uint32(hdr[8:12])
+	if capLen > maxSnapLen {
+		return time.Time{}, nil, fmt.Errorf("pcap: captured length %d: %w", capLen, ErrCorrupt)
+	}
+	nanos := int64(frac) * 1000
+	if r.nano {
+		nanos = int64(frac)
+	}
+	ts = time.Unix(int64(sec), nanos).UTC()
+	data = make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return time.Time{}, nil, fmt.Errorf("pcap: reading packet data: %w", err)
+	}
+	return ts, data, nil
+}

@@ -1,0 +1,163 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2016, 11, 5, 10, 20, 30, 123456000, time.UTC)
+	packets := [][]byte{
+		{0x01},
+		bytes.Repeat([]byte{0xAB}, 1500),
+		{},
+	}
+	for i, p := range packets {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Errorf("link type = %d", r.LinkType)
+	}
+	for i, want := range packets {
+		ts, data, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("packet %d data mismatch (%d vs %d bytes)", i, len(data), len(want))
+		}
+		wantTS := base.Add(time.Duration(i) * time.Second)
+		if ts.Sub(wantTS) > time.Microsecond || wantTS.Sub(ts) > time.Microsecond {
+			t.Errorf("packet %d ts = %v, want %v", i, ts, wantTS)
+		}
+	}
+	if _, _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Errorf("after last packet: %v, want EOF", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0x42}, 300)
+	if err := w.WritePacket(time.Unix(1, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 100 {
+		t.Errorf("captured %d bytes, want snaplen 100", len(data))
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("zero header: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestReaderBigEndianAndNano(t *testing.T) {
+	// Hand-build a big-endian nanosecond file with one packet.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], magicNano)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	pkt := []byte{1, 2, 3, 4}
+	ph := make([]byte, 16)
+	binary.BigEndian.PutUint32(ph[0:4], 1000)
+	binary.BigEndian.PutUint32(ph[4:8], 42) // 42 ns
+	binary.BigEndian.PutUint32(ph[8:12], uint32(len(pkt)))
+	binary.BigEndian.PutUint32(ph[12:16], uint32(len(pkt)))
+	buf.Write(ph)
+	buf.Write(pkt)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, pkt) {
+		t.Error("data mismatch")
+	}
+	if ts.Nanosecond() != 42 {
+		t.Errorf("nanoseconds = %d, want 42", ts.Nanosecond())
+	}
+}
+
+func TestReaderRejectsHugeCapLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WritePacket(time.Unix(0, 0), []byte{1})
+	w.Flush()
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[24+8:24+12], 1<<30) // capLen field
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedMidPacket(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WritePacket(time.Unix(0, 0), bytes.Repeat([]byte{7}, 64))
+	w.Flush()
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated packet: err = %v, want a real error", err)
+	}
+}

@@ -1,0 +1,57 @@
+package probe
+
+import "repro/internal/wire"
+
+// dnHunter implements the DN-Hunter mechanism (section 2.1 of the
+// paper, after [Bermudez et al. IMC'12]): the probe observes all DNS
+// traffic and remembers, per client, the last name each server address
+// resolved from. Flows lacking an in-band server name (QUIC, TLS
+// without SNI, raw TCP) are annotated from this cache.
+type dnHunter struct {
+	// byClient maps client → (server address → name). Scoping by
+	// client matters: two customers can resolve the same CDN address
+	// from different names, and the name says what *they* wanted.
+	byClient map[wire.Addr]map[wire.Addr]string
+	entries  int
+}
+
+// dnHunterMaxEntries bounds total cached bindings; on overflow the
+// cache resets, which costs a few unnamed flows right after — the same
+// trade the fixed-size cache of a real probe makes.
+const dnHunterMaxEntries = 1 << 20
+
+func newDNHunter() *dnHunter {
+	return &dnHunter{byClient: make(map[wire.Addr]map[wire.Addr]string)}
+}
+
+// learn records that client resolved name to server.
+func (d *dnHunter) learn(client, server wire.Addr, name string) {
+	if name == "" {
+		return
+	}
+	m := d.byClient[client]
+	if m == nil {
+		m = make(map[wire.Addr]string)
+		d.byClient[client] = m
+	}
+	if _, exists := m[server]; !exists {
+		d.entries++
+		if d.entries > dnHunterMaxEntries {
+			d.byClient = make(map[wire.Addr]map[wire.Addr]string)
+			d.entries = 1
+			m = make(map[wire.Addr]string)
+			d.byClient[client] = m
+		}
+	}
+	m[server] = name
+}
+
+// lookup returns the name client last resolved for server.
+func (d *dnHunter) lookup(client, server wire.Addr) (string, bool) {
+	m := d.byClient[client]
+	if m == nil {
+		return "", false
+	}
+	name, ok := m[server]
+	return name, ok
+}

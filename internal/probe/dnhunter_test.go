@@ -1,0 +1,70 @@
+package probe
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestDNHunterLearnLookup(t *testing.T) {
+	d := newDNHunter()
+	cli := wire.AddrFrom(10, 0, 0, 1)
+	srv := wire.AddrFrom(173, 194, 1, 9)
+
+	if _, ok := d.lookup(cli, srv); ok {
+		t.Fatal("empty cache returned a name")
+	}
+	d.learn(cli, srv, "r1.googlevideo.com")
+	name, ok := d.lookup(cli, srv)
+	if !ok || name != "r1.googlevideo.com" {
+		t.Fatalf("lookup = %q, %v", name, ok)
+	}
+	// Later resolution overwrites: the *last* name wins, as in the
+	// DN-Hunter paper.
+	d.learn(cli, srv, "r2.googlevideo.com")
+	if name, _ := d.lookup(cli, srv); name != "r2.googlevideo.com" {
+		t.Errorf("lookup = %q, want updated name", name)
+	}
+}
+
+func TestDNHunterScopedPerClient(t *testing.T) {
+	d := newDNHunter()
+	srv := wire.AddrFrom(23, 62, 1, 1) // shared CDN address
+	d.learn(wire.AddrFrom(10, 0, 0, 1), srv, "fbstatic-a.akamaihd.net")
+	d.learn(wire.AddrFrom(10, 0, 0, 2), srv, "instagramstatic-a.akamaihd.net")
+
+	n1, _ := d.lookup(wire.AddrFrom(10, 0, 0, 1), srv)
+	n2, _ := d.lookup(wire.AddrFrom(10, 0, 0, 2), srv)
+	if n1 != "fbstatic-a.akamaihd.net" || n2 != "instagramstatic-a.akamaihd.net" {
+		t.Errorf("cross-client pollution: %q / %q", n1, n2)
+	}
+	if _, ok := d.lookup(wire.AddrFrom(10, 0, 0, 3), srv); ok {
+		t.Error("third client sees someone else's resolution")
+	}
+}
+
+func TestDNHunterIgnoresEmptyNames(t *testing.T) {
+	d := newDNHunter()
+	cli, srv := wire.AddrFrom(10, 1, 1, 1), wire.AddrFrom(9, 9, 9, 9)
+	d.learn(cli, srv, "")
+	if _, ok := d.lookup(cli, srv); ok {
+		t.Error("empty name was cached")
+	}
+}
+
+func TestDNHunterEntryCounting(t *testing.T) {
+	d := newDNHunter()
+	cli := wire.AddrFrom(10, 1, 1, 1)
+	for i := 0; i < 100; i++ {
+		d.learn(cli, wire.AddrFrom(9, 9, byte(i>>8), byte(i)), fmt.Sprintf("h%d.example", i))
+	}
+	if d.entries != 100 {
+		t.Errorf("entries = %d, want 100", d.entries)
+	}
+	// Re-learning the same binding must not double-count.
+	d.learn(cli, wire.AddrFrom(9, 9, 0, 0), "h0-renamed.example")
+	if d.entries != 100 {
+		t.Errorf("entries = %d after overwrite, want 100", d.entries)
+	}
+}

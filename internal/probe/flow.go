@@ -1,0 +1,397 @@
+package probe
+
+import (
+	"time"
+
+	"repro/internal/dpi/btx"
+	"repro/internal/dpi/httpx"
+	"repro/internal/dpi/quicx"
+	"repro/internal/dpi/tlsx"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// flowState tracks one bidirectional stream between a subscriber and a
+// server.
+type flowState struct {
+	key        wire.FlowKey
+	proto      flowrec.Proto
+	client     wire.Endpoint
+	server     wire.Endpoint
+	sub        SubscriberInfo
+	clientIsLo bool
+
+	start time.Time
+	last  time.Time
+
+	pktsUp, pktsDown   uint32
+	bytesUp, bytesDown uint64
+
+	// TCP teardown tracking.
+	finUp, finDown bool
+	rstSeen        bool
+	done           bool
+
+	// DPI results.
+	web      flowrec.WebProto
+	webFinal bool // classification settled, stop inspecting payloads
+	name     string
+	nameSrc  flowrec.NameSource
+	alpn     string
+	quicVer  string
+	sawSPDY  bool // ALPN was spdy/* (label depends on probe epoch)
+
+	// First-flight reassembly: the client's opening bytes, collected
+	// in order until the DPI can classify them. A ClientHello happily
+	// spans TCP segments in the wild; Tstat reassembles, so do we.
+	reasm    []byte
+	reasmSeq uint32 // next expected client sequence number
+	reasmOn  bool
+	srvDone  bool // server-side ALPN refinement consumed
+
+	rtt rttEstimator
+}
+
+// reasmCap bounds the reassembly buffer; an unclassifiable first
+// flight longer than this is opaque application data.
+const reasmCap = 8 << 10
+
+// addTCP accounts one TCP segment.
+func (f *flowState) addTCP(ts time.Time, fromClient bool, d *wire.Decoded, p *Probe) {
+	f.touch(ts, fromClient, len(d.Payload))
+	t := d.TCP
+
+	// Teardown.
+	if t.Flags&wire.TCPRst != 0 {
+		f.rstSeen = true
+		f.done = true
+	}
+	if t.Flags&wire.TCPFin != 0 {
+		if fromClient {
+			f.finUp = true
+		} else {
+			f.finDown = true
+		}
+		if f.finUp && f.finDown {
+			f.done = true
+		}
+	}
+
+	// RTT: client segments arm the estimator; server ACKs resolve it.
+	// SYN consumes one sequence number, so its expected ack is seq+1.
+	if fromClient {
+		expected := t.Seq + uint32(len(d.Payload))
+		if t.Flags&wire.TCPSyn != 0 {
+			expected = t.Seq + 1
+		}
+		if expected != t.Seq {
+			f.rtt.sent(ts, expected)
+		}
+	} else if t.Flags&wire.TCPAck != 0 {
+		f.rtt.acked(ts, t.Ack)
+	}
+
+	if fromClient && len(d.Payload) > 0 && !f.webFinal {
+		f.feedFirstFlight(t.Seq, d.Payload, p)
+	}
+	if !fromClient && len(d.Payload) > 0 && !f.srvDone {
+		f.refineFromServer(d.Payload)
+	}
+}
+
+// feedFirstFlight accumulates in-order client payload and runs DPI on
+// the accumulated bytes. Out-of-order or gapped arrivals settle for
+// what is buffered — a probe classifies what it sees.
+func (f *flowState) feedFirstFlight(seq uint32, payload []byte, p *Probe) {
+	switch {
+	case !f.reasmOn:
+		f.reasmOn = true
+		f.reasmSeq = seq + uint32(len(payload))
+		f.reasm = append(f.reasm, payload...)
+	case seq == f.reasmSeq:
+		f.reasm = append(f.reasm, payload...)
+		f.reasmSeq += uint32(len(payload))
+	case int32(seq-f.reasmSeq) < 0:
+		return // retransmission of bytes we already hold
+	default:
+		// Sequence gap: classification proceeds on what we have.
+		f.inspectTCPPayload(f.reasm, p, true)
+		f.reasm = nil
+		f.webFinal = true
+		return
+	}
+	force := len(f.reasm) >= reasmCap
+	f.inspectTCPPayload(f.reasm, p, force)
+	if f.webFinal || force {
+		f.reasm = nil // settled (or gave up): stop buffering
+		f.webFinal = true
+	}
+}
+
+// refineFromServer reads the server's ServerHello, whose selected ALPN
+// is authoritative for the session's protocol: a client may offer
+// h2+http/1.1 and get neither.
+func (f *flowState) refineFromServer(payload []byte) {
+	f.srvDone = true
+	switch f.web {
+	case flowrec.WebTLS, flowrec.WebSPDY, flowrec.WebHTTP2:
+	default:
+		return
+	}
+	hello, err := tlsx.ParseServerHello(payload)
+	if err != nil || hello.ALPN == "" {
+		return
+	}
+	f.alpn = hello.ALPN
+	switch {
+	case hello.ALPN == "h2":
+		f.web = flowrec.WebHTTP2
+	case len(hello.ALPN) >= 4 && hello.ALPN[:4] == "spdy":
+		f.web = flowrec.WebSPDY
+		f.sawSPDY = true
+	default:
+		f.web = flowrec.WebTLS
+	}
+}
+
+// addUDP accounts one UDP datagram.
+func (f *flowState) addUDP(ts time.Time, fromClient bool, d *wire.Decoded, p *Probe) {
+	f.touch(ts, fromClient, len(d.Payload))
+	if f.webFinal {
+		return
+	}
+	switch {
+	case f.server.Port == 53 || f.client.Port == 53:
+		f.web = flowrec.WebDNS
+		f.webFinal = true
+	// QUIC only runs on UDP/443; gating on the port avoids tagging
+	// P2P datagrams whose first byte happens to look like a long
+	// header (0xE3 eMule vs IETF QUIC is genuinely ambiguous).
+	case f.server.Port == 443 && quicx.Sniff(d.Payload):
+		if h, err := quicx.Parse(d.Payload); err == nil {
+			f.web = flowrec.WebQUIC
+			f.quicVer = h.Version
+			f.webFinal = true
+		}
+	case btx.ClassifyUDP(d.Payload, f.server.Port) != btx.UDPNone:
+		f.web = flowrec.WebP2P
+		f.webFinal = true
+	}
+}
+
+// touch updates counters and liveness.
+func (f *flowState) touch(ts time.Time, fromClient bool, payloadLen int) {
+	if ts.After(f.last) {
+		f.last = ts
+	}
+	if ts.Before(f.start) {
+		f.start = ts
+	}
+	if fromClient {
+		f.pktsUp++
+		f.bytesUp += uint64(payloadLen)
+	} else {
+		f.pktsDown++
+		f.bytesDown += uint64(payloadLen)
+	}
+}
+
+// inspectTCPPayload runs the DPI chain on the reassembled first
+// flight. When force is false it may defer classification until more
+// bytes arrive (split ClientHello / incomplete request head).
+func (f *flowState) inspectTCPPayload(payload []byte, p *Probe, force bool) {
+	switch {
+	case tlsx.Sniff(payload):
+		if _, complete := tlsx.RecordLen(payload); !complete && !force {
+			return // hello spans segments: wait for the rest
+		}
+		hello, err := tlsx.ParseClientHello(payload)
+		if err != nil {
+			return // not actually a hello; retry with more bytes
+		}
+		f.name, f.nameSrc = hello.SNI, flowrec.NameSNI
+		if hello.SNI == "" {
+			f.nameSrc = flowrec.NameNone
+		}
+		switch {
+		case hello.FBZero:
+			f.web = flowrec.WebFBZero
+		case hello.ALPNContains("h2"):
+			f.web, f.alpn = flowrec.WebHTTP2, "h2"
+		case hasSPDY(hello.ALPN):
+			f.sawSPDY = true
+			f.alpn = firstSPDY(hello.ALPN)
+			f.web = flowrec.WebSPDY
+		default:
+			f.web = flowrec.WebTLS
+			if len(hello.ALPN) > 0 {
+				f.alpn = hello.ALPN[0]
+			}
+		}
+		f.webFinal = true
+	case httpx.SniffRequest(payload):
+		if !headComplete(payload) && !force {
+			return // request head still arriving
+		}
+		req, err := httpx.ParseRequest(payload)
+		if err != nil {
+			return
+		}
+		f.web = flowrec.WebHTTP
+		if req.Host != "" {
+			f.name, f.nameSrc = req.Host, flowrec.NameHTTPHost
+		}
+		f.webFinal = true
+	case btx.SniffHandshake(payload):
+		f.web = flowrec.WebP2P
+		f.webFinal = true
+	}
+}
+
+// record converts the flow to its exported record, filling DN-Hunter
+// names, applying the probe's protocol-visibility epoch, and
+// anonymizing the client.
+func (f *flowState) record(p *Probe) *flowrec.Record {
+	// DN-Hunter: flows without an in-band name get the last name the
+	// client resolved for the server address (section 2.1).
+	name, src := f.name, f.nameSrc
+	if name == "" {
+		if n, ok := p.dns.lookup(f.client.Addr, f.server.Addr); ok {
+			name, src = n, flowrec.NameDNS
+		}
+	}
+
+	// SPDY visibility epoch (event C of Figure 8): before the probe
+	// update, spdy/* flows were reported as generic HTTPS.
+	web := f.web
+	if web == flowrec.WebSPDY && !p.cfg.SPDYVisibleSince.IsZero() &&
+		f.start.Before(p.cfg.SPDYVisibleSince) {
+		web = flowrec.WebTLS
+	}
+
+	min, avg, max, n := f.rtt.summary()
+	return &flowrec.Record{
+		Client:     p.anon.Anon(f.client.Addr),
+		Server:     f.server.Addr,
+		CliPort:    f.client.Port,
+		SrvPort:    f.server.Port,
+		Proto:      f.proto,
+		Tech:       f.sub.Tech,
+		SubID:      f.sub.ID,
+		Start:      f.start,
+		Duration:   f.last.Sub(f.start),
+		PktsUp:     f.pktsUp,
+		PktsDown:   f.pktsDown,
+		BytesUp:    f.bytesUp,
+		BytesDown:  f.bytesDown,
+		Web:        web,
+		ServerName: name,
+		NameSrc:    src,
+		ALPN:       f.alpn,
+		QUICVer:    f.quicVer,
+		RTTMin:     min,
+		RTTAvg:     avg,
+		RTTMax:     max,
+		RTTSamples: n,
+	}
+}
+
+func hasSPDY(alpn []string) bool { return firstSPDY(alpn) != "" }
+
+func firstSPDY(alpn []string) string {
+	for _, a := range alpn {
+		if len(a) >= 4 && a[:4] == "spdy" {
+			return a
+		}
+	}
+	return ""
+}
+
+// headComplete reports whether an HTTP request head terminator has
+// arrived.
+func headComplete(payload []byte) bool {
+	for i := 0; i+3 < len(payload); i++ {
+		if payload[i] == '\r' && payload[i+1] == '\n' && payload[i+2] == '\r' && payload[i+3] == '\n' {
+			return true
+		}
+	}
+	return false
+}
+
+// rttEstimator matches client segments with the server ACKs covering
+// them, yielding probe→server round-trip samples (section 2.1 of the
+// paper, after [Mellia et al. ICC'06]). Retransmission ambiguity is
+// handled Karn-style: re-arming an already-armed sequence invalidates
+// the sample.
+type rttEstimator struct {
+	pending [rttPendingMax]rttPending
+	n       int
+
+	min, max, sum time.Duration
+	samples       uint32
+}
+
+type rttPending struct {
+	expectedAck uint32
+	at          time.Time
+	invalid     bool
+}
+
+// rttPendingMax bounds in-flight tracked segments per flow; more than
+// a handful in flight adds nothing to min-RTT accuracy.
+const rttPendingMax = 8
+
+// sent arms the estimator for a client segment expecting expectedAck.
+func (r *rttEstimator) sent(ts time.Time, expectedAck uint32) {
+	for i := 0; i < r.n; i++ {
+		if r.pending[i].expectedAck == expectedAck {
+			r.pending[i].invalid = true // retransmission: Karn
+			return
+		}
+	}
+	if r.n == len(r.pending) {
+		return
+	}
+	r.pending[r.n] = rttPending{expectedAck: expectedAck, at: ts}
+	r.n++
+}
+
+// acked resolves every pending segment cumulatively covered by ack.
+func (r *rttEstimator) acked(ts time.Time, ack uint32) {
+	w := 0
+	for i := 0; i < r.n; i++ {
+		pend := r.pending[i]
+		// Sequence-space comparison tolerant of wraparound.
+		if int32(ack-pend.expectedAck) >= 0 {
+			if !pend.invalid {
+				r.observe(ts.Sub(pend.at))
+			}
+			continue
+		}
+		r.pending[w] = pend
+		w++
+	}
+	r.n = w
+}
+
+func (r *rttEstimator) observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	if r.samples == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.sum += d
+	r.samples++
+}
+
+// summary returns min/avg/max and the sample count.
+func (r *rttEstimator) summary() (min, avg, max time.Duration, n uint32) {
+	if r.samples == 0 {
+		return 0, 0, 0, 0
+	}
+	return r.min, r.sum / time.Duration(r.samples), r.max, r.samples
+}

@@ -1,0 +1,278 @@
+// Package probe implements the passive traffic analyzer at the heart
+// of the paper's measurement infrastructure (their tool is Tstat,
+// section 2.1). A Probe consumes timestamped packets from a mirrored
+// link and exports one flow record per TCP/UDP stream, carrying:
+//
+//   - per-direction packet and byte counters,
+//   - the application protocol label (HTTP, TLS, SPDY, HTTP/2, QUIC,
+//     FB-Zero, P2P, DNS — the categories of Figure 8),
+//   - the server domain name from the HTTP Host header, the TLS SNI,
+//     or a preceding DNS resolution (DN-Hunter, [Bermudez et al.]),
+//   - the TCP round-trip-time estimate from the probe to the server
+//     (min/avg/max and sample count), obtained by matching client
+//     segments with the server ACKs that cover them,
+//   - the subscriber identity (anonymized) and access technology.
+//
+// Flows expire on RST, on FIN in both directions, or by idle timeout;
+// time advances only with packet timestamps, never the wall clock, so
+// replaying a trace gives identical output every run.
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/dpi/dnsx"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// Packet is one captured frame with its capture timestamp.
+type Packet struct {
+	TS   time.Time
+	Data []byte
+}
+
+// SubscriberInfo identifies a monitored customer line.
+type SubscriberInfo struct {
+	ID   uint32
+	Tech flowrec.AccessTech
+}
+
+// Config parameterises a Probe.
+type Config struct {
+	// Subscriber resolves a client address to a subscription. Flows
+	// where neither endpoint resolves are not exported (transit noise).
+	Subscriber func(wire.Addr) (SubscriberInfo, bool)
+
+	// AnonKey keys the client-address anonymizer. Required.
+	AnonKey []byte
+
+	// TCPIdleTimeout and UDPIdleTimeout expire silent flows. Zero
+	// values default to 5 minutes and 2 minutes (Tstat-like).
+	TCPIdleTimeout time.Duration
+	UDPIdleTimeout time.Duration
+
+	// SPDYVisibleSince models the June 2015 probe software update that
+	// started reporting SPDY explicitly (event C in Figure 8): flows
+	// with a spdy/* ALPN before this instant are labelled plain TLS,
+	// exactly as the real probes mislabelled them. Zero means SPDY is
+	// always visible.
+	SPDYVisibleSince time.Time
+
+	// OnRecord receives each exported flow record. Required.
+	OnRecord func(*flowrec.Record)
+}
+
+// Probe is the flow meter. Not safe for concurrent use: a deployment
+// shards packets across probes by flow hash (wire.FlowKey.FastHash),
+// mirroring the multi-queue DPDK capture of the real system.
+type Probe struct {
+	cfg    Config
+	parser *wire.LayerParser
+	anon   *anonymize.Mapper
+	flows  map[wire.FlowKey]*flowState
+	dns    *dnHunter
+	now    time.Time // latest packet timestamp seen
+
+	// sweep bookkeeping: expiry scans are amortised.
+	lastSweep time.Time
+
+	// Stats counts what the probe saw; cheap enough to always keep.
+	Stats Stats
+}
+
+// Stats aggregates probe-level counters.
+type Stats struct {
+	Packets       uint64
+	Bytes         uint64
+	NonIP         uint64
+	ParseErrors   uint64
+	FlowsExported uint64
+	DNSResponses  uint64
+}
+
+// sweepEvery bounds how often the idle-expiry scan runs.
+const sweepEvery = 10 * time.Second
+
+// New builds a probe. It panics on a nil OnRecord or Subscriber: both
+// are wiring, not runtime conditions.
+func New(cfg Config) *Probe {
+	if cfg.OnRecord == nil {
+		panic("probe: Config.OnRecord is required")
+	}
+	if cfg.Subscriber == nil {
+		panic("probe: Config.Subscriber is required")
+	}
+	if cfg.TCPIdleTimeout == 0 {
+		cfg.TCPIdleTimeout = 5 * time.Minute
+	}
+	if cfg.UDPIdleTimeout == 0 {
+		cfg.UDPIdleTimeout = 2 * time.Minute
+	}
+	return &Probe{
+		cfg:    cfg,
+		parser: wire.NewLayerParser(wire.LayerEthernet),
+		anon:   anonymize.New(cfg.AnonKey),
+		flows:  make(map[wire.FlowKey]*flowState),
+		dns:    newDNHunter(),
+	}
+}
+
+// Feed processes one packet. Malformed packets are counted and
+// dropped, never fatal — a passive probe must survive anything the
+// wire carries.
+func (p *Probe) Feed(pkt Packet) {
+	p.Stats.Packets++
+	p.Stats.Bytes += uint64(len(pkt.Data))
+	if pkt.TS.After(p.now) {
+		p.now = pkt.TS
+	}
+
+	d, err := p.parser.Parse(pkt.Data)
+	if err != nil {
+		// IPv6 frames are accounted as non-IP(v4) traffic even when
+		// their transport payload is short: the access network under
+		// study is IPv4, and v6 chatter is not an error condition.
+		if d != nil && d.Has(wire.LayerIPv6) {
+			p.Stats.NonIP++
+		} else {
+			p.Stats.ParseErrors++
+		}
+		return
+	}
+	if !d.Has(wire.LayerIPv4) {
+		p.Stats.NonIP++
+		return
+	}
+
+	switch {
+	case d.Has(wire.LayerTCP):
+		p.feedTCP(pkt.TS, d)
+	case d.Has(wire.LayerUDP):
+		p.feedUDP(pkt.TS, d)
+	default:
+		p.Stats.NonIP++
+	}
+
+	if p.now.Sub(p.lastSweep) >= sweepEvery {
+		p.sweep()
+		p.lastSweep = p.now
+	}
+}
+
+// feedTCP updates or creates the flow for a TCP segment.
+func (p *Probe) feedTCP(ts time.Time, d *wire.Decoded) {
+	src := wire.Endpoint{Addr: d.IP.Src, Port: d.TCP.SrcPort}
+	dst := wire.Endpoint{Addr: d.IP.Dst, Port: d.TCP.DstPort}
+	key, fwd := wire.NewFlowKey(wire.IPProtoTCP, src, dst)
+	f := p.flows[key]
+	if f == nil {
+		f = p.newFlow(ts, key, flowrec.ProtoTCP, src, dst, d.TCP.Flags)
+		if f == nil {
+			return // neither endpoint is a subscriber
+		}
+		p.flows[key] = f
+	}
+	fromClient := fwd == f.clientIsLo
+	f.addTCP(ts, fromClient, d, p)
+	if f.done {
+		p.export(f)
+		delete(p.flows, key)
+	}
+}
+
+// feedUDP updates or creates the flow for a UDP datagram.
+func (p *Probe) feedUDP(ts time.Time, d *wire.Decoded) {
+	src := wire.Endpoint{Addr: d.IP.Src, Port: d.UDP.SrcPort}
+	dst := wire.Endpoint{Addr: d.IP.Dst, Port: d.UDP.DstPort}
+
+	// DNS responses feed DN-Hunter before any flow bookkeeping: the
+	// annotation must be in place when the first data flow starts.
+	if src.Port == 53 {
+		if msg, err := dnsx.Decode(d.Payload); err == nil && msg.Response {
+			p.Stats.DNSResponses++
+			for _, a := range msg.ARecords() {
+				p.dns.learn(dst.Addr, wire.Addr(a.IP), a.Name)
+			}
+		}
+	}
+
+	key, fwd := wire.NewFlowKey(wire.IPProtoUDP, src, dst)
+	f := p.flows[key]
+	if f == nil {
+		f = p.newFlow(ts, key, flowrec.ProtoUDP, src, dst, 0)
+		if f == nil {
+			return
+		}
+		p.flows[key] = f
+	}
+	fromClient := fwd == f.clientIsLo
+	f.addUDP(ts, fromClient, d, p)
+}
+
+// newFlow decides flow orientation (who is the subscriber) and
+// allocates state. Returns nil when neither side is monitored.
+func (p *Probe) newFlow(ts time.Time, key wire.FlowKey, proto flowrec.Proto, src, dst wire.Endpoint, tcpFlags uint8) *flowState {
+	var client, server wire.Endpoint
+	var sub SubscriberInfo
+	if info, ok := p.cfg.Subscriber(src.Addr); ok {
+		client, server, sub = src, dst, info
+	} else if info, ok := p.cfg.Subscriber(dst.Addr); ok {
+		// First packet seen was server→client (downlink mirror races
+		// are routine); orientation still follows the subscriber.
+		client, server, sub = dst, src, info
+	} else {
+		return nil
+	}
+	f := &flowState{
+		key:        key,
+		proto:      proto,
+		client:     client,
+		server:     server,
+		sub:        sub,
+		start:      ts,
+		last:       ts,
+		clientIsLo: client == key.Lo,
+	}
+	return f
+}
+
+// sweep exports flows idle past their timeout.
+func (p *Probe) sweep() {
+	for key, f := range p.flows {
+		timeout := p.cfg.TCPIdleTimeout
+		if f.proto == flowrec.ProtoUDP {
+			timeout = p.cfg.UDPIdleTimeout
+		}
+		if p.now.Sub(f.last) >= timeout {
+			p.export(f)
+			delete(p.flows, key)
+		}
+	}
+}
+
+// Flush exports every open flow; call at end of trace.
+func (p *Probe) Flush() {
+	for key, f := range p.flows {
+		p.export(f)
+		delete(p.flows, key)
+	}
+}
+
+// export converts flow state to a record and hands it out.
+func (p *Probe) export(f *flowState) {
+	rec := f.record(p)
+	p.Stats.FlowsExported++
+	p.cfg.OnRecord(rec)
+}
+
+// OpenFlows reports the number of currently tracked flows.
+func (p *Probe) OpenFlows() int { return len(p.flows) }
+
+// String summarises probe counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("packets=%d bytes=%d flows=%d parse_errors=%d non_ip=%d dns=%d",
+		s.Packets, s.Bytes, s.FlowsExported, s.ParseErrors, s.NonIP, s.DNSResponses)
+}

@@ -1,0 +1,471 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dpi/dnsx"
+	"repro/internal/dpi/httpx"
+	"repro/internal/dpi/quicx"
+	"repro/internal/dpi/tlsx"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// testClient is inside the monitored customer range 10.0.0.0/8.
+var (
+	testClient = wire.AddrFrom(10, 1, 2, 3)
+	testServer = wire.AddrFrom(93, 184, 216, 34)
+	testT0     = time.Date(2016, 4, 10, 12, 0, 0, 0, time.UTC)
+)
+
+// newTestProbe wires a probe that treats 10/8 as subscribers (ADSL
+// below 10.128, FTTH above) and collects records.
+func newTestProbe(t *testing.T) (*Probe, *[]*flowrec.Record) {
+	t.Helper()
+	var records []*flowrec.Record
+	p := New(Config{
+		Subscriber: func(a wire.Addr) (SubscriberInfo, bool) {
+			if a[0] != 10 {
+				return SubscriberInfo{}, false
+			}
+			tech := flowrec.TechADSL
+			if a[1] >= 128 {
+				tech = flowrec.TechFTTH
+			}
+			return SubscriberInfo{ID: uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3]), Tech: tech}, true
+		},
+		AnonKey:  []byte("test-key"),
+		OnRecord: func(r *flowrec.Record) { records = append(records, r) },
+	})
+	return p, &records
+}
+
+// tcpSession crafts packets of one TCP connection for tests.
+type tcpSession struct {
+	b          wire.Builder
+	cli, srv   wire.Endpoint
+	seqC, seqS uint32
+}
+
+func newTCPSession(cli, srv wire.Endpoint) *tcpSession {
+	return &tcpSession{cli: cli, srv: srv, seqC: 1000, seqS: 50000}
+}
+
+func (s *tcpSession) packet(t *testing.T, ts time.Time, fromClient bool, flags uint8, payload []byte) Packet {
+	t.Helper()
+	var ip wire.IPv4
+	var tcp wire.TCP
+	if fromClient {
+		ip = wire.IPv4{Src: s.cli.Addr, Dst: s.srv.Addr}
+		tcp = wire.TCP{SrcPort: s.cli.Port, DstPort: s.srv.Port, Seq: s.seqC, Ack: s.seqS, Flags: flags}
+		s.seqC += uint32(len(payload))
+		if flags&wire.TCPSyn != 0 || flags&wire.TCPFin != 0 {
+			s.seqC++
+		}
+	} else {
+		ip = wire.IPv4{Src: s.srv.Addr, Dst: s.cli.Addr}
+		tcp = wire.TCP{SrcPort: s.srv.Port, DstPort: s.cli.Port, Seq: s.seqS, Ack: s.seqC, Flags: flags}
+		s.seqS += uint32(len(payload))
+		if flags&wire.TCPSyn != 0 || flags&wire.TCPFin != 0 {
+			s.seqS++
+		}
+	}
+	raw, err := s.b.TCPPacket(&ip, &tcp, payload)
+	if err != nil {
+		t.Fatalf("building packet: %v", err)
+	}
+	data := make([]byte, len(raw))
+	copy(data, raw)
+	return Packet{TS: ts, Data: data}
+}
+
+// runTLSFlow drives a complete HTTPS-ish connection through p.
+func runTLSFlow(t *testing.T, p *Probe, spec tlsx.HelloSpec, downBytes int) {
+	t.Helper()
+	s := newTCPSession(
+		wire.Endpoint{Addr: testClient, Port: 40000},
+		wire.Endpoint{Addr: testServer, Port: 443},
+	)
+	ts := testT0
+	step := func(d time.Duration) time.Time { ts = ts.Add(d); return ts }
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	p.Feed(s.packet(t, step(3*time.Millisecond), false, wire.TCPSyn|wire.TCPAck, nil))
+	hello := tlsx.AppendClientHello(nil, spec)
+	p.Feed(s.packet(t, step(time.Millisecond), true, wire.TCPAck|wire.TCPPsh, hello))
+	p.Feed(s.packet(t, step(3*time.Millisecond), false, wire.TCPAck, make([]byte, downBytes)))
+	p.Feed(s.packet(t, step(time.Millisecond), true, wire.TCPFin|wire.TCPAck, nil))
+	p.Feed(s.packet(t, step(3*time.Millisecond), false, wire.TCPFin|wire.TCPAck, nil))
+}
+
+func TestTLSFlowExport(t *testing.T) {
+	p, records := newTestProbe(t)
+	runTLSFlow(t, p, tlsx.HelloSpec{SNI: "www.netflix.com", ALPN: []string{"h2"}}, 1200)
+	if len(*records) != 1 {
+		t.Fatalf("%d records, want 1 (FIN both ways closes)", len(*records))
+	}
+	r := (*records)[0]
+	if r.ServerName != "www.netflix.com" || r.NameSrc != flowrec.NameSNI {
+		t.Errorf("name = %q src %v", r.ServerName, r.NameSrc)
+	}
+	if r.Web != flowrec.WebHTTP2 {
+		t.Errorf("web = %v, want HTTP/2 (h2 ALPN)", r.Web)
+	}
+	if r.Tech != flowrec.TechADSL {
+		t.Errorf("tech = %v", r.Tech)
+	}
+	if r.Client == testClient {
+		t.Error("client address not anonymized")
+	}
+	if r.Server != testServer {
+		t.Error("server address must stay real (it feeds Fig 11)")
+	}
+	if r.BytesDown != 1200 {
+		t.Errorf("bytes down = %d", r.BytesDown)
+	}
+	if r.PktsUp != 3 || r.PktsDown != 3 {
+		t.Errorf("pkts = %d/%d, want 3/3", r.PktsUp, r.PktsDown)
+	}
+	if r.RTTSamples == 0 {
+		t.Fatal("no RTT samples")
+	}
+	if r.RTTMin != 3*time.Millisecond {
+		t.Errorf("rtt min = %v, want 3ms", r.RTTMin)
+	}
+	if r.Duration != 11*time.Millisecond {
+		t.Errorf("duration = %v", r.Duration)
+	}
+}
+
+func TestPlainTLSAndSPDYEpoch(t *testing.T) {
+	// Before the SPDY-visibility update, spdy/3.1 flows are TLS; after
+	// it they are SPDY (event C of Figure 8).
+	cut := testT0.Add(24 * time.Hour)
+	var records []*flowrec.Record
+	p := New(Config{
+		Subscriber: func(a wire.Addr) (SubscriberInfo, bool) {
+			return SubscriberInfo{ID: 1}, a[0] == 10
+		},
+		AnonKey:          []byte("k"),
+		SPDYVisibleSince: cut,
+		OnRecord:         func(r *flowrec.Record) { records = append(records, r) },
+	})
+	runTLSFlow(t, p, tlsx.HelloSpec{SNI: "www.google.com", ALPN: []string{"spdy/3.1"}}, 100)
+	if len(records) != 1 || records[0].Web != flowrec.WebTLS {
+		t.Fatalf("pre-update spdy labelled %v, want TLS", records[0].Web)
+	}
+	// Re-run after the cut; the helper always starts at testT0, so run
+	// a manual session a day later.
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 41000}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := cut.Add(time.Hour)
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.google.com", ALPN: []string{"spdy/3.1"}})
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), true, wire.TCPAck, hello))
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPRst, nil))
+	if len(records) != 2 || records[1].Web != flowrec.WebSPDY {
+		t.Fatalf("post-update spdy labelled %v, want SPDY", records[1].Web)
+	}
+	if records[1].ALPN != "spdy/3.1" {
+		t.Errorf("alpn = %q", records[1].ALPN)
+	}
+}
+
+func TestFBZeroFlow(t *testing.T) {
+	p, records := newTestProbe(t)
+	runTLSFlow(t, p, tlsx.HelloSpec{SNI: "graph.facebook.com", FBZero: true}, 500)
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	if (*records)[0].Web != flowrec.WebFBZero {
+		t.Errorf("web = %v, want FB-ZERO", (*records)[0].Web)
+	}
+}
+
+func TestHTTPFlow(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40001}, wire.Endpoint{Addr: testServer, Port: 80})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), false, wire.TCPSyn|wire.TCPAck, nil))
+	req := httpx.AppendRequest(nil, "GET", "www.Repubblica.IT", "/", "Mozilla/5.0")
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPAck|wire.TCPPsh, req))
+	resp := httpx.AppendResponse(nil, 200, 5000)
+	p.Feed(s.packet(t, ts.Add(5*time.Millisecond), false, wire.TCPAck, resp))
+	p.Feed(s.packet(t, ts.Add(6*time.Millisecond), true, wire.TCPRst, nil))
+	if len(*records) != 1 {
+		t.Fatalf("%d records, want 1 (RST closes)", len(*records))
+	}
+	r := (*records)[0]
+	if r.Web != flowrec.WebHTTP {
+		t.Errorf("web = %v", r.Web)
+	}
+	if r.ServerName != "www.repubblica.it" || r.NameSrc != flowrec.NameHTTPHost {
+		t.Errorf("name = %q src %v", r.ServerName, r.NameSrc)
+	}
+}
+
+func TestDNHunterAnnotatesQUIC(t *testing.T) {
+	p, records := newTestProbe(t)
+	resolver := wire.AddrFrom(8, 8, 8, 8)
+	videoSrv := wire.AddrFrom(173, 194, 4, 10)
+
+	// 1. Client resolves r1.googlevideo.com → videoSrv.
+	var b wire.Builder
+	dnsResp, err := dnsx.AppendResponse(nil, 7, "r1.googlevideo.com", [4]byte(videoSrv), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := wire.IPv4{Src: resolver, Dst: testClient}
+	udp := wire.UDP{SrcPort: 53, DstPort: 33999}
+	raw, err := b.UDPPacket(&ip, &udp, dnsResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(Packet{TS: testT0, Data: append([]byte(nil), raw...)})
+
+	// 2. Client opens a QUIC session to videoSrv.
+	quicPayload := quicx.AppendGQUIC(nil, "Q039", 777, 200)
+	ip = wire.IPv4{Src: testClient, Dst: videoSrv}
+	udp = wire.UDP{SrcPort: 40500, DstPort: 443}
+	raw, err = b.UDPPacket(&ip, &udp, quicPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(Packet{TS: testT0.Add(time.Second), Data: append([]byte(nil), raw...)})
+	p.Flush()
+
+	var quicRec *flowrec.Record
+	for _, r := range *records {
+		if r.Web == flowrec.WebQUIC {
+			quicRec = r
+		}
+	}
+	if quicRec == nil {
+		t.Fatalf("no QUIC record among %d", len(*records))
+	}
+	if quicRec.ServerName != "r1.googlevideo.com" || quicRec.NameSrc != flowrec.NameDNS {
+		t.Errorf("name = %q src %v, want DN-Hunter annotation", quicRec.ServerName, quicRec.NameSrc)
+	}
+	if quicRec.QUICVer != "Q039" {
+		t.Errorf("quic version = %q", quicRec.QUICVer)
+	}
+	if p.Stats.DNSResponses != 1 {
+		t.Errorf("dns responses = %d", p.Stats.DNSResponses)
+	}
+}
+
+func TestBitTorrentDetection(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 51413}, wire.Endpoint{Addr: wire.AddrFrom(78, 1, 2, 3), Port: 51413})
+	hs := append([]byte{19}, []byte("BitTorrent protocol")...)
+	hs = append(hs, make([]byte, 48)...)
+	p.Feed(s.packet(t, testT0, true, wire.TCPAck|wire.TCPPsh, hs))
+	p.Flush()
+	if len(*records) != 1 || (*records)[0].Web != flowrec.WebP2P {
+		t.Fatalf("records = %v", *records)
+	}
+}
+
+func TestP2PUDPDetection(t *testing.T) {
+	p, records := newTestProbe(t)
+	var b wire.Builder
+	ip := wire.IPv4{Src: testClient, Dst: wire.AddrFrom(78, 5, 6, 7)}
+	udp := wire.UDP{SrcPort: 4672, DstPort: 4672}
+	raw, err := b.UDPPacket(&ip, &udp, []byte{0xE3, 0x01, 0x02, 0x03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(Packet{TS: testT0, Data: append([]byte(nil), raw...)})
+	p.Flush()
+	if len(*records) != 1 || (*records)[0].Web != flowrec.WebP2P {
+		t.Fatalf("udp p2p not detected: %v", *records)
+	}
+}
+
+func TestNonSubscriberIgnored(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: wire.AddrFrom(185, 1, 2, 3), Port: 40000}, wire.Endpoint{Addr: testServer, Port: 443})
+	p.Feed(s.packet(t, testT0, true, wire.TCPSyn, nil))
+	p.Flush()
+	if len(*records) != 0 {
+		t.Fatalf("transit flow exported: %v", *records)
+	}
+}
+
+func TestServerFirstOrientation(t *testing.T) {
+	// First observed packet travels server→client; the subscriber side
+	// must still be the client of the record.
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40002}, wire.Endpoint{Addr: testServer, Port: 443})
+	p.Feed(s.packet(t, testT0, false, wire.TCPAck, make([]byte, 700))) // downlink first
+	p.Feed(s.packet(t, testT0.Add(time.Millisecond), true, wire.TCPAck, make([]byte, 20)))
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	r := (*records)[0]
+	if r.BytesDown != 700 || r.BytesUp != 20 {
+		t.Errorf("bytes up/down = %d/%d, want 20/700", r.BytesUp, r.BytesDown)
+	}
+	if r.SrvPort != 443 {
+		t.Errorf("server port = %d", r.SrvPort)
+	}
+}
+
+func TestIdleTimeoutExpiry(t *testing.T) {
+	var records []*flowrec.Record
+	p := New(Config{
+		Subscriber: func(a wire.Addr) (SubscriberInfo, bool) {
+			return SubscriberInfo{ID: 9}, a[0] == 10
+		},
+		AnonKey:        []byte("k"),
+		TCPIdleTimeout: 30 * time.Second,
+		OnRecord:       func(r *flowrec.Record) { records = append(records, r) },
+	})
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40003}, wire.Endpoint{Addr: testServer, Port: 443})
+	p.Feed(s.packet(t, testT0, true, wire.TCPSyn, nil))
+	if p.OpenFlows() != 1 {
+		t.Fatalf("open flows = %d", p.OpenFlows())
+	}
+	// An unrelated packet a minute later triggers the sweep.
+	s2 := newTCPSession(wire.Endpoint{Addr: wire.AddrFrom(10, 9, 9, 9), Port: 40004}, wire.Endpoint{Addr: testServer, Port: 443})
+	p.Feed(s2.packet(t, testT0.Add(time.Minute), true, wire.TCPSyn, nil))
+	if len(records) != 1 {
+		t.Fatalf("idle flow not expired: %d records, %d open", len(records), p.OpenFlows())
+	}
+	if records[0].CliPort != 40003 {
+		t.Errorf("wrong flow expired: %+v", records[0])
+	}
+}
+
+func TestAnonymizationConsistentAcrossFlows(t *testing.T) {
+	p, records := newTestProbe(t)
+	runTLSFlow(t, p, tlsx.HelloSpec{SNI: "a.example"}, 10)
+	runTLSFlow(t, p, tlsx.HelloSpec{SNI: "b.example"}, 10)
+	if len(*records) != 2 {
+		t.Fatalf("%d records", len(*records))
+	}
+	if (*records)[0].Client != (*records)[1].Client {
+		t.Error("same subscriber anonymized inconsistently")
+	}
+}
+
+func TestGarbageResilience(t *testing.T) {
+	p, records := newTestProbe(t)
+	p.Feed(Packet{TS: testT0, Data: []byte{1, 2, 3}})
+	p.Feed(Packet{TS: testT0, Data: nil})
+	junk := make([]byte, 90)
+	for i := range junk {
+		junk[i] = byte(i * 31)
+	}
+	p.Feed(Packet{TS: testT0, Data: junk})
+	p.Flush()
+	if len(*records) != 0 {
+		t.Errorf("garbage produced records: %v", *records)
+	}
+	if p.Stats.ParseErrors == 0 && p.Stats.NonIP == 0 {
+		t.Error("garbage not counted")
+	}
+}
+
+func TestRTTEstimatorKarn(t *testing.T) {
+	var r rttEstimator
+	t0 := testT0
+	r.sent(t0, 100)
+	r.sent(t0.Add(time.Millisecond), 100) // retransmission of same seq
+	r.acked(t0.Add(10*time.Millisecond), 100)
+	if _, _, _, n := r.summary(); n != 0 {
+		t.Errorf("retransmitted segment sampled: n=%d", n)
+	}
+	// A fresh, unambiguous exchange still measures.
+	r.sent(t0.Add(20*time.Millisecond), 200)
+	r.acked(t0.Add(23*time.Millisecond), 200)
+	min, avg, max, n := r.summary()
+	if n != 1 || min != 3*time.Millisecond || avg != min || max != min {
+		t.Errorf("summary = %v/%v/%v n=%d", min, avg, max, n)
+	}
+}
+
+func TestRTTEstimatorCumulativeAck(t *testing.T) {
+	var r rttEstimator
+	t0 := testT0
+	r.sent(t0, 100)
+	r.sent(t0.Add(time.Millisecond), 200)
+	r.acked(t0.Add(9*time.Millisecond), 250) // covers both
+	min, _, max, n := r.summary()
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if min != 8*time.Millisecond || max != 9*time.Millisecond {
+		t.Errorf("min/max = %v/%v", min, max)
+	}
+}
+
+func TestRTTEstimatorSeqWraparound(t *testing.T) {
+	var r rttEstimator
+	t0 := testT0
+	r.sent(t0, 0xFFFFFF00)
+	r.acked(t0.Add(4*time.Millisecond), 0x00000010) // wrapped past zero
+	if _, _, _, n := r.summary(); n != 1 {
+		t.Errorf("wraparound ack not matched: n=%d", n)
+	}
+}
+
+func TestRTTEstimatorOverflowBounded(t *testing.T) {
+	var r rttEstimator
+	for i := 0; i < 100; i++ {
+		r.sent(testT0, uint32(1000+i*100))
+	}
+	if r.n > rttPendingMax {
+		t.Errorf("pending grew to %d", r.n)
+	}
+}
+
+func BenchmarkProbeTCPFlow(b *testing.B) {
+	p := New(Config{
+		Subscriber: func(a wire.Addr) (SubscriberInfo, bool) {
+			return SubscriberInfo{ID: 1}, a[0] == 10
+		},
+		AnonKey:  []byte("bench"),
+		OnRecord: func(*flowrec.Record) {},
+	})
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.netflix.com", ALPN: []string{"h2"}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newTCPSession(
+			wire.Endpoint{Addr: wire.AddrFrom(10, byte(i>>16), byte(i>>8), byte(i)), Port: uint16(20000 + i%20000)},
+			wire.Endpoint{Addr: testServer, Port: 443},
+		)
+		ts := testT0.Add(time.Duration(i) * time.Microsecond)
+		var tt testing.T
+		p.Feed(s.packet(&tt, ts, true, wire.TCPSyn, nil))
+		p.Feed(s.packet(&tt, ts.Add(time.Millisecond), false, wire.TCPSyn|wire.TCPAck, nil))
+		p.Feed(s.packet(&tt, ts.Add(2*time.Millisecond), true, wire.TCPAck, hello))
+		p.Feed(s.packet(&tt, ts.Add(3*time.Millisecond), false, wire.TCPAck, make([]byte, 1200)))
+		p.Feed(s.packet(&tt, ts.Add(4*time.Millisecond), true, wire.TCPRst, nil))
+	}
+}
+
+func TestIPv6CountedAsNonIP(t *testing.T) {
+	// The access network is IPv4; stray v6 frames must be accounted,
+	// not crash the probe or fabricate flows.
+	p, records := newTestProbe(t)
+	pkt := make([]byte, wire.EthernetHeaderLen+wire.IPv6HeaderLen)
+	eth := wire.Ethernet{EtherType: wire.EtherTypeIPv6}
+	if _, err := eth.EncodeTo(pkt); err != nil {
+		t.Fatal(err)
+	}
+	ip := wire.IPv6{NextHeader: wire.IPProtoTCP, HopLimit: 64}
+	if _, err := ip.EncodeTo(pkt[wire.EthernetHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(Packet{TS: testT0, Data: pkt})
+	p.Flush()
+	if len(*records) != 0 {
+		t.Errorf("v6 frame produced records")
+	}
+	if p.Stats.NonIP != 1 {
+		t.Errorf("NonIP = %d, want 1", p.Stats.NonIP)
+	}
+}

@@ -1,0 +1,183 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dpi/httpx"
+	"repro/internal/dpi/tlsx"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// TestSplitClientHelloReassembled: a ClientHello spanning two TCP
+// segments must still yield the SNI and the protocol label.
+func TestSplitClientHelloReassembled(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40100}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), false, wire.TCPSyn|wire.TCPAck, nil))
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "very-long-server-name.cdninstagram.com", ALPN: []string{"h2"}})
+	cut := 60
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPAck, hello[:cut]))
+	p.Feed(s.packet(t, ts.Add(3*time.Millisecond), true, wire.TCPAck|wire.TCPPsh, hello[cut:]))
+	p.Feed(s.packet(t, ts.Add(4*time.Millisecond), true, wire.TCPRst, nil))
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	r := (*records)[0]
+	if r.ServerName != "very-long-server-name.cdninstagram.com" {
+		t.Errorf("SNI lost on split hello: %q", r.ServerName)
+	}
+	if r.Web != flowrec.WebHTTP2 {
+		t.Errorf("web = %v, want HTTP/2", r.Web)
+	}
+}
+
+// TestSplitHelloWithRetransmission: the first fragment is retransmitted
+// before the second arrives; the duplicate must not corrupt the buffer.
+func TestSplitHelloWithRetransmission(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40101}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.netflix.com"})
+	cut := 70
+	firstSeq := s.seqC
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), true, wire.TCPAck, hello[:cut]))
+	// Hand-craft a retransmission of the first fragment.
+	var b wire.Builder
+	ip := wire.IPv4{Src: testClient, Dst: testServer}
+	tcp := wire.TCP{SrcPort: 40101, DstPort: 443, Seq: firstSeq, Flags: wire.TCPAck}
+	raw, err := b.TCPPacket(&ip, &tcp, hello[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(Packet{TS: ts.Add(2 * time.Millisecond), Data: append([]byte(nil), raw...)})
+	p.Feed(s.packet(t, ts.Add(3*time.Millisecond), true, wire.TCPAck|wire.TCPPsh, hello[cut:]))
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	if (*records)[0].ServerName != "www.netflix.com" {
+		t.Errorf("SNI = %q after retransmission", (*records)[0].ServerName)
+	}
+}
+
+// TestSequenceGapSettles: a hole in the first flight makes the probe
+// classify what it has instead of waiting forever.
+func TestSequenceGapSettles(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40102}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "x.example"})
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), true, wire.TCPAck, hello[:40]))
+	// Skip ahead: simulate a lost middle fragment.
+	s.seqC += 500
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPAck, []byte("unrelated later bytes")))
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	// The truncated hello still sniffs as TLS (record header intact)
+	// even though the SNI never arrived.
+	r := (*records)[0]
+	if r.Web != flowrec.WebTLS {
+		t.Errorf("web = %v, want TLS from truncated hello", r.Web)
+	}
+	if r.ServerName != "" {
+		t.Errorf("name = %q from a hole-ridden hello", r.ServerName)
+	}
+}
+
+// TestServerALPNOverridesClientOffer: client offers h2, server picks
+// http/1.1 — the session is TLS, not HTTP/2.
+func TestServerALPNOverridesClientOffer(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40103}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), false, wire.TCPSyn|wire.TCPAck, nil))
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "api.example.com", ALPN: []string{"h2", "http/1.1"}})
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPAck|wire.TCPPsh, hello))
+	srv := tlsx.AppendServerHello(nil, 0, "http/1.1")
+	p.Feed(s.packet(t, ts.Add(4*time.Millisecond), false, wire.TCPAck|wire.TCPPsh, srv))
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	r := (*records)[0]
+	if r.Web != flowrec.WebTLS {
+		t.Errorf("web = %v, want TLS (server declined h2)", r.Web)
+	}
+	if r.ALPN != "http/1.1" {
+		t.Errorf("alpn = %q", r.ALPN)
+	}
+}
+
+// TestServerALPNUpgradesToSPDY: client offered spdy first; server
+// confirms; a probe after the visibility epoch reports SPDY.
+func TestServerALPNConfirmsSPDY(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40104}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.google.com", ALPN: []string{"spdy/3.1", "http/1.1"}})
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), true, wire.TCPAck|wire.TCPPsh, hello))
+	srv := tlsx.AppendServerHello(nil, 0, "spdy/3.1")
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), false, wire.TCPAck|wire.TCPPsh, srv))
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	if (*records)[0].Web != flowrec.WebSPDY {
+		t.Errorf("web = %v, want SPDY", (*records)[0].Web)
+	}
+}
+
+// TestSplitHTTPRequestHead: request head across two segments.
+func TestSplitHTTPRequestHead(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40105}, wire.Endpoint{Addr: testServer, Port: 80})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	req := httpx.AppendRequest(nil, "GET", "img.service.example", "/a/very/long/path/to/an/image.jpg", "Mozilla/5.0 (compatible)")
+	cut := 30 // inside the request line
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), true, wire.TCPAck, req[:cut]))
+	p.Feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPAck|wire.TCPPsh, req[cut:]))
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	r := (*records)[0]
+	if r.Web != flowrec.WebHTTP || r.ServerName != "img.service.example" {
+		t.Errorf("web=%v name=%q", r.Web, r.ServerName)
+	}
+}
+
+// TestReassemblyCapGivesUp: an endless unclassifiable first flight
+// stops consuming memory at the cap.
+func TestReassemblyCapGivesUp(t *testing.T) {
+	p, records := newTestProbe(t)
+	s := newTCPSession(wire.Endpoint{Addr: testClient, Port: 40106}, wire.Endpoint{Addr: testServer, Port: 443})
+	ts := testT0
+	p.Feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+	// A TLS record header claiming 16 KB, never completed.
+	head := []byte{0x16, 0x03, 0x01, 0x40, 0x00}
+	p.Feed(s.packet(t, ts.Add(time.Millisecond), true, wire.TCPAck, head))
+	chunk := make([]byte, 1400)
+	for i := 0; i < 8; i++ {
+		p.Feed(s.packet(t, ts.Add(time.Duration(2+i)*time.Millisecond), true, wire.TCPAck, chunk))
+	}
+	p.Flush()
+	if len(*records) != 1 {
+		t.Fatalf("%d records", len(*records))
+	}
+	// Classification settled (as best it could) without unbounded
+	// buffering; the record is exported rather than stuck.
+	if (*records)[0].BytesUp == 0 {
+		t.Error("flow lost its counters")
+	}
+}

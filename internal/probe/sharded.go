@@ -1,0 +1,106 @@
+package probe
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Sharded fans packets out to N independent probes by symmetric flow
+// hash, the way the real deployment spreads a multi-10Gb/s link across
+// DPDK queues and worker cores: both directions of a flow always land
+// on the same worker, so per-flow state never needs locks.
+type Sharded struct {
+	workers []*worker
+	parser  *wire.LayerParser // classifies packets onto shards
+	wg      sync.WaitGroup
+
+	// fallback counts packets that could not be flow-hashed (non-IP,
+	// malformed); they go to shard 0, which counts the parse error.
+	fallback uint64
+}
+
+type worker struct {
+	in    chan Packet
+	probe *Probe
+}
+
+// shardQueueDepth is each worker's input buffer; deep enough to ride
+// out scheduling hiccups, small enough to bound memory.
+const shardQueueDepth = 1024
+
+// NewSharded builds n probes from cfg. The OnRecord callback may be
+// invoked concurrently from different workers; give it its own
+// synchronisation if it shares state.
+func NewSharded(n int, cfg Config) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{parser: wire.NewLayerParser(wire.LayerEthernet)}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			in:    make(chan Packet, shardQueueDepth),
+			probe: New(cfg),
+		}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			for pkt := range w.in {
+				w.probe.Feed(pkt)
+			}
+			w.probe.Flush()
+		}(w)
+	}
+	return s
+}
+
+// Feed routes one packet to its flow's worker. The packet data must
+// not be reused by the caller after Feed returns (it crosses a
+// goroutine boundary); hand each packet its own buffer.
+func (s *Sharded) Feed(pkt Packet) {
+	shard := 0
+	if d, err := s.parser.Parse(pkt.Data); err == nil && d.Has(wire.LayerIPv4) {
+		var key wire.FlowKey
+		switch {
+		case d.Has(wire.LayerTCP):
+			key, _ = wire.NewFlowKey(wire.IPProtoTCP,
+				wire.Endpoint{Addr: d.IP.Src, Port: d.TCP.SrcPort},
+				wire.Endpoint{Addr: d.IP.Dst, Port: d.TCP.DstPort})
+		case d.Has(wire.LayerUDP):
+			key, _ = wire.NewFlowKey(wire.IPProtoUDP,
+				wire.Endpoint{Addr: d.IP.Src, Port: d.UDP.SrcPort},
+				wire.Endpoint{Addr: d.IP.Dst, Port: d.UDP.DstPort})
+		default:
+			s.fallback++
+		}
+		shard = int(key.FastHash() % uint64(len(s.workers)))
+	} else {
+		s.fallback++
+	}
+	s.workers[shard].in <- pkt
+}
+
+// Close drains the queues, flushes every worker's open flows and waits
+// for all records to be delivered.
+func (s *Sharded) Close() {
+	for _, w := range s.workers {
+		close(w.in)
+	}
+	s.wg.Wait()
+}
+
+// Stats sums the workers' counters. Call after Close.
+func (s *Sharded) Stats() Stats {
+	var total Stats
+	for _, w := range s.workers {
+		st := w.probe.Stats
+		total.Packets += st.Packets
+		total.Bytes += st.Bytes
+		total.NonIP += st.NonIP
+		total.ParseErrors += st.ParseErrors
+		total.FlowsExported += st.FlowsExported
+		total.DNSResponses += st.DNSResponses
+	}
+	return total
+}

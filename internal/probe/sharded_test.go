@@ -1,0 +1,162 @@
+package probe
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dpi/tlsx"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// shardedConfig builds a config whose OnRecord is concurrency-safe.
+func shardedConfig(mu *sync.Mutex, records *[]*flowrec.Record) Config {
+	return Config{
+		Subscriber: func(a wire.Addr) (SubscriberInfo, bool) {
+			if a[0] != 10 {
+				return SubscriberInfo{}, false
+			}
+			return SubscriberInfo{ID: uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])}, true
+		},
+		AnonKey: []byte("shard-test"),
+		OnRecord: func(r *flowrec.Record) {
+			c := *r
+			mu.Lock()
+			*records = append(*records, &c)
+			mu.Unlock()
+		},
+	}
+}
+
+// feedFlows pushes n complete TLS flows through feed, one per client.
+func feedFlows(t *testing.T, feed func(Packet), n int) {
+	t.Helper()
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.netflix.com", ALPN: []string{"h2"}})
+	for i := 0; i < n; i++ {
+		cli := wire.Endpoint{Addr: wire.AddrFrom(10, byte(i>>8), byte(i), 7), Port: uint16(30000 + i)}
+		srv := wire.Endpoint{Addr: testServer, Port: 443}
+		s := newTCPSession(cli, srv)
+		ts := testT0.Add(time.Duration(i) * time.Millisecond)
+		feed(s.packet(t, ts, true, wire.TCPSyn, nil))
+		feed(s.packet(t, ts.Add(time.Millisecond), false, wire.TCPSyn|wire.TCPAck, nil))
+		feed(s.packet(t, ts.Add(2*time.Millisecond), true, wire.TCPAck|wire.TCPPsh, hello))
+		feed(s.packet(t, ts.Add(3*time.Millisecond), false, wire.TCPAck, make([]byte, 900)))
+		feed(s.packet(t, ts.Add(4*time.Millisecond), true, wire.TCPFin|wire.TCPAck, nil))
+		feed(s.packet(t, ts.Add(5*time.Millisecond), false, wire.TCPFin|wire.TCPAck, nil))
+	}
+}
+
+func TestShardedMatchesSingle(t *testing.T) {
+	const flows = 200
+
+	var muS sync.Mutex
+	var single []*flowrec.Record
+	p := New(shardedConfig(&muS, &single))
+	feedFlows(t, p.Feed, flows)
+	p.Flush()
+
+	var muM sync.Mutex
+	var merged []*flowrec.Record
+	sh := NewSharded(4, shardedConfig(&muM, &merged))
+	feedFlows(t, sh.Feed, flows)
+	sh.Close()
+
+	if len(single) != flows || len(merged) != flows {
+		t.Fatalf("records: single %d, sharded %d, want %d", len(single), len(merged), flows)
+	}
+	// Same per-flow results regardless of sharding: compare as sets
+	// keyed by client+port.
+	type key struct {
+		cli  wire.Addr
+		port uint16
+	}
+	bySingle := make(map[key]*flowrec.Record, flows)
+	for _, r := range single {
+		bySingle[key{r.Client, r.CliPort}] = r
+	}
+	for _, r := range merged {
+		want := bySingle[key{r.Client, r.CliPort}]
+		if want == nil {
+			t.Fatalf("sharded produced unknown flow %v:%d", r.Client, r.CliPort)
+		}
+		if r.Web != want.Web || r.ServerName != want.ServerName ||
+			r.BytesDown != want.BytesDown || r.BytesUp != want.BytesUp ||
+			r.RTTMin != want.RTTMin {
+			t.Fatalf("flow %v:%d differs: %+v vs %+v", r.Client, r.CliPort, r, want)
+		}
+	}
+	st := sh.Stats()
+	if st.FlowsExported != flows {
+		t.Errorf("sharded stats flows = %d", st.FlowsExported)
+	}
+	if st.Packets != uint64(flows*6) {
+		t.Errorf("sharded stats packets = %d", st.Packets)
+	}
+}
+
+func TestShardedDistributesWork(t *testing.T) {
+	var mu sync.Mutex
+	var records []*flowrec.Record
+	sh := NewSharded(4, shardedConfig(&mu, &records))
+	feedFlows(t, sh.Feed, 400)
+	sh.Close()
+	busy := 0
+	for _, w := range sh.workers {
+		if w.probe.Stats.Packets > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Errorf("only %d/4 shards saw traffic", busy)
+	}
+}
+
+func TestShardedGarbageGoesToShardZero(t *testing.T) {
+	var mu sync.Mutex
+	var records []*flowrec.Record
+	sh := NewSharded(2, shardedConfig(&mu, &records))
+	sh.Feed(Packet{TS: testT0, Data: []byte{1, 2, 3}})
+	sh.Close()
+	if sh.Stats().ParseErrors != 1 {
+		t.Errorf("parse errors = %d", sh.Stats().ParseErrors)
+	}
+	if len(records) != 0 {
+		t.Errorf("garbage produced records")
+	}
+}
+
+func BenchmarkShardedProbe4(b *testing.B) {
+	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.netflix.com", ALPN: []string{"h2"}})
+	var tt testing.T
+	// Pre-build a packet batch: 64 flows of 6 packets.
+	var batch []Packet
+	for i := 0; i < 64; i++ {
+		s := newTCPSession(
+			wire.Endpoint{Addr: wire.AddrFrom(10, 1, byte(i), 7), Port: uint16(30000 + i)},
+			wire.Endpoint{Addr: testServer, Port: 443})
+		ts := testT0
+		batch = append(batch,
+			s.packet(&tt, ts, true, wire.TCPSyn, nil),
+			s.packet(&tt, ts, false, wire.TCPSyn|wire.TCPAck, nil),
+			s.packet(&tt, ts, true, wire.TCPAck|wire.TCPPsh, hello),
+			s.packet(&tt, ts, false, wire.TCPAck, make([]byte, 1200)),
+			s.packet(&tt, ts, true, wire.TCPFin|wire.TCPAck, nil),
+			s.packet(&tt, ts, false, wire.TCPFin|wire.TCPAck, nil),
+		)
+	}
+	cfg := Config{
+		Subscriber: func(a wire.Addr) (SubscriberInfo, bool) { return SubscriberInfo{ID: 1}, a[0] == 10 },
+		AnonKey:    []byte("bench"),
+		OnRecord:   func(*flowrec.Record) {},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh := NewSharded(4, cfg)
+		for _, p := range batch {
+			sh.Feed(p)
+		}
+		sh.Close()
+	}
+}

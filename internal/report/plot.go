@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Text plotting: sparklines and heatmaps, enough to see the paper's
+// time-series shapes — trends, knees, sudden steps — directly in
+// terminal output.
+
+// sparkLevels are the eight block characters of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a sparkline string, scaled to [min, max] of
+// the data. NaNs render as spaces.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // all NaN
+		return strings.Repeat(" ", len(values))
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			sb.WriteByte(' ')
+		case hi == lo:
+			sb.WriteRune(sparkLevels[0])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sparkLevels) {
+				i = len(sparkLevels) - 1
+			}
+			sb.WriteRune(sparkLevels[i])
+		}
+	}
+	return sb.String()
+}
+
+// SparkRow writes one labelled sparkline with its range, e.g.
+//
+//	ADSL down   223.1 ▁▂▃▅▆▇█ 556.2  (MB)
+func SparkRow(w io.Writer, label string, values []float64, unit string) error {
+	if len(values) == 0 {
+		_, err := fmt.Fprintf(w, "%-14s (no data)\n", label)
+		return err
+	}
+	first, last := values[0], values[len(values)-1]
+	_, err := fmt.Fprintf(w, "%-14s %8s %s %-8s %s\n", label, F(first), Spark(values), F(last), unit)
+	return err
+}
+
+// shadeLevels are the heatmap cells from empty to full.
+var shadeLevels = []rune(" ░▒▓█")
+
+// Heatmap writes one shaded row per series, all scaled to scaleMax
+// (values clamp). It is the text rendering of Figure 5's heatmaps,
+// where a common palette cap ("the multi-color palette is set to 10%")
+// keeps small services visible.
+func Heatmap(w io.Writer, labels []string, rows [][]float64, scaleMax float64, unit string) error {
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, row := range rows {
+		var sb strings.Builder
+		for _, v := range row {
+			if math.IsNaN(v) {
+				sb.WriteByte(' ')
+				continue
+			}
+			f := v / scaleMax
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			sb.WriteRune(shadeLevels[int(f*float64(len(shadeLevels)-1)+0.5)])
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", width, label, sb.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  scale: full block = %s%s\n", width, "", F(scaleMax), unit)
+	return err
+}

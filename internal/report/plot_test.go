@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparkShape(t *testing.T) {
+	s := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("endpoints = %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("not monotone: %q", s)
+		}
+	}
+}
+
+func TestSparkEdgeCases(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Error("empty input")
+	}
+	if got := Spark([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("constant = %q", got)
+	}
+	nan := math.NaN()
+	got := Spark([]float64{nan, 1, nan})
+	if []rune(got)[0] != ' ' || []rune(got)[2] != ' ' {
+		t.Errorf("NaN cells = %q", got)
+	}
+	if got := Spark([]float64{nan, nan}); strings.TrimSpace(got) != "" {
+		t.Errorf("all-NaN = %q", got)
+	}
+}
+
+func TestSparkRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SparkRow(&buf, "ADSL down", []float64{100, 200, 300}, "MB"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ADSL down", "100", "300", "MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("row %q missing %q", out, want)
+		}
+	}
+	buf.Reset()
+	if err := SparkRow(&buf, "empty", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty row = %q", buf.String())
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	err := Heatmap(&buf,
+		[]string{"Google", "Bing"},
+		[][]float64{{0, 5, 10, 20}, {10, math.NaN(), 0, 3}},
+		10, "%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	row0 := []rune(strings.Split(lines[0], "|")[1])
+	if row0[0] != ' ' {
+		t.Errorf("zero cell = %q", string(row0[0]))
+	}
+	if row0[2] != '█' || row0[3] != '█' {
+		t.Errorf("full and clamped cells = %q", string(row0))
+	}
+	row1 := []rune(strings.Split(lines[1], "|")[1])
+	if row1[1] != ' ' {
+		t.Errorf("NaN cell = %q", string(row1[1]))
+	}
+	if !strings.Contains(lines[2], "scale") {
+		t.Errorf("scale line = %q", lines[2])
+	}
+}

@@ -1,0 +1,89 @@
+// Package report renders experiment outputs as fixed-width text
+// tables and series — the rows the paper's tables and figure captions
+// report, suitable for terminals and for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table writes a fixed-width table with a header row and a rule.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	var rule []string
+	for _, wd := range widths {
+		rule = append(rule, strings.Repeat("-", wd))
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Section writes a titled section header.
+func Section(w io.Writer, title string) error {
+	_, err := fmt.Fprintf(w, "\n== %s ==\n\n", title)
+	return err
+}
+
+// MB formats bytes as megabytes with one decimal.
+func MB(v float64) string { return fmt.Sprintf("%.1f", v/(1<<20)) }
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Day formats a date.
+func Day(t time.Time) string { return t.Format("2006-01-02") }
+
+// Month formats a month.
+func Month(t time.Time) string { return t.Format("2006-01") }
+
+// F formats a float compactly.
+func F(v float64) string {
+	switch {
+	case v != 0 && (v < 0.01 || v >= 1e6):
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

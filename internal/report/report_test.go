@@ -1,0 +1,77 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22222"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule: %q", lines[1])
+	}
+	// The value column starts at the same offset in every row.
+	off := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "22222") != off {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var buf bytes.Buffer
+	// A row with fewer cells than headers must not panic.
+	if err := Table(&buf, []string{"a", "b", "c"}, [][]string{{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := MB(10 << 20); got != "10.0" {
+		t.Errorf("MB = %q", got)
+	}
+	if got := Pct(82.88); got != "82.9%" {
+		t.Errorf("Pct = %q", got)
+	}
+	d := time.Date(2016, 11, 5, 10, 0, 0, 0, time.UTC)
+	if Day(d) != "2016-11-05" || Month(d) != "2016-11" {
+		t.Errorf("Day/Month = %q/%q", Day(d), Month(d))
+	}
+	cases := map[float64]string{
+		0.5:   "0.50",
+		123.4: "123",
+		1e7:   "1e+07",
+		0.001: "0.001",
+		0:     "0.00",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Section(&buf, "Figure 2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== Figure 2 ==") {
+		t.Errorf("section = %q", buf.String())
+	}
+}

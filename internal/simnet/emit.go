@@ -1,0 +1,344 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Diurnal hour weights per profile. Values are relative; the drawer
+// normalises. Shapes: human browsing climbs through the day and peaks
+// at 21-22; video peaks harder in prime time; machine traffic runs at
+// night; messaging plateaus from morning to midnight.
+var hourWeights = map[dayProfile][24]float64{
+	profHuman:   {2, 1, 1, 1, 1, 1, 2, 4, 6, 7, 8, 8, 8, 8, 8, 8, 9, 10, 11, 12, 13, 14, 10, 5},
+	profEvening: {3, 1, 1, 1, 1, 1, 1, 2, 3, 4, 4, 5, 6, 6, 5, 5, 6, 7, 9, 12, 16, 18, 12, 6},
+	profNight:   {10, 12, 12, 11, 10, 8, 5, 4, 3, 3, 3, 3, 3, 3, 3, 3, 3, 4, 4, 5, 6, 7, 8, 9},
+	profAllDay:  {4, 2, 1, 1, 1, 2, 4, 7, 9, 9, 9, 9, 9, 10, 10, 10, 10, 10, 10, 11, 11, 11, 9, 6},
+	profFlat:    {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+}
+
+// drawTimeOfDay picks a second of the day under the profile's shape.
+func drawTimeOfDay(r *stats.Rand, p dayProfile) time.Duration {
+	w := hourWeights[p]
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	u := r.Float64() * total
+	var cum float64
+	hour := 23
+	for h, v := range w {
+		cum += v
+		if u < cum {
+			hour = h
+			break
+		}
+	}
+	return time.Duration(hour)*time.Hour + time.Duration(r.Intn(3600))*time.Second
+}
+
+// spdyVisibleSince is the probe software epoch of event C (Fig 8): the
+// fast path reports what a probe of that day would have written, so
+// SPDY flows before the update are labelled generic TLS.
+var spdyVisibleSince = date(2015, 6, 15)
+
+// SPDYVisibleSince exposes the epoch for wiring packet-fed probes
+// identically to the fast path.
+func SPDYVisibleSince() time.Time { return spdyVisibleSince }
+
+// applyProbeEpoch mimics the probe-version behaviour on a fast-path
+// label (disabled for perfect-hindsight counterfactual worlds).
+func (w *World) applyProbeEpoch(web flowrec.WebProto, start time.Time) flowrec.WebProto {
+	if w.events.SPDYEpoch && web == flowrec.WebSPDY && start.Before(spdyVisibleSince) {
+		return flowrec.WebTLS
+	}
+	return web
+}
+
+// ispResolver answers the simulated population's DNS queries.
+var ispResolver = wire.AddrFrom(151, 99, 125, 2)
+
+// emitSubscriberDay generates the subscriber's whole day.
+func (w *World) emitSubscriberDay(day time.Time, sub subscriber, fn func(*flowrec.Record)) {
+	r := w.subRand(day, sub)
+
+	// Every line, active or not, emits gateway chatter: a few DNS
+	// lookups and telemetry beacons. Below the section 3 activity
+	// thresholds by construction.
+	w.emitGatewayNoise(day, sub, r, fn)
+
+	if !w.activeToday(day, sub, r) {
+		return
+	}
+
+	for _, svc := range w.services {
+		pop := svc.pop(day, sub.tech)
+		if pop <= 0 {
+			continue
+		}
+		if !w.usesToday(day, sub, svc, pop) {
+			continue
+		}
+		meanDown, meanUp := svc.vol(day, sub.tech)
+		if meanDown <= 0 && meanUp <= 0 {
+			continue
+		}
+		// Per-day lognormal jitter around the mean, scaled by the
+		// line's persistent intensity. σ=0.85 gives the day-to-day
+		// light/heavy alternation section 3.1 describes.
+		sigma := svc.daySigma
+		if sigma == 0 {
+			sigma = 0.85
+		}
+		mult := sub.intensity * r.LogNormal(-sigma*sigma/2, sigma) // mean-preserving jitter
+		if sub.tech == flowrec.TechFTTH && svc.ftthBoost > 0 {
+			mult *= svc.ftthBoost
+		}
+		down := meanDown * mult
+		up := meanUp * mult
+		w.emitServiceFlows(day, sub, svc, down, up, r, fn)
+	}
+}
+
+// usesToday decides service adoption for (subscriber, day). A stable
+// per-line affinity draw makes the same households the adopters day
+// after day (the paper's "hardcore of P2P users"); a Bernoulli on top
+// makes daily popularity come out at pop while weekly popularity runs
+// ~1.7x higher — matching the daily 10% vs weekly 18% Netflix gap of
+// section 4.3.
+func (w *World) usesToday(day time.Time, sub subscriber, svc *serviceModel, pop float64) bool {
+	if svc.name == "" {
+		return true // background components
+	}
+	const spread = 1.8
+	adopterFrac := pop * spread
+	if adopterFrac > 1 {
+		adopterFrac = 1
+	}
+	affinity := float64(stats.Mix64(w.seed, uint64(sub.id), hashService(svc.name))%(1<<24)) / (1 << 24)
+	if affinity >= adopterFrac {
+		return false
+	}
+	// Daily activation probability makes E[daily users] = pop.
+	dayRand := stats.NewRand(stats.Mix64(w.seed, uint64(sub.id), hashService(svc.name), uint64(dayIndex(day))))
+	return dayRand.Bool(pop / adopterFrac)
+}
+
+// hashService folds a service name into the seed hierarchy (FNV-1a).
+func hashService(s classify.Service) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// emitServiceFlows splits a day's volume for one service into flows.
+func (w *World) emitServiceFlows(day time.Time, sub subscriber, svc *serviceModel, down, up float64, r *stats.Rand, fn func(*flowrec.Record)) {
+	n := 1
+	if svc.meanFlowBytes > 0 {
+		n = r.Poisson(down / svc.meanFlowBytes)
+		if n < 1 {
+			n = 1
+		}
+		if n > 400 {
+			n = 400
+		}
+	}
+
+	// Flow size weights: lognormal, normalised, so a few flows carry
+	// most bytes — like real sessions.
+	weights := make([]float64, n)
+	var totalW float64
+	for i := range weights {
+		weights[i] = r.LogNormal(0, 0.8)
+		totalW += weights[i]
+	}
+
+	dnsEmitted := false
+	for i := 0; i < n; i++ {
+		frac := weights[i] / totalW
+		fDown := down * frac
+		fUp := up * frac
+		draw := svc.draw(day, r)
+
+		// One DNS lookup precedes the first named flow of the day.
+		if !dnsEmitted && draw.domain != "" {
+			w.emitDNSFlow(day, sub, svc.profile, r, fn)
+			dnsEmitted = true
+		}
+		rec := w.buildRecord(day, sub, svc.profile, draw, fDown, fUp, r)
+		fn(rec)
+	}
+}
+
+// buildRecord assembles one flow record the way the probe would have
+// exported it.
+func (w *World) buildRecord(day time.Time, sub subscriber, prof dayProfile, draw flowDraw, down, up float64, r *stats.Rand) *flowrec.Record {
+	start := day.Add(drawTimeOfDay(r, prof))
+	if down < 64 {
+		down = 64
+	}
+	if up < 48 {
+		up = 48
+	}
+
+	// Transport-level shape.
+	proto := flowrec.ProtoTCP
+	srvPort := uint16(443)
+	switch draw.web {
+	case flowrec.WebHTTP:
+		srvPort = 80
+	case flowrec.WebQUIC:
+		proto = flowrec.ProtoUDP
+	case flowrec.WebP2P:
+		srvPort = uint16(1024 + r.Intn(50000))
+		if r.Bool(0.4) {
+			proto = flowrec.ProtoUDP
+		}
+	}
+
+	// Duration from an effective rate: bounded by the access tech and
+	// the server side, lognormal around a few Mbit/s.
+	rate := r.LogNormal(13.8, 0.7) // median ≈ 1 MB/s per-flow goodput
+	capBps := 20e6 / 8
+	if sub.tech == flowrec.TechFTTH {
+		capBps = 100e6 / 8
+	}
+	if rate > capBps {
+		rate = capBps
+	}
+	dur := time.Duration((down+up)/rate*float64(time.Second)) + time.Duration(r.Intn(1200))*time.Millisecond
+	if dur > 6*time.Hour {
+		dur = 6 * time.Hour
+	}
+
+	pktsDown := uint32(down/1400) + 1
+	pktsUp := uint32(up/1400) + uint32(down/2800) + 1
+
+	rec := &flowrec.Record{
+		Client:    sub.addr,
+		Server:    draw.server.addr,
+		CliPort:   uint16(32768 + r.Intn(28000)),
+		SrvPort:   srvPort,
+		Proto:     proto,
+		Tech:      sub.tech,
+		SubID:     sub.id,
+		Start:     start,
+		Duration:  dur,
+		PktsUp:    pktsUp,
+		PktsDown:  pktsDown,
+		BytesUp:   uint64(up),
+		BytesDown: uint64(down),
+		Web:       w.applyProbeEpoch(draw.web, start),
+	}
+
+	// Server name and its source, per protocol (section 2.1).
+	if draw.domain != "" {
+		switch draw.web {
+		case flowrec.WebHTTP:
+			rec.ServerName, rec.NameSrc = draw.domain, flowrec.NameHTTPHost
+		case flowrec.WebQUIC:
+			// No SNI visible: DN-Hunter covers it, minus cache misses.
+			if r.Bool(0.95) {
+				rec.ServerName, rec.NameSrc = draw.domain, flowrec.NameDNS
+			}
+		default:
+			rec.ServerName, rec.NameSrc = draw.domain, flowrec.NameSNI
+		}
+	}
+	// ALPN reflects the wire bytes (draw.web), not the probe's label:
+	// a pre-epoch SPDY flow is reported as TLS but its ALPN was spdy.
+	switch draw.web {
+	case flowrec.WebHTTP2:
+		rec.ALPN = "h2"
+	case flowrec.WebSPDY:
+		rec.ALPN = "spdy/3.1"
+	case flowrec.WebQUIC:
+		rec.QUICVer = quicVersionFor(start)
+	}
+
+	// TCP RTT estimate toward the server (UDP flows carry none).
+	if proto == flowrec.ProtoTCP && draw.server.rttMin > 0 {
+		min := time.Duration(float64(draw.server.rttMin) * (1 + 0.08*r.Float64()))
+		rec.RTTMin = min
+		rec.RTTAvg = min + time.Duration(r.Exp(float64(min)*0.25))
+		rec.RTTMax = min + time.Duration(r.Exp(float64(min)*1.5))
+		samples := pktsUp / 2
+		if samples < 1 {
+			samples = 1
+		}
+		rec.RTTSamples = samples
+	}
+	return rec
+}
+
+// quicVersionFor tracks Google's deployed gQUIC version over time.
+func quicVersionFor(d time.Time) string {
+	switch {
+	case d.Before(date(2015, 6, 1)):
+		return "Q024"
+	case d.Before(date(2016, 4, 1)):
+		return "Q030"
+	case d.Before(date(2017, 2, 1)):
+		return "Q035"
+	default:
+		return "Q039"
+	}
+}
+
+// emitDNSFlow emits the resolver exchange preceding a named flow.
+func (w *World) emitDNSFlow(day time.Time, sub subscriber, prof dayProfile, r *stats.Rand, fn func(*flowrec.Record)) {
+	start := day.Add(drawTimeOfDay(r, prof))
+	fn(&flowrec.Record{
+		Client:    sub.addr,
+		Server:    ispResolver,
+		CliPort:   uint16(32768 + r.Intn(28000)),
+		SrvPort:   53,
+		Proto:     flowrec.ProtoUDP,
+		Tech:      sub.tech,
+		SubID:     sub.id,
+		Start:     start,
+		Duration:  time.Duration(5+r.Intn(80)) * time.Millisecond,
+		PktsUp:    1,
+		PktsDown:  1,
+		BytesUp:   uint64(30 + r.Intn(40)),
+		BytesDown: uint64(60 + r.Intn(200)),
+		Web:       flowrec.WebDNS,
+	})
+}
+
+// emitGatewayNoise emits the background chatter of a home gateway:
+// below the activity filter on its own, so lines with no human use
+// stay "inactive" (section 3).
+func (w *World) emitGatewayNoise(day time.Time, sub subscriber, r *stats.Rand, fn func(*flowrec.Record)) {
+	n := 2 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		if r.Bool(0.5) {
+			w.emitDNSFlow(day, sub, profNight, r, fn)
+			continue
+		}
+		start := day.Add(drawTimeOfDay(r, profNight))
+		fn(&flowrec.Record{
+			Client:    sub.addr,
+			Server:    wire.AddrFrom(185, 60, 1, byte(1+r.Intn(250))),
+			CliPort:   uint16(32768 + r.Intn(28000)),
+			SrvPort:   123, // NTP and friends
+			Proto:     flowrec.ProtoUDP,
+			Tech:      sub.tech,
+			SubID:     sub.id,
+			Start:     start,
+			Duration:  time.Duration(10+r.Intn(500)) * time.Millisecond,
+			PktsUp:    1,
+			PktsDown:  1,
+			BytesUp:   uint64(48 + r.Intn(100)),
+			BytesDown: uint64(48 + r.Intn(400)),
+			Web:       flowrec.WebOther,
+		})
+	}
+}

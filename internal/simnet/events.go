@@ -1,0 +1,39 @@
+package simnet
+
+// Events toggles the sudden episodes of the five-year story. The
+// default world reproduces the paper; switching one off yields the
+// counterfactual — what the ISP would have measured had the episode
+// not happened. Section 5's point is exactly that these changes are
+// unilateral deployments by big players, invisible to the operator
+// until they hit the traffic mix; the toggles let an analyst quantify
+// each episode's contribution in isolation.
+type Events struct {
+	// QUICOutage is event D of Figure 8: Google disabling QUIC for
+	// about a month in December 2015.
+	QUICOutage bool
+	// FBZero is event F: the sudden November 2016 deployment of
+	// Facebook's Zero protocol.
+	FBZero bool
+	// Autoplay is the Figure 9 episode: Facebook enabling video
+	// auto-play through 2014. Off, Facebook volume grows smoothly
+	// between the same endpoints.
+	Autoplay bool
+	// NetflixLaunch is the October 2015 Italian launch. Off, Netflix
+	// never appears (Figure 6b flatlines).
+	NetflixLaunch bool
+	// SPDYEpoch is event C: the probe software only reporting SPDY
+	// explicitly from June 2015. Off, the probe labels SPDY correctly
+	// from day one (a perfect-hindsight probe).
+	SPDYEpoch bool
+}
+
+// DefaultEvents reproduces the paper.
+func DefaultEvents() Events {
+	return Events{
+		QUICOutage:    true,
+		FBZero:        true,
+		Autoplay:      true,
+		NetflixLaunch: true,
+		SPDYEpoch:     true,
+	}
+}

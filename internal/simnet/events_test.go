@@ -1,0 +1,97 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+)
+
+func TestCounterfactualNoQUICOutage(t *testing.T) {
+	ev := DefaultEvents()
+	ev.QUICOutage = false
+	w := NewWorldWithEvents(5, Scale{ADSL: 40, FTTH: 20}, ev)
+	pb := protoBytes(collectDay(w, date(2015, 12, 20)))
+	if pb[flowrec.WebQUIC] == 0 {
+		t.Error("QUIC missing mid-December 2015 although the outage is disabled")
+	}
+}
+
+func TestCounterfactualNoFBZero(t *testing.T) {
+	ev := DefaultEvents()
+	ev.FBZero = false
+	w := NewWorldWithEvents(5, Scale{ADSL: 40, FTTH: 20}, ev)
+	pb := protoBytes(collectDay(w, date(2017, 3, 10)))
+	if pb[flowrec.WebFBZero] != 0 {
+		t.Errorf("FB-Zero present in the no-Zero world: %d bytes", pb[flowrec.WebFBZero])
+	}
+	// Facebook traffic itself still flows (over TLS-family instead).
+	c := classify.Default()
+	var fb uint64
+	for _, r := range collectDay(w, date(2017, 3, 10)) {
+		if c.Lookup(r.ServerName) == "Facebook" {
+			fb += r.BytesDown
+		}
+	}
+	if fb == 0 {
+		t.Error("Facebook vanished with its protocol")
+	}
+}
+
+func TestCounterfactualNoNetflix(t *testing.T) {
+	ev := DefaultEvents()
+	ev.NetflixLaunch = false
+	w := NewWorldWithEvents(5, Scale{ADSL: 40, FTTH: 20}, ev)
+	c := classify.Default()
+	for _, r := range collectDay(w, date(2017, 6, 1)) {
+		if c.Lookup(r.ServerName) == "Netflix" {
+			t.Fatalf("Netflix flow in the no-launch world: %v", r)
+		}
+	}
+}
+
+func TestCounterfactualNoAutoplaySmooth(t *testing.T) {
+	ev := DefaultEvents()
+	ev.Autoplay = false
+	// The staircase flattens: March→July 2014 growth is modest in the
+	// counterfactual, >1.7x in the real world.
+	real := facebookDailyMB(date(2014, 7, 20), DefaultEvents()) / facebookDailyMB(date(2014, 2, 20), DefaultEvents())
+	flat := facebookDailyMB(date(2014, 7, 20), ev) / facebookDailyMB(date(2014, 2, 20), ev)
+	if real < 1.7 {
+		t.Errorf("real-world autoplay jump = %.2fx, want > 1.7x", real)
+	}
+	if flat > 1.3 {
+		t.Errorf("counterfactual jump = %.2fx, want smooth", flat)
+	}
+	// Both worlds end 2017 in the same place.
+	a := facebookDailyMB(date(2017, 12, 1), DefaultEvents())
+	b := facebookDailyMB(date(2017, 12, 1), ev)
+	if a/b > 1.05 || b/a > 1.05 {
+		t.Errorf("endpoints diverge: %v vs %v", a, b)
+	}
+}
+
+func TestCounterfactualPerfectHindsightProbe(t *testing.T) {
+	ev := DefaultEvents()
+	ev.SPDYEpoch = false
+	w := NewWorldWithEvents(5, Scale{ADSL: 40, FTTH: 20}, ev)
+	pb := protoBytes(collectDay(w, date(2014, 6, 2)))
+	if pb[flowrec.WebSPDY] == 0 {
+		t.Error("perfect-hindsight probe still hides SPDY in 2014")
+	}
+}
+
+func TestDefaultWorldUnchangedByEventsPlumbing(t *testing.T) {
+	// NewWorld and NewWorldWithEvents(DefaultEvents()) are the same world.
+	day := date(2016, 11, 20)
+	a := collectDay(NewWorld(7, Scale{ADSL: 10, FTTH: 5}), day)
+	b := collectDay(NewWorldWithEvents(7, Scale{ADSL: 10, FTTH: 5}, DefaultEvents()), day)
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/asn"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// infraModel describes where each service's servers live over time:
+// which address pool, which AS, at what distance (RTT tier), and under
+// which domain names. It encodes the infrastructure stories of
+// Figures 10 and 11:
+//
+//   - Facebook migrates from shared Akamai CDN addresses to its own
+//     CDN (AS32934) through 2014-2015, completing by end 2015, and the
+//     per-day footprint shrinks (Fig 11a/d/g);
+//   - Instagram rides TELIANET/GTT + Akamai until Facebook absorbs it
+//     by end 2015 (Fig 11b/e/h);
+//   - YouTube is always dedicated Google space, growing, and from late
+//     2015 most traffic comes from caches inside the ISP — the
+//     sub-millisecond Internet (Fig 10b, 11c/f/i);
+//   - the 3 ms ISP-edge cache tier takes over Facebook/Instagram
+//     delivery by 2017 (Fig 10a).
+type infraModel struct {
+	seed uint64
+}
+
+func newInfraModel(seed uint64) *infraModel { return &infraModel{seed: seed} }
+
+// RTT tiers of section 6.1: the probe-to-server floor of each class of
+// deployment. Per-flow minimum RTT lands near one of these.
+var (
+	rttInPoP     = 600 * time.Microsecond // cache at the first aggregation point
+	rttEdge      = 3 * time.Millisecond   // CDN node at the ISP edge
+	rttNational  = 10 * time.Millisecond  // national data center
+	rttEuropean1 = 20 * time.Millisecond  // nearby European PoP
+	rttEuropean2 = 30 * time.Millisecond  // farther European PoP
+	rttIntercont = 110 * time.Millisecond // transatlantic
+)
+
+// pool is a contiguous address block owned by one AS. Distinct
+// services may draw from the same pool: those addresses show up as
+// "shared" in Figure 11's sense.
+type pool struct {
+	name string
+	base wire.Addr
+	bits uint8 // CIDR size of the block
+	as   asn.ASNum
+}
+
+// addr picks address k of the pool (k < capacity).
+func (p pool) addr(k int) wire.Addr {
+	cap := 1 << (32 - uint(p.bits))
+	return wire.AddrFromUint32(p.base.Uint32() + uint32(k%cap))
+}
+
+// prefix returns the pool's CIDR prefix for the RIBs.
+func (p pool) prefix() asn.Prefix { return asn.Prefix{Addr: p.base, Bits: p.bits} }
+
+// The address plan. Blocks use realistic owners so reports read like
+// the paper's.
+var (
+	poolAkamai    = pool{name: "akamai", base: wire.AddrFrom(23, 62, 0, 0), bits: 16, as: asn.ASAkamai}
+	poolFacebook  = pool{name: "facebook", base: wire.AddrFrom(31, 13, 64, 0), bits: 18, as: asn.ASFacebook}
+	poolInstagram = pool{name: "instagram", base: wire.AddrFrom(31, 13, 128, 0), bits: 18, as: asn.ASFacebook}
+	poolTeliaNet  = pool{name: "telianet", base: wire.AddrFrom(62, 115, 0, 0), bits: 16, as: asn.ASTeliaNet}
+	poolGTT       = pool{name: "gtt", base: wire.AddrFrom(77, 67, 0, 0), bits: 16, as: asn.ASGTT}
+	poolGoogle    = pool{name: "google", base: wire.AddrFrom(173, 194, 0, 0), bits: 15, as: asn.ASGoogle}
+	poolGoogleWeb = pool{name: "google-web", base: wire.AddrFrom(216, 58, 192, 0), bits: 19, as: asn.ASGoogle}
+	poolISPCache  = pool{name: "isp-cache", base: wire.AddrFrom(151, 99, 0, 0), bits: 16, as: asn.ASISP}
+	poolNetflix   = pool{name: "netflix", base: wire.AddrFrom(198, 38, 96, 0), bits: 17, as: 2906}
+	poolWhatsApp  = pool{name: "whatsapp", base: wire.AddrFrom(158, 85, 0, 0), bits: 16, as: 36351}
+	poolGeneric   = pool{name: "generic", base: wire.AddrFrom(104, 16, 0, 0), bits: 14, as: 13335}
+	poolMisc      = pool{name: "misc", base: wire.AddrFrom(185, 60, 0, 0), bits: 16, as: 8560}
+)
+
+// allPools feeds the RIB builder.
+var allPools = []pool{
+	poolAkamai, poolFacebook, poolInstagram, poolTeliaNet, poolGTT,
+	poolGoogle, poolGoogleWeb, poolISPCache, poolNetflix, poolWhatsApp,
+	poolGeneric, poolMisc,
+}
+
+// ribs builds one RIB snapshot per month of the span. The plan is
+// static (pools don't move between ASes; the *services* move between
+// pools), which is exactly how the real world worked: Facebook's
+// migration shows up in Fig 11d because flows change address, not
+// because addresses change AS.
+func (m *infraModel) ribs() *asn.RIBSet {
+	var set asn.RIBSet
+	table := new(asn.Table)
+	for _, p := range allPools {
+		table.Insert(p.prefix(), p.as)
+	}
+	for month := asn.MonthStart(SpanStart); !month.After(SpanEnd); month = month.AddDate(0, 1, 0) {
+		set.Add(month, table)
+	}
+	return &set
+}
+
+// serverChoice is one server pick for a flow.
+type serverChoice struct {
+	addr   wire.Addr
+	rttMin time.Duration
+}
+
+// tierChoice couples a pool with an RTT tier and a weight.
+type tierChoice struct {
+	pool   pool
+	rtt    time.Duration
+	weight float64
+	// footprint is the number of distinct addresses of the pool in
+	// rotation on a given day; it shapes Fig 11's per-day IP counts.
+	footprint int
+}
+
+// pickServer draws a server from a weighted tier set. The address is
+// drawn from a day-salted window of the pool so the set of addresses
+// seen per day has the intended size and changes composition slowly,
+// the way CDN rotations do.
+func pickServer(day time.Time, r *stats.Rand, tiers []tierChoice) serverChoice {
+	var total float64
+	for _, t := range tiers {
+		total += t.weight
+	}
+	if total <= 0 {
+		// Degenerate schedule; fall back to the first tier.
+		t := tiers[0]
+		return serverChoice{addr: t.pool.addr(r.Intn(max(1, t.footprint))), rttMin: t.rtt}
+	}
+	u := r.Float64() * total
+	var cum float64
+	for _, t := range tiers {
+		cum += t.weight
+		if u < cum {
+			n := max(1, t.footprint)
+			// Rotate the visible window of the pool week by week.
+			week := dayIndex(day) / 7
+			off := int(stats.Mix64(uint64(week), uint64(t.pool.base.Uint32())) % uint64(1<<(32-uint(t.pool.bits))))
+			return serverChoice{addr: t.pool.addr(off + r.Intn(n)), rttMin: t.rtt}
+		}
+	}
+	t := tiers[len(tiers)-1]
+	return serverChoice{addr: t.pool.addr(r.Intn(max(1, t.footprint))), rttMin: t.rtt}
+}
+
+// ramp linearly interpolates from v0 to v1 as d runs from t0 to t1,
+// clamping outside. The workhorse of every migration curve.
+func ramp(d time.Time, t0, t1 time.Time, v0, v1 float64) float64 {
+	if !d.After(t0) {
+		return v0
+	}
+	if !d.Before(t1) {
+		return v1
+	}
+	f := float64(d.Sub(t0)) / float64(t1.Sub(t0))
+	return v0 + (v1-v0)*f
+}
+
+// date is shorthand for a UTC midnight.
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// --- Per-service infrastructure schedules -------------------------------
+
+// facebookTiers: Fig 11a/d — Akamai-shared addresses fade out through
+// 2015, the dedicated CDN takes over, and by 2017 80% of flows hit the
+// 3 ms edge tier (Fig 10a). The daily footprint shrinks 3800→<1000
+// (scaled ×0.1 here).
+func facebookTiers(d time.Time) []tierChoice {
+	akamaiShare := ramp(d, date(2013, 7, 1), date(2015, 12, 1), 0.60, 0)
+	// Of the dedicated share, the close-edge fraction grows.
+	edgeFrac := ramp(d, date(2014, 1, 1), date(2017, 4, 1), 0.15, 0.85)
+	own := 1 - akamaiShare
+	fbFoot := int(ramp(d, date(2013, 7, 1), date(2016, 7, 1), 180, 90))
+	akFoot := int(ramp(d, date(2013, 7, 1), date(2015, 12, 1), 200, 1))
+	return []tierChoice{
+		{pool: poolAkamai, rtt: rttEuropean1, weight: akamaiShare * 0.85, footprint: akFoot},
+		{pool: poolAkamai, rtt: rttIntercont, weight: akamaiShare * 0.15, footprint: akFoot / 2},
+		{pool: poolFacebook, rtt: rttEdge, weight: own * edgeFrac, footprint: fbFoot / 2},
+		{pool: poolFacebook, rtt: rttNational, weight: own * (1 - edgeFrac) * 0.5, footprint: fbFoot / 4},
+		{pool: poolFacebook, rtt: rttEuropean2, weight: own * (1 - edgeFrac) * 0.35, footprint: fbFoot / 4},
+		{pool: poolFacebook, rtt: rttIntercont, weight: own * (1 - edgeFrac) * 0.15, footprint: fbFoot / 8},
+	}
+}
+
+// instagramTiers: Fig 11b/e — TELIANET/GTT/Akamai until the Facebook
+// integration completes end-2015; afterwards a small dedicated pool
+// (300 addresses full scale, 30 here) at the edge.
+func instagramTiers(d time.Time) []tierChoice {
+	legacy := ramp(d, date(2014, 6, 1), date(2015, 12, 1), 1, 0)
+	edgeFrac := ramp(d, date(2014, 6, 1), date(2017, 4, 1), 0.10, 0.85)
+	own := 1 - legacy
+	igFoot := int(ramp(d, date(2014, 6, 1), date(2016, 7, 1), 60, 30))
+	return []tierChoice{
+		{pool: poolTeliaNet, rtt: rttEdge, weight: legacy * 0.10, footprint: 20},
+		{pool: poolTeliaNet, rtt: rttNational, weight: legacy * 0.30, footprint: 80},
+		{pool: poolGTT, rtt: rttEuropean1, weight: legacy * 0.27, footprint: 60},
+		{pool: poolAkamai, rtt: rttEuropean2, weight: legacy * 0.25, footprint: 100},
+		{pool: poolTeliaNet, rtt: rttIntercont, weight: legacy * 0.08, footprint: 40},
+		{pool: poolInstagram, rtt: rttEdge, weight: own * edgeFrac, footprint: igFoot},
+		{pool: poolInstagram, rtt: rttNational, weight: own * (1 - edgeFrac), footprint: igFoot / 2},
+	}
+}
+
+// youtubeTiers: Fig 11c/f and Fig 10b — dedicated Google space growing
+// throughout; from late 2015 ISP-hosted caches (AS of the ISP itself)
+// take most of the traffic at sub-millisecond RTT.
+func youtubeTiers(d time.Time) []tierChoice {
+	ispShare := ramp(d, date(2015, 9, 1), date(2016, 9, 1), 0, 0.60)
+	googFoot := int(ramp(d, date(2013, 7, 1), date(2017, 12, 1), 800, 4000))
+	ispFoot := int(ramp(d, date(2015, 9, 1), date(2017, 12, 1), 1, 120))
+	goog := 1 - ispShare
+	return []tierChoice{
+		{pool: poolISPCache, rtt: rttInPoP, weight: ispShare, footprint: ispFoot},
+		{pool: poolGoogle, rtt: rttEdge, weight: goog * 0.80, footprint: googFoot},
+		{pool: poolGoogle, rtt: rttNational, weight: goog * 0.15, footprint: googFoot / 4},
+		{pool: poolGoogle, rtt: rttEuropean1, weight: goog * 0.05, footprint: googFoot / 8},
+	}
+}
+
+// googleTiers: Fig 10b — search frontends get closer over time but
+// never reach the in-PoP tier ("they have to handle less traffic, and
+// perform more complicated processing than YouTube video caches").
+func googleTiers(d time.Time) []tierChoice {
+	edge := ramp(d, date(2013, 7, 1), date(2017, 6, 1), 0.40, 0.75)
+	return []tierChoice{
+		{pool: poolGoogleWeb, rtt: rttEdge, weight: edge, footprint: 120},
+		{pool: poolGoogleWeb, rtt: rttNational, weight: (1 - edge) * 0.6, footprint: 60},
+		{pool: poolGoogleWeb, rtt: rttEuropean1, weight: (1 - edge) * 0.4, footprint: 40},
+	}
+}
+
+// netflixTiers: OpenConnect appliances land at the edge as the service
+// ramps up in Italy.
+func netflixTiers(d time.Time) []tierChoice {
+	edge := ramp(d, date(2015, 10, 22), date(2017, 1, 1), 0.3, 0.8)
+	return []tierChoice{
+		{pool: poolNetflix, rtt: rttEdge, weight: edge, footprint: 60},
+		{pool: poolNetflix, rtt: rttEuropean1, weight: 1 - edge, footprint: 40},
+	}
+}
+
+// whatsappTiers: the paper's noted exception — still centralised,
+// ~100 ms, through 2017.
+func whatsappTiers(time.Time) []tierChoice {
+	return []tierChoice{
+		{pool: poolWhatsApp, rtt: rttIntercont, weight: 1, footprint: 60},
+	}
+}
+
+// genericTiers serves background web and every service without a
+// bespoke schedule. A slice of it sits on shared Akamai addresses,
+// which is what makes those addresses "shared" in Fig 11's sense.
+func genericTiers(d time.Time) []tierChoice {
+	return []tierChoice{
+		{pool: poolAkamai, rtt: rttEuropean1, weight: 0.25, footprint: 250},
+		{pool: poolGeneric, rtt: rttEuropean2, weight: 0.35, footprint: 800},
+		// A slice of generic hosting rides the same transit providers
+		// Instagram used pre-migration, so those addresses read as
+		// "shared" in Fig 11b, as in the paper.
+		{pool: poolTeliaNet, rtt: rttNational, weight: 0.06, footprint: 120},
+		{pool: poolGTT, rtt: rttEuropean1, weight: 0.04, footprint: 80},
+		{pool: poolMisc, rtt: rttNational, weight: 0.15, footprint: 300},
+		{pool: poolMisc, rtt: rttIntercont, weight: 0.15, footprint: 200},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The infrastructure schedules are piecewise functions of the date;
+// these tests pin their invariants across the whole span so a curve
+// edit cannot silently break Figures 10-11.
+
+// spanSamples walks the span at ~weekly resolution.
+func spanSamples() []time.Time {
+	return Days(9)
+}
+
+func checkTiers(t *testing.T, name string, tiers func(time.Time) []tierChoice) {
+	t.Helper()
+	for _, d := range spanSamples() {
+		total := 0.0
+		for _, tc := range tiers(d) {
+			if tc.weight < 0 {
+				t.Fatalf("%s at %s: negative weight %v", name, d.Format("2006-01-02"), tc.weight)
+			}
+			if tc.rtt <= 0 {
+				t.Fatalf("%s at %s: non-positive rtt", name, d.Format("2006-01-02"))
+			}
+			if tc.footprint < 0 {
+				t.Fatalf("%s at %s: negative footprint", name, d.Format("2006-01-02"))
+			}
+			total += tc.weight
+		}
+		if total < 0.99 || total > 1.01 {
+			t.Fatalf("%s at %s: weights sum to %v", name, d.Format("2006-01-02"), total)
+		}
+	}
+}
+
+func TestTierWeightsSumToOneAcrossSpan(t *testing.T) {
+	checkTiers(t, "facebook", facebookTiers)
+	checkTiers(t, "instagram", instagramTiers)
+	checkTiers(t, "youtube", youtubeTiers)
+	checkTiers(t, "google", googleTiers)
+	checkTiers(t, "netflix", netflixTiers)
+	checkTiers(t, "whatsapp", whatsappTiers)
+	checkTiers(t, "generic", genericTiers)
+}
+
+func TestPickServerStaysInPools(t *testing.T) {
+	r := stats.NewRand(9)
+	for _, d := range spanSamples() {
+		for i := 0; i < 50; i++ {
+			sc := pickServer(d, r, facebookTiers(d))
+			if !poolFacebook.prefix().Contains(sc.addr) && !poolAkamai.prefix().Contains(sc.addr) {
+				t.Fatalf("facebook pick %v outside both pools at %s", sc.addr, d.Format("2006-01-02"))
+			}
+			if sc.rttMin <= 0 {
+				t.Fatalf("rtt %v", sc.rttMin)
+			}
+		}
+	}
+}
+
+func TestFacebookMigrationMonotone(t *testing.T) {
+	// The Akamai weight never increases over time (the migration does
+	// not run backwards).
+	prev := 2.0
+	for _, d := range spanSamples() {
+		ak := 0.0
+		for _, tc := range facebookTiers(d) {
+			if tc.pool.name == "akamai" {
+				ak += tc.weight
+			}
+		}
+		if ak > prev+1e-9 {
+			t.Fatalf("akamai weight rose to %v at %s", ak, d.Format("2006-01-02"))
+		}
+		prev = ak
+	}
+	if prev != 0 {
+		t.Errorf("migration incomplete at span end: akamai weight %v", prev)
+	}
+}
+
+func TestYouTubeInPoPShareGrows(t *testing.T) {
+	ispAt := func(d time.Time) float64 {
+		for _, tc := range youtubeTiers(d) {
+			if tc.pool.name == "isp-cache" {
+				return tc.weight
+			}
+		}
+		return 0
+	}
+	if ispAt(date(2015, 6, 1)) != 0 {
+		t.Error("ISP cache before its deployment")
+	}
+	if got := ispAt(date(2017, 6, 1)); got < 0.5 {
+		t.Errorf("2017 ISP-cache share = %v, want majority", got)
+	}
+}
+
+func TestRampClamps(t *testing.T) {
+	t0, t1 := date(2015, 1, 1), date(2016, 1, 1)
+	if got := ramp(date(2014, 6, 1), t0, t1, 2, 8); got != 2 {
+		t.Errorf("before start: %v", got)
+	}
+	if got := ramp(date(2017, 6, 1), t0, t1, 2, 8); got != 8 {
+		t.Errorf("after end: %v", got)
+	}
+	mid := ramp(date(2015, 7, 2), t0, t1, 2, 8)
+	if mid < 4.9 || mid > 5.1 {
+		t.Errorf("midpoint: %v", mid)
+	}
+}
+
+func TestPoolAddrWraps(t *testing.T) {
+	// Drawing past a pool's capacity must wrap, not escape the prefix.
+	small := pool{name: "t", base: poolGTT.base, bits: 24, as: poolGTT.as}
+	for k := 0; k < 1000; k += 37 {
+		if !small.prefix().Contains(small.addr(k)) {
+			t.Fatalf("addr(%d) = %v escaped /24", k, small.addr(k))
+		}
+	}
+}
+
+func TestRIBCoversEverySpanMonth(t *testing.T) {
+	w := NewWorld(1, Scale{})
+	ribs := w.RIBs()
+	for _, d := range spanSamples() {
+		if ribs.At(d) == nil {
+			t.Fatalf("no RIB snapshot for %s", d.Format("2006-01"))
+		}
+	}
+}

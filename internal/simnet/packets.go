@@ -1,0 +1,294 @@
+package simnet
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/dpi/btx"
+	"repro/internal/dpi/dnsx"
+	"repro/internal/dpi/httpx"
+	"repro/internal/dpi/quicx"
+	"repro/internal/dpi/tlsx"
+	"repro/internal/flowrec"
+	"repro/internal/probe"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// PacketOptions tunes the packet-level emitter.
+type PacketOptions struct {
+	// MaxFlowBytes caps the payload bytes materialised per flow
+	// direction. Packetising a 1 GB Netflix session would mean ~700k
+	// frames of filler; the cap keeps packet-path runs tractable while
+	// exercising every header and handshake byte for real. Byte-exact
+	// totals come from the flow fast path. 0 means 96 KiB.
+	MaxFlowBytes uint64
+}
+
+// EmitDayPackets renders one day of the model as a packet stream, in
+// flow start order, and feeds each frame to fn. DNS resolutions are
+// emitted before the flows that depend on them, so a downstream
+// probe's DN-Hunter resolves names exactly as in deployment.
+//
+// The stream is generated from the very records the fast path would
+// emit, so a probe consuming it reproduces the fast path's protocol
+// labels, server names and flow population (bytes are capped per
+// PacketOptions).
+func (w *World) EmitDayPackets(day time.Time, opt PacketOptions, fn func(probe.Packet)) {
+	if opt.MaxFlowBytes == 0 {
+		opt.MaxFlowBytes = 96 << 10
+	}
+	var recs []*flowrec.Record
+	w.emitDayRaw(day, func(r *flowrec.Record) {
+		c := *r
+		recs = append(recs, &c)
+	})
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+
+	pz := packetizer{opt: opt, fn: fn}
+	for i, rec := range recs {
+		pz.r = stats.NewRand(stats.Mix64(w.seed, 0x9ac4e7, uint64(dayIndex(day)), uint64(i)))
+		pz.flow(rec)
+	}
+}
+
+// packetizer turns one flow record into frames.
+type packetizer struct {
+	opt PacketOptions
+	fn  func(probe.Packet)
+	b   wire.Builder
+	r   *stats.Rand
+}
+
+// emit clones the builder's buffer (the builder reuses it) and hands
+// the frame out.
+func (p *packetizer) emit(ts time.Time, raw []byte, err error) {
+	if err != nil {
+		panic("simnet: packetizer built an unserialisable packet: " + err.Error())
+	}
+	data := make([]byte, len(raw))
+	copy(data, raw)
+	p.fn(probe.Packet{TS: ts, Data: data})
+}
+
+func (p *packetizer) flow(rec *flowrec.Record) {
+	switch {
+	case rec.Web == flowrec.WebDNS:
+		p.dnsExchange(rec, "cpe-telemetry.example.net", wire.AddrFrom(185, 60, 2, 2))
+	case rec.Proto == flowrec.ProtoUDP:
+		p.udpFlow(rec)
+	default:
+		p.tcpFlow(rec)
+	}
+}
+
+// dnsExchange emits a query/response pair. The response binds name to
+// bound for the client — DN-Hunter food.
+func (p *packetizer) dnsExchange(rec *flowrec.Record, name string, bound wire.Addr) {
+	id := uint16(p.r.Uint64())
+	q, err := dnsx.AppendQuery(nil, id, name)
+	if err != nil {
+		return
+	}
+	resp, err := dnsx.AppendResponse(nil, id, name, [4]byte(bound), 300)
+	if err != nil {
+		return
+	}
+	cli, srv := rec.Client, rec.Server
+	cliPort := rec.CliPort
+	ip := wire.IPv4{Src: cli, Dst: srv}
+	udp := wire.UDP{SrcPort: cliPort, DstPort: 53}
+	raw, err := p.b.UDPPacket(&ip, &udp, q)
+	p.emit(rec.Start, raw, err)
+	ip = wire.IPv4{Src: srv, Dst: cli}
+	udp = wire.UDP{SrcPort: 53, DstPort: cliPort}
+	raw, err = p.b.UDPPacket(&ip, &udp, resp)
+	p.emit(rec.Start.Add(8*time.Millisecond), raw, err)
+}
+
+// udpFlow renders QUIC and P2P-over-UDP flows.
+func (p *packetizer) udpFlow(rec *flowrec.Record) {
+	// A QUIC flow named via DN-Hunter needs its resolution first.
+	if rec.Web == flowrec.WebQUIC && rec.ServerName != "" {
+		dns := *rec
+		dns.Start = rec.Start.Add(-40 * time.Millisecond)
+		dns.Server = ispResolver
+		p.dnsExchange(&dns, rec.ServerName, rec.Server)
+	}
+
+	var firstUp, payloadByte []byte
+	switch rec.Web {
+	case flowrec.WebQUIC:
+		firstUp = quicx.AppendGQUIC(nil, rec.QUICVer, p.r.Uint64(), 1200)
+	case flowrec.WebP2P:
+		// Alternate between the three UDP dialects of the P2P class.
+		switch p.r.Intn(3) {
+		case 0:
+			firstUp = btx.AppendUTPSyn(nil, uint16(p.r.Uint64()), uint32(p.r.Uint64()))
+		case 1:
+			firstUp = btx.AppendDHTPing(nil, rand20(p.r))
+		default:
+			firstUp = append([]byte{0xE3, 0x96}, make([]byte, 30)...)
+		}
+	default: // gateway chatter: an NTP-shaped datagram
+		firstUp = append([]byte{0x1B}, make([]byte, 47)...)
+	}
+	payloadByte = make([]byte, 1200)
+
+	ts := rec.Start
+	ipUp := wire.IPv4{Src: rec.Client, Dst: rec.Server}
+	udpUp := wire.UDP{SrcPort: rec.CliPort, DstPort: rec.SrvPort}
+	raw, err := p.b.UDPPacket(&ipUp, &udpUp, firstUp)
+	p.emit(ts, raw, err)
+
+	down := capBytes(rec.BytesDown, p.opt.MaxFlowBytes)
+	n := int(down / 1200)
+	if n > 0 {
+		gap := rec.Duration / time.Duration(n+1)
+		for i := 0; i < n; i++ {
+			ts = ts.Add(gap)
+			ipDown := wire.IPv4{Src: rec.Server, Dst: rec.Client}
+			udpDown := wire.UDP{SrcPort: rec.SrvPort, DstPort: rec.CliPort}
+			raw, err := p.b.UDPPacket(&ipDown, &udpDown, payloadByte)
+			p.emit(ts, raw, err)
+		}
+	}
+}
+
+// tcpFlow renders a full TCP conversation: handshake, first client
+// flight carrying the protocol's signature bytes, server data, ACKs,
+// orderly teardown.
+func (p *packetizer) tcpFlow(rec *flowrec.Record) {
+	rtt := rec.RTTMin
+	if rtt <= 0 {
+		rtt = 20 * time.Millisecond
+	}
+	seqC, seqS := uint32(p.r.Uint64()|1), uint32(p.r.Uint64()|1)
+	ts := rec.Start
+
+	sendC := func(at time.Time, flags uint8, payload []byte) {
+		ip := wire.IPv4{Src: rec.Client, Dst: rec.Server}
+		tcp := wire.TCP{SrcPort: rec.CliPort, DstPort: rec.SrvPort, Seq: seqC, Ack: seqS, Flags: flags}
+		raw, err := p.b.TCPPacket(&ip, &tcp, payload)
+		p.emit(at, raw, err)
+		seqC += uint32(len(payload))
+		if flags&(wire.TCPSyn|wire.TCPFin) != 0 {
+			seqC++
+		}
+	}
+	sendS := func(at time.Time, flags uint8, payload []byte) {
+		ip := wire.IPv4{Src: rec.Server, Dst: rec.Client}
+		tcp := wire.TCP{SrcPort: rec.SrvPort, DstPort: rec.CliPort, Seq: seqS, Ack: seqC, Flags: flags}
+		raw, err := p.b.TCPPacket(&ip, &tcp, payload)
+		p.emit(at, raw, err)
+		seqS += uint32(len(payload))
+		if flags&(wire.TCPSyn|wire.TCPFin) != 0 {
+			seqS++
+		}
+	}
+
+	// Handshake; SYN→SYNACK spacing carries the flow's RTT.
+	sendC(ts, wire.TCPSyn, nil)
+	sendS(ts.Add(rtt), wire.TCPSyn|wire.TCPAck, nil)
+	ts = ts.Add(rtt + time.Millisecond)
+
+	// First client flight: the DPI signature. Long hellos split
+	// across two segments about half the time, as on a real link —
+	// the probe's reassembler puts them back together.
+	ff := p.firstFlight(rec)
+	if len(ff) > 150 && rec.CliPort%2 == 0 {
+		cut := 80 + int(rec.CliPort%40)
+		sendC(ts, wire.TCPAck, ff[:cut])
+		sendC(ts.Add(300*time.Microsecond), wire.TCPAck|wire.TCPPsh, ff[cut:])
+	} else {
+		sendC(ts, wire.TCPAck|wire.TCPPsh, ff)
+	}
+	sendS(ts.Add(rtt), wire.TCPAck, nil) // pure ACK: resolves the RTT sample
+	ts = ts.Add(rtt + time.Millisecond)
+
+	// TLS-family sessions carry the server's answer: the ServerHello
+	// with the selected ALPN, which the probe treats as authoritative.
+	switch rec.Web {
+	case flowrec.WebTLS, flowrec.WebSPDY, flowrec.WebHTTP2:
+		sh := tlsx.AppendServerHello(nil, 0, rec.ALPN)
+		sendS(ts.Add(time.Millisecond), wire.TCPAck|wire.TCPPsh, sh)
+		ts = ts.Add(2 * time.Millisecond)
+	}
+
+	// Server data, client ACK every other segment.
+	down := capBytes(rec.BytesDown, p.opt.MaxFlowBytes)
+	n := int(down / 1400)
+	if n < 1 {
+		n = 1
+	}
+	seg := make([]byte, 1400)
+	gap := rec.Duration / time.Duration(n+2)
+	if gap > time.Second {
+		gap = time.Second
+	}
+	for i := 0; i < n; i++ {
+		ts = ts.Add(gap)
+		sendS(ts, wire.TCPAck, seg)
+		if i%2 == 1 {
+			sendC(ts.Add(200*time.Microsecond), wire.TCPAck, nil)
+		}
+	}
+
+	// Client upload beyond the first flight, if meaningful.
+	up := capBytes(rec.BytesUp, p.opt.MaxFlowBytes)
+	for sent := uint64(0); sent+1400 < up; sent += 1400 {
+		ts = ts.Add(gap / 2)
+		sendC(ts, wire.TCPAck, seg)
+		sendS(ts.Add(rtt), wire.TCPAck, nil)
+	}
+
+	// Teardown.
+	sendC(ts.Add(gap), wire.TCPFin|wire.TCPAck, nil)
+	sendS(ts.Add(gap+rtt), wire.TCPFin|wire.TCPAck, nil)
+}
+
+// firstFlight builds the client bytes that make the probe label the
+// flow the way the record says.
+func (p *packetizer) firstFlight(rec *flowrec.Record) []byte {
+	switch rec.Web {
+	case flowrec.WebHTTP:
+		return httpx.AppendRequest(nil, "GET", rec.ServerName, "/", "edge-sim/1.0")
+	case flowrec.WebP2P:
+		return btx.AppendHandshake(nil, rand20(p.r), rand20(p.r))
+	case flowrec.WebFBZero:
+		return tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: rec.ServerName, FBZero: true})
+	case flowrec.WebHTTP2:
+		return tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: rec.ServerName, ALPN: []string{"h2", "http/1.1"}})
+	case flowrec.WebSPDY:
+		return tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: rec.ServerName, ALPN: []string{"spdy/3.1", "http/1.1"}})
+	case flowrec.WebTLS:
+		// The record may be a pre-epoch SPDY flow relabelled TLS; the
+		// ALPN field still says. Reproduce the real bytes: the wire
+		// carried SPDY either way.
+		if rec.ALPN != "" {
+			return tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: rec.ServerName, ALPN: []string{rec.ALPN}})
+		}
+		return tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: rec.ServerName})
+	default:
+		return []byte("\x00\x01\x02\x03 opaque application bytes")
+	}
+}
+
+func capBytes(v, cap uint64) uint64 {
+	if v > cap {
+		return cap
+	}
+	return v
+}
+
+// rand20 draws 20 deterministic bytes (info-hashes, node ids).
+func rand20(r *stats.Rand) [20]byte {
+	var out [20]byte
+	for i := 0; i < 20; i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < 20; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}

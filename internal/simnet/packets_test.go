@@ -1,0 +1,76 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/probe"
+	"repro/internal/wire"
+)
+
+func TestEmitDayPacketsDeterministic(t *testing.T) {
+	day := date(2016, 6, 1)
+	scale := Scale{ADSL: 3, FTTH: 2}
+	collect := func() []probe.Packet {
+		var out []probe.Packet
+		NewWorld(5, scale).EmitDayPackets(day, PacketOptions{}, func(p probe.Packet) {
+			out = append(out, p)
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("packet counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].TS.Equal(b[i].TS) || len(a[i].Data) != len(b[i].Data) {
+			t.Fatalf("packet %d differs", i)
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				t.Fatalf("packet %d byte %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestEmitDayPacketsParseCleanly(t *testing.T) {
+	// Every emitted frame must decode as Ethernet/IPv4/(TCP|UDP):
+	// the simulator is not allowed to fabricate malformed packets.
+	day := date(2015, 3, 2)
+	w := NewWorld(9, Scale{ADSL: 4, FTTH: 2})
+	parser := wire.NewLayerParser(wire.LayerEthernet)
+	var n, tcp, udp int
+	w.EmitDayPackets(day, PacketOptions{MaxFlowBytes: 8 << 10}, func(p probe.Packet) {
+		n++
+		d, err := parser.Parse(p.Data)
+		if err != nil {
+			t.Fatalf("packet %d: %v", n, err)
+		}
+		switch {
+		case d.Has(wire.LayerTCP):
+			tcp++
+		case d.Has(wire.LayerUDP):
+			udp++
+		default:
+			t.Fatalf("packet %d has no transport layer: %v", n, d.Layers)
+		}
+	})
+	if n == 0 || tcp == 0 || udp == 0 {
+		t.Fatalf("packet mix: total %d, tcp %d, udp %d", n, tcp, udp)
+	}
+}
+
+func TestPacketFlowByteCap(t *testing.T) {
+	day := date(2017, 4, 10)
+	w := NewWorld(3, Scale{ADSL: 3, FTTH: 2})
+	const cap = 4 << 10
+	var total int
+	w.EmitDayPackets(day, PacketOptions{MaxFlowBytes: cap}, func(p probe.Packet) {
+		total += len(p.Data)
+	})
+	// With a tiny cap, the whole day must stay small: no flow can
+	// materialise more than ~2*cap plus handshakes.
+	if total > 6<<20 {
+		t.Errorf("capped packet day still emitted %d bytes", total)
+	}
+}

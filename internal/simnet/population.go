@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/flowrec"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// subscriber is one monitored line.
+type subscriber struct {
+	id   uint32
+	tech flowrec.AccessTech
+	addr wire.Addr
+	// intensity is a persistent per-line multiplier on traffic volume
+	// (households differ); lognormal around 1.
+	intensity float64
+}
+
+// Address plan: subscribers live in 10.0.0.0/8. ADSL lines occupy
+// 10.0.0.0–10.127.255.255, FTTH lines 10.128.0.0 and up. The probe's
+// subscriber lookup inverts this mapping, so both the packet path and
+// the fast path agree on identity and technology.
+const ftthAddrBit = 128
+
+// ftthIDBase offsets FTTH subscription IDs so the two pools never
+// collide.
+const ftthIDBase = 1 << 24
+
+// addrFor returns the fixed address of line i of a technology.
+func addrFor(tech flowrec.AccessTech, i int) wire.Addr {
+	hi := byte(0)
+	if tech == flowrec.TechFTTH {
+		hi = ftthAddrBit
+	}
+	return wire.AddrFrom(10, hi|byte(i>>16&0x7F), byte(i>>8), byte(i))
+}
+
+// subscriberOf inverts addrFor.
+func subscriberOf(a wire.Addr) (subscriber, bool) {
+	if a[0] != 10 {
+		return subscriber{}, false
+	}
+	i := int(a[1]&0x7F)<<16 | int(a[2])<<8 | int(a[3])
+	tech := flowrec.TechADSL
+	id := uint32(i)
+	if a[1]&ftthAddrBit != 0 {
+		tech = flowrec.TechFTTH
+		id = ftthIDBase + uint32(i)
+	}
+	return subscriber{id: id, tech: tech, addr: a}, true
+}
+
+// population returns the lines present on day. Section 2.1 of the
+// paper: "a steady reduction on the number of active ADSL users and an
+// increase in FTTH installations" — churn and technology upgrades.
+// The model retires ~20% of ADSL lines across the span and doubles
+// FTTH installations.
+func (w *World) population(day time.Time) []subscriber {
+	frac := spanFraction(day)
+
+	adslCount := int(float64(w.scale.ADSL) * (1 - 0.20*frac))
+	ftthCount := int(float64(w.scale.FTTH) * (0.5 + 0.5*frac))
+	if ftthCount < 1 {
+		ftthCount = 1
+	}
+
+	out := make([]subscriber, 0, adslCount+ftthCount)
+	for i := 0; i < adslCount; i++ {
+		out = append(out, w.line(flowrec.TechADSL, i))
+	}
+	for i := 0; i < ftthCount; i++ {
+		out = append(out, w.line(flowrec.TechFTTH, i))
+	}
+	return out
+}
+
+// line materialises one subscriber with its persistent traits.
+func (w *World) line(tech flowrec.AccessTech, i int) subscriber {
+	s := subscriber{tech: tech, addr: addrFor(tech, i)}
+	if tech == flowrec.TechFTTH {
+		s.id = ftthIDBase + uint32(i)
+	} else {
+		s.id = uint32(i)
+	}
+	r := stats.NewRand(stats.Mix64(w.seed, uint64(s.id), 0x11e))
+	s.intensity = r.LogNormal(0, 0.45)
+	return s
+}
+
+// spanFraction maps a day to [0, 1] across the 54-month span.
+func spanFraction(day time.Time) float64 {
+	f := float64(day.Sub(SpanStart)) / float64(SpanEnd.Sub(SpanStart))
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// activeToday decides whether a line generates human traffic on day.
+// Section 3 of the paper observes ~80% of monitored subscribers pass
+// the activity filter each day; inactive lines still emit background
+// gateway chatter (below the filter's thresholds).
+func (w *World) activeToday(day time.Time, sub subscriber, r *stats.Rand) bool {
+	return r.Bool(0.82)
+}

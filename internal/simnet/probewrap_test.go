@@ -1,0 +1,23 @@
+package simnet
+
+import (
+	"repro/internal/flowrec"
+	"repro/internal/probe"
+)
+
+// probeWrapper configures a real probe against a World the way
+// cmd/edgeprobe does: subscriber plan, anonymization key, and SPDY
+// visibility epoch all come from the world, so the packet path and the
+// fast path are comparable record for record.
+type probeWrapper struct {
+	*probe.Probe
+}
+
+func newProbeWrapper(w *World, fn func(*flowrec.Record)) *probeWrapper {
+	return &probeWrapper{probe.New(probe.Config{
+		Subscriber:       w.SubscriberLookup,
+		AnonKey:          w.AnonKey(),
+		SPDYVisibleSince: SPDYVisibleSince(),
+		OnRecord:         fn,
+	})}
+}

@@ -1,0 +1,723 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// MB in bytes, as float for the volume curves.
+const MB = float64(1 << 20)
+
+// flowDraw is one flow's service-level properties: where it goes,
+// under which name, speaking which protocol. Domain and address are
+// drawn together so the domain shares of Fig 11g-i track the
+// infrastructure migrations of Fig 11d-f.
+type flowDraw struct {
+	server serverChoice
+	domain string
+	web    flowrec.WebProto
+}
+
+// dayProfile selects a time-of-day activity shape.
+type dayProfile uint8
+
+const (
+	profHuman   dayProfile = iota // browsing: day-long, evening peak
+	profEvening                   // video: strong prime-time peak
+	profNight                     // machine/update traffic: night-heavy
+	profAllDay                    // messaging: morning-to-midnight plateau
+	profFlat                      // always-on clients (P2P): uniform
+)
+
+// serviceModel is everything the generator knows about one service.
+type serviceModel struct {
+	name          classify.Service
+	profile       dayProfile
+	meanFlowBytes float64
+	// ftthBoost multiplies FTTH volumes for services without their
+	// own per-technology curves: FTTH households self-select for
+	// heavier usage (Figs 2a, 3a: ~25% more download), while services
+	// with explicit tech curves (YouTube equal, Netflix Ultra-HD,
+	// Instagram, P2P) keep the paper's per-service story. Zero means 1.
+	ftthBoost float64
+	// daySigma is the lognormal sigma of the day-to-day volume jitter.
+	// Zero means the browsing default (0.85, which produces the
+	// light/heavy alternation of section 3.1); steady-consumption
+	// services (video sessions, P2P seedboxes) set a tighter 0.5 so
+	// their per-user means stay near the Fig 6/7 curves.
+	daySigma float64
+	// pop is the fraction of active subscribers that use the service
+	// on a given day (Figures 5a, 6, 7 top plots).
+	pop func(d time.Time, tech flowrec.AccessTech) float64
+	// vol is the mean downloaded/uploaded bytes per using subscriber
+	// per day (Figures 5b, 6, 7 bottom plots, Figure 9).
+	vol func(d time.Time, tech flowrec.AccessTech) (down, up float64)
+	// draw picks server, domain and protocol for one flow.
+	draw func(d time.Time, r *stats.Rand) flowDraw
+}
+
+// buildServices assembles the seventeen figure services plus P2P and
+// the two background components. Parameter values cite the paper
+// observation they encode.
+func buildServices(ev Events) []*serviceModel {
+	return []*serviceModel{
+		googleSearch(ev), bing(), duckduckgo(),
+		facebook(ev), instagram(), twitter(), linkedin(),
+		youtube(ev), netflix(ev), adult(), spotify(), skype(),
+		whatsapp(), telegram(), snapchat(),
+		amazon(), ebay(),
+		peerToPeer(),
+		backgroundHuman(), backgroundMachine(),
+	}
+}
+
+// --- protocol schedule helpers -------------------------------------------
+
+// quicShare is the fraction of Google-family traffic on QUIC: starts
+// with the October 2014 Chrome deployment (event B of Fig 8), vanishes
+// during the December 2015 security shutdown (event D), returns a
+// month later and keeps growing.
+func quicShare(d time.Time, ev Events) float64 {
+	if d.Before(date(2014, 10, 15)) {
+		return 0
+	}
+	if ev.QUICOutage && !d.Before(date(2015, 12, 5)) && d.Before(date(2016, 1, 10)) {
+		return 0 // event D: QUIC disabled for ~a month
+	}
+	if d.Before(date(2016, 1, 10)) {
+		return ramp(d, date(2014, 10, 15), date(2015, 12, 5), 0, 0.30)
+	}
+	return ramp(d, date(2016, 1, 10), date(2017, 12, 31), 0.32, 0.45)
+}
+
+// spdyFrac is the share of the TLS-family traffic carried as SPDY for
+// early adopters: steady until Google's February 2016 move to HTTP/2
+// (event E), gone within months.
+func spdyFrac(d time.Time, peak float64) float64 {
+	if d.Before(date(2013, 7, 1)) {
+		return 0
+	}
+	if d.Before(date(2016, 2, 1)) {
+		return peak
+	}
+	return ramp(d, date(2016, 2, 1), date(2016, 6, 1), peak, 0)
+}
+
+// h2Frac is the share of TLS-family traffic negotiated as HTTP/2 for
+// late adopters (non-Google services), creeping up from 2016.
+func h2Frac(d time.Time, max2017 float64) float64 {
+	return ramp(d, date(2016, 2, 1), date(2017, 12, 31), 0, max2017)
+}
+
+// tlsFamily picks SPDY / HTTP/2 / plain TLS within encrypted traffic.
+func tlsFamily(d time.Time, r *stats.Rand, spdyPeak, h2Max float64) flowrec.WebProto {
+	u := r.Float64()
+	if u < spdyFrac(d, spdyPeak) {
+		return flowrec.WebSPDY
+	}
+	if u < spdyFrac(d, spdyPeak)+h2Frac(d, h2Max) {
+		return flowrec.WebHTTP2
+	}
+	return flowrec.WebTLS
+}
+
+// --- the services ---------------------------------------------------------
+
+// googleSearch: ~60% of active users daily, flat across the span
+// (Fig 5a); modest volumes; frontends move closer but never in-PoP
+// (Fig 10b).
+func googleSearch(ev Events) *serviceModel {
+	return &serviceModel{
+		name: "Google", profile: profHuman, meanFlowBytes: 400 << 10, ftthBoost: 1.20,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 { return 0.60 },
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 8 * MB, 1 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, googleTiers(d))
+			web := flowrec.WebTLS
+			if r.Float64() < quicShare(d, ev)*0.5 { // search adopted QUIC more timidly than video
+				web = flowrec.WebQUIC
+			} else {
+				web = tlsFamily(d, r, 0.30, 0.45)
+			}
+			return flowDraw{server: sc, domain: "www.google.com", web: web}
+		},
+	}
+}
+
+// bing: popularity climbs 15%→45% across the span, mostly Windows
+// telemetry contacting bing.com domains (Fig 5a's standout).
+func bing() *serviceModel {
+	return &serviceModel{
+		name: "Bing", profile: profNight, meanFlowBytes: 200 << 10, ftthBoost: 1.20,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			base := ramp(d, date(2013, 7, 1), date(2015, 7, 1), 0.15, 0.22)
+			// Windows 10 (July 2015) telemetry accelerates it.
+			return base + ramp(d, date(2015, 7, 29), date(2017, 12, 31), 0, 0.23)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 1.5 * MB, 0.3 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			return flowDraw{server: sc, domain: "www.bing.com", web: tlsFamily(d, r, 0, 0.4)}
+		},
+	}
+}
+
+// duckduckgo: "used only by few tens of users (less than 0.3% of
+// population)".
+func duckduckgo() *serviceModel {
+	return &serviceModel{
+		name: "DuckDuckGo", profile: profHuman, meanFlowBytes: 200 << 10,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 { return 0.0025 },
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 1 * MB, 0.2 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			return flowDraw{server: sc, domain: "duckduckgo.com", web: tlsFamily(d, r, 0, 0.3)}
+		},
+	}
+}
+
+// facebook encodes two headline episodes: the video-autoplay volume
+// jump of 2014 (Fig 9: ~35 MB/user/day in February, ~70 by April, a
+// May pause, ~90 from July) and the sudden FB-Zero deployment of
+// November 2016 (event F of Fig 8, >half of Facebook traffic within
+// weeks). Infrastructure follows facebookTiers (Fig 10a, 11 left).
+func facebook(ev Events) *serviceModel {
+	return &serviceModel{
+		name: "Facebook", profile: profAllDay, meanFlowBytes: 3 * MB, ftthBoost: 1.25, daySigma: 0.6,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.50, 0.58)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			down := facebookDailyMB(d, ev) * MB
+			return down, down * 0.12
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, facebookTiers(d))
+			onAkamai := poolAkamai.prefix().Contains(sc.addr)
+			var domain string
+			switch {
+			case onAkamai && r.Bool(0.7):
+				domain = "fbstatic-a.akamaihd.net"
+			case onAkamai:
+				domain = "fbcdn-profile-a.akamaihd.net"
+			case r.Bool(0.6):
+				domain = "scontent.xx.fbcdn.net"
+			case r.Bool(0.5):
+				domain = "www.facebook.com"
+			default:
+				domain = "graph.facebook.com"
+			}
+			web := tlsFamily(d, r, 0.15, 0.35)
+			// Event F: the mobile app's Zero protocol, deployed
+			// suddenly in November 2016, takes >half of FB traffic.
+			if ev.FBZero {
+				zero := ramp(d, date(2016, 11, 5), date(2016, 11, 25), 0, 0.55)
+				if r.Float64() < zero {
+					web = flowrec.WebFBZero
+				}
+			}
+			return flowDraw{server: sc, domain: domain, web: web}
+		},
+	}
+}
+
+// facebookDailyMB is the Fig 9 curve extended across the span.
+func facebookDailyMB(d time.Time, ev Events) float64 {
+	// Values run ~0.72x the Fig 9 y-axis because the measured
+	// per-user mean conditions on the visit threshold, which inflates
+	// it back by ~1.4x (lognormal day jitter truncated from below).
+	if !ev.Autoplay {
+		// Counterfactual: no auto-play — smooth organic growth
+		// between the same endpoints, no 2014 staircase.
+		return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 22, 110)
+	}
+	switch {
+	case d.Before(date(2014, 3, 1)):
+		return ramp(d, date(2013, 7, 1), date(2014, 3, 1), 22, 26)
+	case d.Before(date(2014, 5, 1)): // autoplay rollout
+		return ramp(d, date(2014, 3, 1), date(2014, 5, 1), 26, 52)
+	case d.Before(date(2014, 6, 1)): // the May pause
+		return 52
+	case d.Before(date(2014, 7, 15)): // second wave
+		return ramp(d, date(2014, 6, 1), date(2014, 7, 15), 52, 66)
+	default: // organic growth afterwards
+		return ramp(d, date(2014, 7, 15), date(2017, 12, 31), 66, 110)
+	}
+}
+
+// instagram: steady popularity growth and a massive volume ramp, to
+// ~200 MB (FTTH) / ~120 MB (ADSL) per active user-day by 2017 — "a
+// quarter of the traffic of Netflix users" (Fig 7c).
+func instagram() *serviceModel {
+	return &serviceModel{
+		name: "Instagram", profile: profAllDay, meanFlowBytes: 4 * MB, daySigma: 0.6,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return stats.Logistic(yearsSince2013(d), 2.8, 1.1, 0.38)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			top := 120.0
+			if tech == flowrec.TechFTTH {
+				top = 200
+			}
+			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 15, top) * MB
+			return down, down * 0.15
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, instagramTiers(d))
+			var domain string
+			switch {
+			case poolInstagram.prefix().Contains(sc.addr):
+				if r.Bool(0.8) {
+					domain = "scontent.cdninstagram.com"
+				} else {
+					domain = "instagram.com"
+				}
+			case r.Bool(0.7):
+				domain = "instagramstatic-a.akamaihd.net"
+			default:
+				domain = "instagram.com"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0.10, 0.35)}
+		},
+	}
+}
+
+func twitter() *serviceModel {
+	return &serviceModel{
+		name: "Twitter", profile: profAllDay, meanFlowBytes: 500 << 10, ftthBoost: 1.30,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.18, 0.25)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 4, 8) * MB
+			return down, down * 0.1
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := "pbs.twimg.com"
+			if r.Bool(0.4) {
+				domain = "twitter.com"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0.10, 0.30)}
+		},
+	}
+}
+
+func linkedin() *serviceModel {
+	return &serviceModel{
+		name: "LinkedIn", profile: profHuman, meanFlowBytes: 300 << 10,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 { return 0.08 },
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 2 * MB, 0.3 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := "www.linkedin.com"
+			if r.Bool(0.4) {
+				domain = "static.licdn.com"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0, 0.5)}
+		},
+	}
+}
+
+// youtube: the consolidated giant — >40% of active subscribers daily,
+// >400 MB per user-day, identical across access technologies (Fig 6c);
+// migrates to HTTPS in 2014 (event A), adopts QUIC (event B), and ends
+// up served from in-PoP caches at sub-millisecond RTT (Fig 10b, 11
+// right column).
+func youtube(ev Events) *serviceModel {
+	return &serviceModel{
+		name: "YouTube", profile: profEvening, meanFlowBytes: 30 * MB, daySigma: 0.5,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.40, 0.46)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 260, 440) * MB
+			return down, down * 0.03
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, youtubeTiers(d))
+			domain := youtubeDomain(d, r, sc)
+			// Event A: HTTP video until January 2014, migrating to
+			// encrypted transport over ~9 months.
+			httpShare := ramp(d, date(2014, 1, 10), date(2015, 3, 1), 0.95, 0.04)
+			var web flowrec.WebProto
+			u := r.Float64()
+			switch {
+			case u < httpShare:
+				web = flowrec.WebHTTP
+			case r.Float64() < quicShare(d, ev):
+				web = flowrec.WebQUIC
+			default:
+				web = tlsFamily(d, r, 0.30, 0.50)
+			}
+			return flowDraw{server: sc, domain: domain, web: web}
+		},
+	}
+}
+
+// youtubeDomain reproduces Fig 11i: youtube.com only until January
+// 2014, googlevideo.com dominant immediately after, gvt1.com appearing
+// in 2015.
+func youtubeDomain(d time.Time, r *stats.Rand, sc serverChoice) string {
+	if poolISPCache.prefix().Contains(sc.addr) {
+		return fmt.Sprintf("r%d---sn-hpa7kn7s.googlevideo.com", 1+r.Intn(8))
+	}
+	if d.Before(date(2014, 1, 15)) {
+		return "v12.lscache.c.youtube.com"
+	}
+	if !d.Before(date(2015, 6, 1)) && r.Bool(0.12) {
+		return "redirector.gvt1.com"
+	}
+	if r.Bool(0.08) {
+		return "www.youtube.com"
+	}
+	return fmt.Sprintf("r%d---sn-hpa7kn7s.googlevideo.com", 1+r.Intn(8))
+}
+
+// netflix: launches in Italy on 22 October 2015; by the end of 2017
+// ~10% of FTTH subscribers use it daily; volumes are equal across
+// technologies until the October 2016 Ultra-HD tier pushes FTTH users
+// toward 1 GB/day while ADSL cannot follow (Fig 6b).
+func netflix(ev Events) *serviceModel {
+	launch := date(2015, 10, 22)
+	return &serviceModel{
+		name: "Netflix", profile: profEvening, meanFlowBytes: 60 * MB, daySigma: 0.5,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			if !ev.NetflixLaunch || d.Before(launch) {
+				return 0
+			}
+			top := 0.065
+			if tech == flowrec.TechFTTH {
+				top = 0.10
+			}
+			return ramp(d, launch, date(2017, 12, 31), 0.01, top)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			if !ev.NetflixLaunch || d.Before(launch) {
+				return 0, 0
+			}
+			base := ramp(d, launch, date(2016, 10, 1), 420, 600)
+			if tech == flowrec.TechFTTH {
+				// Ultra HD from October 2016.
+				base += ramp(d, date(2016, 10, 1), date(2017, 6, 1), 0, 350)
+			}
+			return base * MB, base * MB * 0.015
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, netflixTiers(d))
+			domain := "occ-0-769-768.1.nflxvideo.net"
+			if r.Bool(0.15) {
+				domain = "www.netflix.com"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0, 0.30)}
+		},
+	}
+}
+
+func adult() *serviceModel {
+	return &serviceModel{
+		name: "Adult", profile: profNight, meanFlowBytes: 8 * MB, ftthBoost: 1.30, daySigma: 0.6,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 { return 0.15 },
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 35 * MB, 1.5 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := "cdn.phncdn.com"
+			if r.Bool(0.3) {
+				domain = "www.xvideos.com"
+			}
+			httpShare := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.97, 0.65)
+			web := flowrec.WebHTTP
+			if r.Float64() > httpShare {
+				web = tlsFamily(d, r, 0, 0.3)
+			}
+			return flowDraw{server: sc, domain: domain, web: web}
+		},
+	}
+}
+
+func spotify() *serviceModel {
+	return &serviceModel{
+		name: "Spotify", profile: profHuman, meanFlowBytes: 4 * MB,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return stats.Logistic(yearsSince2013(d), 3.0, 1.0, 0.11)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 25 * MB, 1 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := "audio-fa.scdn.co"
+			if r.Bool(0.3) {
+				domain = "api.spotify.com"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0, 0.5)}
+		},
+	}
+}
+
+// skype: slowly losing ground across the span.
+func skype() *serviceModel {
+	return &serviceModel{
+		name: "Skype", profile: profHuman, meanFlowBytes: 1.5 * MB,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.13, 0.07)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 12 * MB, 8 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			return flowDraw{server: sc, domain: "api.skype.com", web: tlsFamily(d, r, 0, 0.3)}
+		},
+	}
+}
+
+// whatsapp: near-saturating popularity, ~10 MB/user-day of multimedia
+// by 2017, with the famous Christmas / New Year's Eve spikes (Fig 7b);
+// servers stay centralised at ~100 ms (the Fig 10 exception).
+func whatsapp() *serviceModel {
+	return &serviceModel{
+		name: "WhatsApp", profile: profAllDay, meanFlowBytes: 400 << 10,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return stats.Logistic(yearsSince2013(d), 1.8, 1.2, 0.62)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 1.5, 10) * MB
+			down *= holidayBoost(d)
+			return down, down * 0.7 // chat media flows are symmetric-ish
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, whatsappTiers(d))
+			domain := "mmx-ds.cdn.whatsapp.net"
+			if r.Bool(0.3) {
+				domain = "e1.whatsapp.net"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0, 0.2)}
+		},
+	}
+}
+
+// holidayBoost multiplies messaging volume on the days "when people
+// exchange wishes using WhatsApp" (Fig 7b's peaks).
+func holidayBoost(d time.Time) float64 {
+	m, day := d.Month(), d.Day()
+	switch {
+	case m == time.December && (day == 24 || day == 25 || day == 31):
+		return 4
+	case m == time.January && day == 1:
+		return 4
+	default:
+		return 1
+	}
+}
+
+func telegram() *serviceModel {
+	return &serviceModel{
+		name: "Telegram", profile: profAllDay, meanFlowBytes: 300 << 10,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return stats.Logistic(yearsSince2013(d), 3.8, 1.3, 0.09)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 3 * MB, 1.5 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			return flowDraw{server: sc, domain: "venus.web.telegram.org", web: tlsFamily(d, r, 0, 0.3)}
+		},
+	}
+}
+
+// snapchat: the boom-and-bust of Fig 7a — popularity climbs through
+// 2015 to ~10% in 2016 and stays sticky, while per-user volume crests
+// near 100 MB/day in 2016 and collapses below 20 MB in 2017 ("people
+// keep having the app, but hardly use it").
+func snapchat() *serviceModel {
+	return &serviceModel{
+		name: "SnapChat", profile: profAllDay, meanFlowBytes: 2 * MB, daySigma: 0.6,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			rise := stats.Logistic(yearsSince2013(d), 2.9, 2.2, 0.105)
+			fade := ramp(d, date(2017, 1, 1), date(2017, 12, 31), 0, 0.02)
+			return rise - fade
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			var down float64
+			switch {
+			case d.Before(date(2015, 1, 1)):
+				down = ramp(d, date(2013, 7, 1), date(2015, 1, 1), 5, 30)
+			case d.Before(date(2016, 9, 1)):
+				down = ramp(d, date(2015, 1, 1), date(2016, 3, 1), 30, 100)
+			default:
+				down = ramp(d, date(2016, 9, 1), date(2017, 8, 1), 100, 16)
+			}
+			return down * MB, down * MB * 0.4
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			return flowDraw{server: sc, domain: "app.snapchat.com", web: tlsFamily(d, r, 0, 0.4)}
+		},
+	}
+}
+
+func amazon() *serviceModel {
+	return &serviceModel{
+		name: "Amazon", profile: profHuman, meanFlowBytes: 500 << 10, ftthBoost: 1.30,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.10, 0.26)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 8 * MB, 0.8 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := "images-eu.ssl-images-amazon.com"
+			if r.Bool(0.4) {
+				domain = "www.amazon.it"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0, 0.5)}
+		},
+	}
+}
+
+func ebay() *serviceModel {
+	return &serviceModel{
+		name: "Ebay", profile: profHuman, meanFlowBytes: 400 << 10, ftthBoost: 1.30,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			return ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.12, 0.10)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			return 4 * MB, 0.4 * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := "i.ebayimg.com.ebaystatic.com"
+			if r.Bool(0.5) {
+				domain = "www.ebay.it"
+			}
+			return flowDraw{server: sc, domain: domain, web: tlsFamily(d, r, 0, 0.4)}
+		},
+	}
+}
+
+// peerToPeer: the downfall of Fig 6a. A shrinking hardcore of users
+// (FTTH abandons earlier), each still moving ~400 MB/day down until
+// late 2016, then declining; uploads are what put the 2014 bump in
+// Fig 2b's tail.
+func peerToPeer() *serviceModel {
+	return &serviceModel{
+		name: "Peer-To-Peer", profile: profHuman, meanFlowBytes: 8 * MB, daySigma: 0.5,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 {
+			if tech == flowrec.TechFTTH {
+				// Earlier abandonment (Fig 6a): decline starts 2015.
+				return ramp(d, date(2015, 1, 1), date(2017, 12, 31), 0.15, 0.035)
+			}
+			return ramp(d, date(2014, 1, 1), date(2017, 12, 31), 0.155, 0.05)
+		},
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			down := 400.0
+			if !d.Before(date(2016, 10, 1)) {
+				down = ramp(d, date(2016, 10, 1), date(2017, 12, 31), 400, 240)
+			}
+			up := 300.0
+			if tech == flowrec.TechFTTH {
+				up = 400
+				if !d.Before(date(2015, 1, 1)) {
+					up = ramp(d, date(2015, 1, 1), date(2017, 12, 31), 400, 150)
+				}
+			} else if !d.Before(date(2016, 1, 1)) {
+				up = ramp(d, date(2016, 1, 1), date(2017, 12, 31), 300, 120)
+			}
+			return down * MB, up * MB
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			// Remote peers are residential addresses all over; RTT is
+			// wide and uninteresting.
+			peerNets := []byte{78, 93, 2, 95, 201, 113}
+			a := wire.AddrFrom(peerNets[r.Intn(len(peerNets))], byte(r.Intn(256)), byte(r.Intn(256)), byte(1+r.Intn(254)))
+			rtt := time.Duration(20+r.Intn(140)) * time.Millisecond
+			return flowDraw{server: serverChoice{addr: a, rttMin: rtt}, web: flowrec.WebP2P}
+		},
+	}
+}
+
+// backgroundHuman is everything else people browse: news, mail, web
+// apps. It anchors the light-usage mode of Fig 2 and the diurnal shape
+// of Fig 4.
+func backgroundHuman() *serviceModel {
+	return &serviceModel{
+		name: "", profile: profHuman, meanFlowBytes: 1 * MB, ftthBoost: 1.35,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 { return 1 },
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 45, 120) * MB
+			// Upload share grows: user-generated content to cloud
+			// storage and social networks (section 3.2).
+			return down, down * ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.06, 0.16)
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := genericDomains[r.Intn(len(genericDomains))]
+			httpShare := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.96, 0.72)
+			web := flowrec.WebHTTP
+			if r.Float64() > httpShare {
+				web = tlsFamily(d, r, 0.05, 0.35)
+			}
+			return flowDraw{server: sc, domain: domain, web: web}
+		},
+	}
+}
+
+// backgroundMachine is automatic traffic — app updates, telemetry,
+// IoT. It grows faster than human traffic and concentrates at night,
+// which is what tilts Fig 4's ratio curve upward in the small hours.
+func backgroundMachine() *serviceModel {
+	return &serviceModel{
+		name: "", profile: profNight, meanFlowBytes: 2 * MB, ftthBoost: 1.35,
+		pop: func(d time.Time, tech flowrec.AccessTech) float64 { return 1 },
+		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
+			// Quadratic growth: machine-generated traffic (updates,
+			// telemetry, IoT) barely registers in 2013 and becomes a
+			// first-class citizen by 2017 — the driver of Fig 4's
+			// late-night growth excess.
+			f := spanFraction(d)
+			down := (8 + 95*f*f) * MB
+			return down, down * 0.05
+		},
+		draw: func(d time.Time, r *stats.Rand) flowDraw {
+			sc := pickServer(d, r, genericTiers(d))
+			domain := machineDomains[r.Intn(len(machineDomains))]
+			httpShare := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.90, 0.55)
+			web := flowrec.WebHTTP
+			if r.Float64() > httpShare {
+				web = tlsFamily(d, r, 0, 0.5)
+			}
+			return flowDraw{server: sc, domain: domain, web: web}
+		},
+	}
+}
+
+// genericDomains are deliberately outside every classification rule.
+var genericDomains = []string{
+	"www.corriere.example.it", "www.repubblica.example.it", "cdn.banner-net.example",
+	"mail.libero.example.it", "www.meteo.example.it", "img.news-cdn.example",
+	"shop.zalando.example", "www.wikipedia.example.org", "static.forumfree.example",
+}
+
+// machineDomains look like update/telemetry endpoints.
+var machineDomains = []string{
+	"update.microsoft.example", "swcdn.apple.example", "firmware.iot-vendor.example",
+	"metrics.app-analytics.example", "ota.android.example",
+}

@@ -1,0 +1,525 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// collectDay gathers one day's records.
+func collectDay(w *World, day time.Time) []*flowrec.Record {
+	var out []*flowrec.Record
+	w.EmitDay(day, func(r *flowrec.Record) {
+		c := *r
+		out = append(out, &c)
+	})
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	day := date(2015, 3, 10)
+	scale := Scale{ADSL: 30, FTTH: 15}
+	a := collectDay(NewWorld(42, scale), day)
+	b := collectDay(NewWorld(42, scale), day)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	c := collectDay(NewWorld(43, scale), day)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if *a[i] != *c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical days")
+		}
+	}
+}
+
+func TestPopulationTrends(t *testing.T) {
+	w := NewWorld(1, Scale{ADSL: 100, FTTH: 50})
+	a13, f13 := w.PopulationOn(date(2013, 7, 15))
+	a17, f17 := w.PopulationOn(date(2017, 12, 1))
+	if a17 >= a13 {
+		t.Errorf("ADSL should shrink: %d -> %d", a13, a17)
+	}
+	if f17 <= f13 {
+		t.Errorf("FTTH should grow: %d -> %d", f13, f17)
+	}
+	if f13 < 20 || a13 < 99 {
+		t.Errorf("2013 population = %d ADSL, %d FTTH", a13, f13)
+	}
+}
+
+func TestAddrSubscriberRoundTrip(t *testing.T) {
+	f := func(idx uint32, ftth bool) bool {
+		i := int(idx % (1 << 22))
+		tech := flowrec.TechADSL
+		if ftth {
+			tech = flowrec.TechFTTH
+		}
+		sub, ok := subscriberOf(addrFor(tech, i))
+		if !ok || sub.tech != tech {
+			return false
+		}
+		want := uint32(i)
+		if ftth {
+			want += ftthIDBase
+		}
+		return sub.id == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if _, ok := subscriberOf(wire.AddrFrom(93, 1, 2, 3)); ok {
+		t.Error("non-10/8 address resolved to a subscriber")
+	}
+}
+
+// activity groups a day's records by subscriber and applies the
+// section 3 filter.
+func activeCount(recs []*flowrec.Record) (active, total int) {
+	type agg struct {
+		flows    int
+		down, up uint64
+	}
+	subs := make(map[uint32]*agg)
+	for _, r := range recs {
+		a := subs[r.SubID]
+		if a == nil {
+			a = &agg{}
+			subs[r.SubID] = a
+		}
+		a.flows++
+		a.down += r.BytesDown
+		a.up += r.BytesUp
+	}
+	for _, a := range subs {
+		if a.flows >= 10 && a.down > 15<<10 && a.up > 5<<10 {
+			active++
+		}
+	}
+	return active, len(subs)
+}
+
+func TestActiveFractionNear80Percent(t *testing.T) {
+	w := NewWorld(7, Scale{ADSL: 120, FTTH: 60})
+	recs := collectDay(w, date(2015, 5, 12))
+	active, total := activeCount(recs)
+	frac := float64(active) / float64(total)
+	if frac < 0.70 || frac > 0.92 {
+		t.Errorf("active fraction = %.2f (%d/%d), want ~0.8", frac, active, total)
+	}
+}
+
+// byService sums downloaded bytes per classified service for a user set.
+func perUserServiceDown(recs []*flowrec.Record, svc classify.Service, tech flowrec.AccessTech) (users int, meanBytes float64) {
+	c := classify.Default()
+	per := make(map[uint32]uint64)
+	for _, r := range recs {
+		if r.Tech != tech {
+			continue
+		}
+		if c.Lookup(r.ServerName) != svc {
+			continue
+		}
+		per[r.SubID] += r.BytesDown
+	}
+	var sum uint64
+	thr := classify.VisitThreshold(svc)
+	for _, v := range per {
+		if v < thr {
+			continue
+		}
+		users++
+		sum += v
+	}
+	if users > 0 {
+		meanBytes = float64(sum) / float64(users)
+	}
+	return
+}
+
+func TestNetflixLaunchDate(t *testing.T) {
+	w := NewWorld(11, Scale{ADSL: 80, FTTH: 40})
+	before := collectDay(w, date(2015, 9, 1))
+	for _, r := range before {
+		if classify.Default().Lookup(r.ServerName) == "Netflix" {
+			t.Fatalf("Netflix flow before the Italian launch: %v", r)
+		}
+	}
+	after := collectDay(w, date(2017, 6, 1))
+	users, mean := perUserServiceDown(after, "Netflix", flowrec.TechFTTH)
+	if users == 0 {
+		t.Fatal("no FTTH Netflix users in mid-2017")
+	}
+	if mean < 200*MB {
+		t.Errorf("Netflix per-user volume = %.0f MB, want hundreds", mean/MB)
+	}
+}
+
+func TestUltraHDGapBetweenTechs(t *testing.T) {
+	// After October 2016, FTTH Netflix users should out-consume ADSL
+	// ones clearly (Fig 6b); average over several days to de-noise.
+	w := NewWorld(3, Scale{ADSL: 200, FTTH: 100})
+	var fSum, aSum float64
+	var fN, aN int
+	for i := 0; i < 6; i++ {
+		recs := collectDay(w, date(2017, 7, 3+i*3))
+		if u, m := perUserServiceDown(recs, "Netflix", flowrec.TechFTTH); u > 0 {
+			fSum += m
+			fN++
+		}
+		if u, m := perUserServiceDown(recs, "Netflix", flowrec.TechADSL); u > 0 {
+			aSum += m
+			aN++
+		}
+	}
+	if fN == 0 || aN == 0 {
+		t.Fatalf("missing Netflix users: ftth days %d, adsl days %d", fN, aN)
+	}
+	if fSum/float64(fN) < 1.15*(aSum/float64(aN)) {
+		t.Errorf("FTTH/ADSL Netflix ratio = %.2f, want > 1.15 (Ultra HD)",
+			(fSum/float64(fN))/(aSum/float64(aN)))
+	}
+}
+
+func protoBytes(recs []*flowrec.Record) map[flowrec.WebProto]uint64 {
+	out := make(map[flowrec.WebProto]uint64)
+	for _, r := range recs {
+		out[r.Web] += r.BytesDown + r.BytesUp
+	}
+	return out
+}
+
+func TestProtocolEvents(t *testing.T) {
+	w := NewWorld(5, Scale{ADSL: 60, FTTH: 30})
+
+	// Event B/D: QUIC absent before Oct 2014, present Nov 2015, gone
+	// mid-December 2015, back in February 2016.
+	for _, c := range []struct {
+		day  time.Time
+		want bool
+	}{
+		{date(2014, 6, 1), false},
+		{date(2015, 11, 10), true},
+		{date(2015, 12, 20), false},
+		{date(2016, 2, 15), true},
+	} {
+		pb := protoBytes(collectDay(w, c.day))
+		got := pb[flowrec.WebQUIC] > 0
+		if got != c.want {
+			t.Errorf("%s: QUIC present=%v, want %v", c.day.Format("2006-01-02"), got, c.want)
+		}
+	}
+
+	// Event C: no SPDY label before the probe update of June 2015.
+	pb := protoBytes(collectDay(w, date(2015, 3, 1)))
+	if pb[flowrec.WebSPDY] > 0 {
+		t.Error("SPDY labelled before the probe update")
+	}
+	pb = protoBytes(collectDay(w, date(2015, 9, 1)))
+	if pb[flowrec.WebSPDY] == 0 {
+		t.Error("SPDY invisible after the probe update")
+	}
+
+	// Event F: FB-Zero appears suddenly in November 2016.
+	pb = protoBytes(collectDay(w, date(2016, 10, 20)))
+	if pb[flowrec.WebFBZero] > 0 {
+		t.Error("FB-Zero before its deployment")
+	}
+	pb = protoBytes(collectDay(w, date(2016, 12, 10)))
+	if pb[flowrec.WebFBZero] == 0 {
+		t.Error("FB-Zero missing after deployment")
+	}
+
+	// Event A endpoints: HTTP dominates web bytes in 2013, not in 2017.
+	pb13 := protoBytes(collectDay(w, date(2013, 8, 5)))
+	pb17 := protoBytes(collectDay(w, date(2017, 11, 6)))
+	webTotal := func(m map[flowrec.WebProto]uint64) (http, all uint64) {
+		for _, p := range []flowrec.WebProto{flowrec.WebHTTP, flowrec.WebTLS, flowrec.WebSPDY,
+			flowrec.WebHTTP2, flowrec.WebQUIC, flowrec.WebFBZero} {
+			all += m[p]
+		}
+		return m[flowrec.WebHTTP], all
+	}
+	h13, a13 := webTotal(pb13)
+	h17, a17 := webTotal(pb17)
+	if float64(h13)/float64(a13) < 0.6 {
+		t.Errorf("2013 HTTP share = %.2f, want dominant", float64(h13)/float64(a13))
+	}
+	if float64(h17)/float64(a17) > 0.45 {
+		t.Errorf("2017 HTTP share = %.2f, want minority", float64(h17)/float64(a17))
+	}
+}
+
+func TestGrowthBetween2014And2017(t *testing.T) {
+	w := NewWorld(9, Scale{ADSL: 150, FTTH: 60})
+	meanDown := func(days []time.Time) float64 {
+		var total uint64
+		var subDays int
+		for _, d := range days {
+			recs := collectDay(w, d)
+			per := make(map[uint32]uint64)
+			for _, r := range recs {
+				if r.Tech == flowrec.TechADSL {
+					per[r.SubID] += r.BytesDown
+				}
+			}
+			for _, v := range per {
+				total += v
+			}
+			subDays += len(per)
+		}
+		return float64(total) / float64(subDays)
+	}
+	d14 := meanDown([]time.Time{date(2014, 4, 7), date(2014, 4, 16), date(2014, 4, 23)})
+	d17 := meanDown([]time.Time{date(2017, 4, 5), date(2017, 4, 12), date(2017, 4, 20)})
+	ratio := d17 / d14
+	if ratio < 1.5 || ratio > 3.2 {
+		t.Errorf("2017/2014 ADSL download ratio = %.2f (=%0.f/%0.f MB), want ~2",
+			ratio, d17/MB, d14/MB)
+	}
+	if d14 < 150*MB || d14 > 700*MB {
+		t.Errorf("2014 mean daily download = %.0f MB, want a few hundred", d14/MB)
+	}
+}
+
+func TestRTTEvolutionYouTube(t *testing.T) {
+	w := NewWorld(13, Scale{ADSL: 60, FTTH: 30})
+	c := classify.Default()
+	minRTTs := func(day time.Time) (subMs, total int) {
+		for _, r := range collectDay(w, day) {
+			if r.RTTSamples == 0 || c.Lookup(r.ServerName) != "YouTube" {
+				continue
+			}
+			total++
+			if r.RTTMin < time.Millisecond {
+				subMs++
+			}
+		}
+		return
+	}
+	s14, t14 := minRTTs(date(2014, 4, 10))
+	if t14 == 0 {
+		t.Fatal("no YouTube TCP flows in 2014")
+	}
+	if s14 > 0 {
+		t.Errorf("sub-millisecond YouTube flows already in 2014: %d/%d", s14, t14)
+	}
+	s17, t17 := minRTTs(date(2017, 4, 10))
+	if t17 == 0 {
+		t.Fatal("no YouTube TCP flows in 2017")
+	}
+	if float64(s17)/float64(t17) < 0.3 {
+		t.Errorf("2017 sub-ms YouTube share = %d/%d, want the in-PoP cache to dominate", s17, t17)
+	}
+}
+
+func TestWhatsAppChristmasPeak(t *testing.T) {
+	w := NewWorld(17, Scale{ADSL: 200, FTTH: 80})
+	mean := func(day time.Time) float64 {
+		_, m := perUserServiceDown(collectDay(w, day), "WhatsApp", flowrec.TechADSL)
+		return m
+	}
+	normal := (mean(date(2016, 12, 6)) + mean(date(2016, 12, 13)) + mean(date(2016, 12, 20))) / 3
+	xmas := mean(date(2016, 12, 25))
+	if xmas < 2*normal {
+		t.Errorf("Christmas WhatsApp volume %.1f MB vs normal %.1f MB: no peak", xmas/MB, normal/MB)
+	}
+}
+
+func TestRIBsResolveInfra(t *testing.T) {
+	w := NewWorld(19, Scale{})
+	ribs := w.RIBs()
+	day := date(2016, 6, 1)
+	cases := []struct {
+		addr wire.Addr
+		want string
+	}{
+		{poolFacebook.addr(5), "FACEBOOK"},
+		{poolAkamai.addr(10), "AKAMAI"},
+		{poolGoogle.addr(3), "GOOGLE"},
+		{poolISPCache.addr(1), "ISP"},
+		{poolTeliaNet.addr(2), "TELIANET"},
+		{poolGTT.addr(2), "GTT"},
+	}
+	for _, cse := range cases {
+		if got := string(ribs.OrgLookup(day, cse.addr)); got != cse.want {
+			t.Errorf("OrgLookup(%v) = %s, want %s", cse.addr, got, cse.want)
+		}
+	}
+}
+
+func TestFacebookMigration(t *testing.T) {
+	w := NewWorld(23, Scale{ADSL: 100, FTTH: 40})
+	ribs := w.RIBs()
+	c := classify.Default()
+	akamaiShare := func(day time.Time) float64 {
+		var ak, tot uint64
+		for _, r := range collectDay(w, day) {
+			if c.Lookup(r.ServerName) != "Facebook" {
+				continue
+			}
+			tot += r.BytesDown
+			if ribs.OrgLookup(day, r.Server) == "AKAMAI" {
+				ak += r.BytesDown
+			}
+		}
+		if tot == 0 {
+			return -1
+		}
+		return float64(ak) / float64(tot)
+	}
+	early := akamaiShare(date(2013, 9, 2))
+	late := akamaiShare(date(2016, 7, 4))
+	if early < 0.3 {
+		t.Errorf("2013 Facebook Akamai share = %.2f, want majority-ish", early)
+	}
+	if late > 0.05 {
+		t.Errorf("2016 Facebook Akamai share = %.2f, want ~0 (migration done)", late)
+	}
+}
+
+func TestEmitDayPacketsMatchesFastPath(t *testing.T) {
+	// The probe, fed the packet rendering of a day, must reproduce the
+	// fast path's flow population: same protocol mix, same names.
+	day := date(2016, 12, 7) // after FB-Zero and QUIC, SPDY visible
+	scale := Scale{ADSL: 6, FTTH: 3}
+	w := NewWorld(77, scale)
+
+	fast := collectDay(w, day)
+	wantWeb := make(map[flowrec.WebProto]int)
+	for _, r := range fast {
+		if r.Web != flowrec.WebDNS { // packet path adds DN-Hunter lookups
+			wantWeb[r.Web]++
+		}
+	}
+
+	var got []*flowrec.Record
+	p := buildTestProbe(w, func(r *flowrec.Record) {
+		c := *r
+		got = append(got, &c)
+	})
+	w.EmitDayPackets(day, PacketOptions{}, p.Feed)
+	p.Flush()
+
+	gotWeb := make(map[flowrec.WebProto]int)
+	for _, r := range got {
+		if r.Web != flowrec.WebDNS {
+			gotWeb[r.Web]++
+		}
+	}
+	for web, want := range wantWeb {
+		if gotWeb[web] != want {
+			t.Errorf("%v flows: probe saw %d, fast path %d", web, gotWeb[web], want)
+		}
+	}
+	for web := range gotWeb {
+		if _, ok := wantWeb[web]; !ok {
+			t.Errorf("probe invented %v flows", web)
+		}
+	}
+
+	// Names: every named fast-path record's name appears at least as
+	// often in the probe output.
+	fastNames := make(map[string]int)
+	gotNames := make(map[string]int)
+	for _, r := range fast {
+		if r.ServerName != "" && r.Web != flowrec.WebDNS {
+			fastNames[r.ServerName]++
+		}
+	}
+	for _, r := range got {
+		if r.ServerName != "" && r.Web != flowrec.WebDNS {
+			gotNames[r.ServerName]++
+		}
+	}
+	for name, n := range fastNames {
+		if gotNames[name] < n {
+			t.Errorf("name %q: probe saw %d, fast path %d", name, gotNames[name], n)
+		}
+	}
+
+	// Anonymized client identities agree between the two paths.
+	fastClients := make(map[wire.Addr]bool)
+	for _, r := range fast {
+		fastClients[r.Client] = true
+	}
+	for _, r := range got {
+		if !fastClients[r.Client] {
+			t.Errorf("probe produced unknown anonymized client %v", r.Client)
+		}
+	}
+}
+
+// buildTestProbe wires a probe exactly as a deployment against this
+// world would.
+func buildTestProbe(w *World, fn func(*flowrec.Record)) *probeWrapper {
+	return newProbeWrapper(w, fn)
+}
+
+func TestRTTMeasuredFromPacketsMatchesModel(t *testing.T) {
+	day := date(2017, 4, 10)
+	w := NewWorld(31, Scale{ADSL: 4, FTTH: 2})
+	var got []*flowrec.Record
+	p := buildTestProbe(w, func(r *flowrec.Record) {
+		c := *r
+		got = append(got, &c)
+	})
+	w.EmitDayPackets(day, PacketOptions{}, p.Feed)
+	p.Flush()
+
+	fast := collectDay(w, day)
+	fastRTT := make(map[string]time.Duration) // key: server+cliport
+	for _, r := range fast {
+		if r.RTTSamples > 0 {
+			fastRTT[r.Server.String()+":"+r.Start.String()] = r.RTTMin
+		}
+	}
+	checked := 0
+	for _, r := range got {
+		if r.RTTSamples == 0 {
+			continue
+		}
+		want, ok := fastRTT[r.Server.String()+":"+r.Start.String()]
+		if !ok {
+			continue
+		}
+		checked++
+		diff := r.RTTMin - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > want/5+time.Millisecond {
+			t.Errorf("flow to %v: probe RTT %v, model %v", r.Server, r.RTTMin, want)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no comparable RTT measurements")
+	}
+}
+
+func BenchmarkEmitDay(b *testing.B) {
+	w := NewWorld(1, Scale{ADSL: 50, FTTH: 25})
+	day := date(2016, 5, 10)
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = 0
+		w.EmitDay(day, func(*flowrec.Record) { n++ })
+	}
+	b.ReportMetric(float64(n), "records/day")
+}

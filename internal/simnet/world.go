@@ -1,0 +1,183 @@
+// Package simnet is the reproduction's substitute for the paper's
+// private five-year dataset: a deterministic model of a two-PoP ISP
+// population (ADSL + FTTH subscribers), the services they use, the
+// protocols those services speak, and the infrastructure that serves
+// them, over July 2013 – December 2017.
+//
+// The model can emit traffic two ways, from one ground truth:
+//
+//   - flow records directly (EmitDay), bit-compatible with what the
+//     probe would export — the fast path used for multi-year runs; and
+//   - packets (EmitDayPackets), with real TLS/HTTP/QUIC/DNS payload
+//     bytes, which exercise the entire probe stack end to end.
+//
+// All randomness derives from Mix64(seed, subscriber, day), so any day
+// of the five years can be generated independently, in parallel, and
+// reproducibly.
+//
+// The per-service parameter curves encode the population-level trends
+// the paper reports (each is documented where defined, with the figure
+// it drives); the analytics pipeline never reads them — it measures
+// them back from the emitted flow records.
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/asn"
+	"repro/internal/flowrec"
+	"repro/internal/probe"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Scale sets the population size of a simulated deployment. The
+// paper's PoPs cover ~10000 ADSL and ~5000 FTTH lines; the default
+// scale keeps the 2:1 ratio at laptop size. Shares, distributions and
+// per-user volumes are scale-free.
+type Scale struct {
+	ADSL int // ADSL subscriber lines at the start of the span
+	FTTH int // FTTH subscriber lines at the end of the span (they grow)
+}
+
+// DefaultScale is used when a Scale field is zero.
+var DefaultScale = Scale{ADSL: 240, FTTH: 120}
+
+// Span of the dataset: 54 months, July 2013 through December 2017,
+// matching Figure 3's x axis.
+var (
+	SpanStart = time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+	SpanEnd   = time.Date(2017, 12, 31, 0, 0, 0, 0, time.UTC)
+)
+
+// World is one deterministic instance of the simulated ISP.
+type World struct {
+	seed     uint64
+	scale    Scale
+	events   Events
+	anon     *anonymize.Mapper
+	services []*serviceModel
+	infra    *infraModel
+}
+
+// NewWorld builds a world from a seed, with every historical event
+// enabled. Equal seeds and scales give byte-identical datasets.
+func NewWorld(seed uint64, scale Scale) *World {
+	return NewWorldWithEvents(seed, scale, DefaultEvents())
+}
+
+// NewWorldWithEvents builds a world with a custom event set — the
+// counterfactual instrument (see Events).
+func NewWorldWithEvents(seed uint64, scale Scale, ev Events) *World {
+	if scale.ADSL == 0 {
+		scale.ADSL = DefaultScale.ADSL
+	}
+	if scale.FTTH == 0 {
+		scale.FTTH = DefaultScale.FTTH
+	}
+	infra := newInfraModel(seed)
+	return &World{
+		seed:     seed,
+		scale:    scale,
+		events:   ev,
+		anon:     anonymize.New(anonKeyFor(seed)),
+		services: buildServices(ev),
+		infra:    infra,
+	}
+}
+
+// anonKeyFor derives the probe anonymization key from the world seed,
+// so the flow fast path and a packet-fed probe produce the same
+// anonymized client addresses.
+func anonKeyFor(seed uint64) []byte {
+	return []byte{
+		byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24),
+		byte(seed >> 32), byte(seed >> 40), byte(seed >> 48), byte(seed >> 56),
+		'e', 'd', 'g', 'e',
+	}
+}
+
+// AnonKey exposes the derived key so external probes can be configured
+// to match the fast path.
+func (w *World) AnonKey() []byte { return anonKeyFor(w.seed) }
+
+// Days returns every day of the span with the given stride (1 = all
+// days). The slice always includes SpanStart.
+func Days(stride int) []time.Time {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []time.Time
+	for d := SpanStart; !d.After(SpanEnd); d = d.AddDate(0, 0, stride) {
+		out = append(out, d)
+	}
+	return out
+}
+
+// dayIndex numbers days from SpanStart.
+func dayIndex(day time.Time) int {
+	return int(day.UTC().Sub(SpanStart) / (24 * time.Hour))
+}
+
+// yearsSince2013 expresses a date as fractional years past 2013-01-01,
+// the time variable of every trend curve in the model.
+func yearsSince2013(d time.Time) float64 {
+	return d.Sub(time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)).Hours() / (24 * 365.25)
+}
+
+// RIBs returns the monthly RIB snapshots for the span, consistent with
+// the infrastructure model (the reproduction's Route Views stand-in).
+func (w *World) RIBs() *asn.RIBSet { return w.infra.ribs() }
+
+// SubscriberLookup resolves a client address to its subscription, in
+// the form the probe wants. It is the source of truth the packet path
+// and the fast path share.
+func (w *World) SubscriberLookup(a wire.Addr) (probe.SubscriberInfo, bool) {
+	sub, ok := subscriberOf(a)
+	if !ok {
+		return probe.SubscriberInfo{}, false
+	}
+	return probe.SubscriberInfo{ID: sub.id, Tech: sub.tech}, true
+}
+
+// EmitDay generates every flow record of one day, in subscriber order,
+// and passes each to fn. Records carry anonymized client addresses,
+// exactly as the probe would export them.
+func (w *World) EmitDay(day time.Time, fn func(*flowrec.Record)) {
+	w.emitDayRaw(day, func(rec *flowrec.Record) {
+		rec.Client = w.anon.Anon(rec.Client)
+		fn(rec)
+	})
+}
+
+// emitDayRaw is EmitDay with real (pre-anonymization) client
+// addresses; the packet path needs them, since anonymizing is the
+// probe's job there.
+func (w *World) emitDayRaw(day time.Time, fn func(*flowrec.Record)) {
+	y, m, d := day.UTC().Date()
+	day = time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+	for _, sub := range w.population(day) {
+		w.emitSubscriberDay(day, sub, fn)
+	}
+}
+
+// PopulationOn reports how many lines of each technology exist on day
+// (present in the trace, active or not). Exposed for tests and docs;
+// the analytics derive their denominators from the records instead.
+func (w *World) PopulationOn(day time.Time) (adsl, ftth int) {
+	for _, s := range w.population(day) {
+		if s.tech == flowrec.TechFTTH {
+			ftth++
+		} else {
+			adsl++
+		}
+	}
+	return
+}
+
+// subRand derives the per-(subscriber, day) generator — the root of
+// all randomness below the population level.
+func (w *World) subRand(day time.Time, sub subscriber) *stats.Rand {
+	return stats.NewRand(stats.Mix64(w.seed, uint64(sub.id), uint64(dayIndex(day))))
+}

@@ -1,0 +1,233 @@
+// Package stats provides the statistical primitives the analytics
+// stage uses to turn per-day aggregates into the paper's figures:
+// empirical CDFs/CCDFs, quantiles, fixed-width time binning, Bézier
+// smoothing (Figure 4 of the paper smooths its hourly ratio curves
+// with a Bézier interpolation), and the deterministic samplers the
+// traffic model draws from.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution over float64 samples.
+// The zero value is ready to use; Add samples, then query.
+type ECDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (e *ECDF) Add(v float64) {
+	e.samples = append(e.samples, v)
+	e.sorted = false
+}
+
+// AddAll appends many samples.
+func (e *ECDF) AddAll(vs []float64) {
+	e.samples = append(e.samples, vs...)
+	e.sorted = false
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.samples) }
+
+func (e *ECDF) sort() {
+	if !e.sorted {
+		sort.Float64s(e.samples)
+		e.sorted = true
+	}
+}
+
+// P returns the empirical P(X <= v), 0 for an empty distribution.
+func (e *ECDF) P(v float64) float64 {
+	if len(e.samples) == 0 {
+		return 0
+	}
+	e.sort()
+	i := sort.SearchFloat64s(e.samples, math.Nextafter(v, math.Inf(1)))
+	return float64(i) / float64(len(e.samples))
+}
+
+// CCDF returns the empirical P(X > v).
+func (e *ECDF) CCDF(v float64) float64 { return 1 - e.P(v) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank
+// method, or NaN for an empty distribution.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.samples) == 0 {
+		return math.NaN()
+	}
+	e.sort()
+	if q <= 0 {
+		return e.samples[0]
+	}
+	if q >= 1 {
+		return e.samples[len(e.samples)-1]
+	}
+	i := int(math.Ceil(q*float64(len(e.samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.samples[i]
+}
+
+// Median is Quantile(0.5).
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (e *ECDF) Mean() float64 {
+	if len(e.samples) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range e.samples {
+		s += v
+	}
+	return s / float64(len(e.samples))
+}
+
+// Point is one (X, Y) coordinate of a rendered curve.
+type Point struct{ X, Y float64 }
+
+// CCDFCurve evaluates the CCDF at each x in xs, producing a plottable
+// curve like the ones in Figure 2.
+func (e *ECDF) CCDFCurve(xs []float64) []Point {
+	out := make([]Point, len(xs))
+	for i, x := range xs {
+		out[i] = Point{X: x, Y: e.CCDF(x)}
+	}
+	return out
+}
+
+// CDFCurve evaluates the CDF at each x in xs (Figure 10 style).
+func (e *ECDF) CDFCurve(xs []float64) []Point {
+	out := make([]Point, len(xs))
+	for i, x := range xs {
+		out[i] = Point{X: x, Y: e.P(x)}
+	}
+	return out
+}
+
+// LogSpace returns n points from lo to hi spaced evenly in log10, for
+// the log-scaled x axes of Figures 2 and 10.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic(fmt.Sprintf("stats: LogSpace(%v, %v, %d)", lo, hi, n))
+	}
+	out := make([]float64, n)
+	l0, l1 := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, l0+(l1-l0)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LinSpace returns n points from lo to hi spaced evenly.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: LinSpace needs n >= 2")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// Bezier resamples curve with a Bézier interpolation using the input
+// points as control polygon, evaluated at n parameter values — the
+// smoothing gnuplot applies when the paper plots Figure 4. The first
+// and last points are preserved exactly.
+func Bezier(curve []Point, n int) []Point {
+	if len(curve) == 0 || n < 2 {
+		return nil
+	}
+	if len(curve) == 1 {
+		return []Point{curve[0]}
+	}
+	out := make([]Point, n)
+	// De Casteljau at each t; O(n·m²) is fine for figure-sized inputs.
+	tmp := make([]Point, len(curve))
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		copy(tmp, curve)
+		for k := len(tmp) - 1; k > 0; k-- {
+			for j := 0; j < k; j++ {
+				tmp[j].X = tmp[j].X*(1-t) + tmp[j+1].X*t
+				tmp[j].Y = tmp[j].Y*(1-t) + tmp[j+1].Y*t
+			}
+		}
+		out[i] = tmp[0]
+	}
+	return out
+}
+
+// Histogram counts values in fixed-width bins over [lo, hi); values
+// outside are clamped into the edge bins so totals are preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if hi <= lo || n < 1 {
+		panic(fmt.Sprintf("stats: NewHistogram(%v, %v, %d)", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Add counts one value.
+func (h *Histogram) Add(v float64) { h.AddN(v, 1) }
+
+// AddN counts a value n times.
+func (h *Histogram) AddN(v float64, n uint64) {
+	i := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i] += n
+	h.total += n
+}
+
+// Total returns the number of counted values.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Merge adds other's counts into h. The histograms must be congruent.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h.Lo != other.Lo || h.Hi != other.Hi || len(h.Counts) != len(other.Counts) {
+		return fmt.Errorf("stats: merging incongruent histograms [%v,%v)x%d and [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.Counts), other.Lo, other.Hi, len(other.Counts))
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.total += other.total
+	return nil
+}
+
+// CDF returns P(X <= bin upper edge) per bin.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if h.total > 0 {
+			out[i] = float64(cum) / float64(h.total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package wire
+
+// Builder assembles complete Ethernet/IPv4/TCP|UDP packets into a
+// reusable buffer. It fixes up the length and checksum fields that
+// depend on inner layers, so callers only set the semantically
+// meaningful fields. A Builder is not safe for concurrent use.
+type Builder struct {
+	buf []byte
+}
+
+// defaultMAC addresses used when the caller does not care about L2.
+var (
+	clientMAC = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	routerMAC = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// grow ensures the internal buffer has at least n bytes and returns it.
+func (b *Builder) grow(n int) []byte {
+	if cap(b.buf) < n {
+		b.buf = make([]byte, n)
+	}
+	b.buf = b.buf[:n]
+	return b.buf
+}
+
+// TCPPacket builds an Ethernet+IPv4+TCP packet carrying payload. The
+// returned slice is valid until the next call on this Builder.
+func (b *Builder) TCPPacket(ip *IPv4, tcp *TCP, payload []byte) ([]byte, error) {
+	ip.Protocol = IPProtoTCP
+	if ip.Version == 0 {
+		ip.Version = 4
+	}
+	if ip.TTL == 0 {
+		ip.TTL = 58
+	}
+	tcpLen := tcp.HeaderLen() + len(payload)
+	ip.SetLengths(tcpLen)
+	total := EthernetHeaderLen + ip.HeaderLen() + tcpLen
+	buf := b.grow(total)
+
+	eth := Ethernet{SrcMAC: clientMAC, DstMAC: routerMAC, EtherType: EtherTypeIPv4}
+	n, err := eth.EncodeTo(buf)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ip.EncodeTo(buf[n:])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tcp.EncodeTo(buf[n+in:], ip.Src, ip.Dst, payload); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// UDPPacket builds an Ethernet+IPv4+UDP packet carrying payload. The
+// returned slice is valid until the next call on this Builder.
+func (b *Builder) UDPPacket(ip *IPv4, udp *UDP, payload []byte) ([]byte, error) {
+	ip.Protocol = IPProtoUDP
+	if ip.Version == 0 {
+		ip.Version = 4
+	}
+	if ip.TTL == 0 {
+		ip.TTL = 58
+	}
+	udpLen := UDPHeaderLen + len(payload)
+	ip.SetLengths(udpLen)
+	total := EthernetHeaderLen + ip.HeaderLen() + udpLen
+	buf := b.grow(total)
+
+	eth := Ethernet{SrcMAC: clientMAC, DstMAC: routerMAC, EtherType: EtherTypeIPv4}
+	n, err := eth.EncodeTo(buf)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ip.EncodeTo(buf[n:])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := udp.EncodeTo(buf[n+in:], ip.Src, ip.Dst, payload); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,79 @@
+package wire
+
+import "fmt"
+
+// Endpoint is one side of a transport conversation: an IPv4 address and
+// a port. It is comparable and suitable as a map key.
+type Endpoint struct {
+	Addr Addr
+	Port uint16
+}
+
+// String formats the endpoint as "a.b.c.d:port".
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// FlowKey identifies a bidirectional transport conversation: the
+// 5-tuple with endpoints in canonical (sorted) order, so both
+// directions of a connection map to the same key. FlowKey is comparable
+// and suitable as a map key.
+type FlowKey struct {
+	Lo, Hi Endpoint // Lo <= Hi in (addr, port) order
+	Proto  uint8    // IPProtoTCP or IPProtoUDP
+}
+
+// endpointLess orders endpoints by address then port.
+func endpointLess(a, b Endpoint) bool {
+	au, bu := a.Addr.Uint32(), b.Addr.Uint32()
+	if au != bu {
+		return au < bu
+	}
+	return a.Port < b.Port
+}
+
+// NewFlowKey builds the canonical key for a packet from src to dst.
+// The returned bool is true when src sorts as the Lo endpoint, i.e.
+// the packet travels in the key's "forward" orientation.
+func NewFlowKey(proto uint8, src, dst Endpoint) (FlowKey, bool) {
+	if endpointLess(src, dst) {
+		return FlowKey{Lo: src, Hi: dst, Proto: proto}, true
+	}
+	return FlowKey{Lo: dst, Hi: src, Proto: proto}, false
+}
+
+// String formats the key as "proto lo<->hi".
+func (k FlowKey) String() string {
+	proto := "udp"
+	if k.Proto == IPProtoTCP {
+		proto = "tcp"
+	}
+	return fmt.Sprintf("%s %s<->%s", proto, k.Lo, k.Hi)
+}
+
+// FastHash returns a non-cryptographic 64-bit hash of the key, suitable
+// for load balancing packets across workers. It is symmetric by
+// construction: both directions of a flow hash identically because the
+// key is canonicalised.
+func (k FlowKey) FastHash() uint64 {
+	// FNV-1a over the 13 key bytes, unrolled.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, b := range k.Lo.Addr {
+		mix(b)
+	}
+	mix(byte(k.Lo.Port >> 8))
+	mix(byte(k.Lo.Port))
+	for _, b := range k.Hi.Addr {
+		mix(b)
+	}
+	mix(byte(k.Hi.Port >> 8))
+	mix(byte(k.Hi.Port))
+	mix(k.Proto)
+	return h
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv6 support. The monitored access network of the paper's era was
+// IPv4-only toward customers, but the mirrored links carry the odd v6
+// frame (router chatter, dual-stacked servers); a probe must decode
+// them cleanly enough to account for them instead of calling them
+// errors.
+
+// Addr6 is an IPv6 address in wire order.
+type Addr6 [16]byte
+
+// String formats the address in uncompressed colon-hex form (the
+// probe logs addresses for debugging, not beauty).
+func (a Addr6) String() string {
+	out := make([]byte, 0, 39)
+	for i := 0; i < 16; i += 2 {
+		if i > 0 {
+			out = append(out, ':')
+		}
+		out = append(out, hexDigits[a[i]>>4], hexDigits[a[i]&0xf],
+			hexDigits[a[i+1]>>4], hexDigits[a[i+1]&0xf])
+	}
+	return string(out)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// IPv6 is an IPv6 fixed header. Extension headers other than the
+// common skippable ones terminate parsing with the payload untouched.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     Addr6
+}
+
+// IPv6HeaderLen is the fixed IPv6 header size.
+const IPv6HeaderLen = 40
+
+// skippable IPv6 extension headers (hop-by-hop, routing, destination
+// options, mobility) share a TLV layout of (next, len-in-8-octets-1).
+func skippableExt(h uint8) bool {
+	switch h {
+	case 0, 43, 60, 135:
+		return true
+	default:
+		return false
+	}
+}
+
+// LayerType implements DecodingLayer.
+func (ip *IPv6) LayerType() LayerType { return LayerIPv6 }
+
+// LayerIPv6 extends the layer enumeration.
+const LayerIPv6 LayerType = 16
+
+// DecodeFrom implements DecodingLayer: it parses the fixed header,
+// skips the skippable extension chain, and reports the next transport
+// layer.
+func (ip *IPv6) DecodeFrom(data []byte) ([]byte, LayerType, error) {
+	if len(data) < IPv6HeaderLen {
+		return nil, LayerNone, fmt.Errorf("ipv6: need %d bytes, have %d: %w", IPv6HeaderLen, len(data), ErrTruncated)
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	if vtf>>28 != 6 {
+		return nil, LayerNone, fmt.Errorf("ipv6: version %d: %w", vtf>>28, ErrMalformed)
+	}
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0xFFFFF
+	ip.PayloadLen = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	copy(ip.Src[:], data[8:24])
+	copy(ip.Dst[:], data[24:40])
+
+	payload := data[IPv6HeaderLen:]
+	if int(ip.PayloadLen) < len(payload) {
+		payload = payload[:ip.PayloadLen]
+	}
+	next := ip.NextHeader
+	for skippableExt(next) {
+		if len(payload) < 8 {
+			return nil, LayerNone, fmt.Errorf("ipv6: extension header: %w", ErrTruncated)
+		}
+		extLen := 8 * (int(payload[1]) + 1)
+		if len(payload) < extLen {
+			return nil, LayerNone, fmt.Errorf("ipv6: extension header length %d: %w", extLen, ErrTruncated)
+		}
+		next = payload[0]
+		payload = payload[extLen:]
+	}
+	switch next {
+	case IPProtoTCP:
+		return payload, LayerTCP, nil
+	case IPProtoUDP:
+		return payload, LayerUDP, nil
+	default:
+		return payload, LayerPayload, nil
+	}
+}
+
+// EncodeTo serialises the fixed header (no extension headers).
+func (ip *IPv6) EncodeTo(b []byte) (int, error) {
+	if len(b) < IPv6HeaderLen {
+		return 0, fmt.Errorf("ipv6: encode buffer too small: %w", ErrTruncated)
+	}
+	binary.BigEndian.PutUint32(b[0:4], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xFFFFF)
+	binary.BigEndian.PutUint16(b[4:6], ip.PayloadLen)
+	b[6] = ip.NextHeader
+	b[7] = ip.HopLimit
+	copy(b[8:24], ip.Src[:])
+	copy(b[24:40], ip.Dst[:])
+	return IPv6HeaderLen, nil
+}

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mkAddr6(last byte) Addr6 {
+	var a Addr6
+	a[0], a[1] = 0x20, 0x01
+	a[15] = last
+	return a
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	ip := IPv6{
+		TrafficClass: 0x12,
+		FlowLabel:    0xABCDE,
+		NextHeader:   IPProtoTCP,
+		HopLimit:     64,
+		Src:          mkAddr6(1),
+		Dst:          mkAddr6(2),
+	}
+	payload := []byte("tcp goes here")
+	ip.PayloadLen = uint16(len(payload))
+	buf := make([]byte, IPv6HeaderLen+len(payload))
+	n, err := ip.EncodeTo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf[n:], payload)
+
+	var d IPv6
+	got, next, err := d.DecodeFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != LayerTCP {
+		t.Errorf("next = %v", next)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload mismatch")
+	}
+	if d.Src != ip.Src || d.Dst != ip.Dst || d.FlowLabel != ip.FlowLabel ||
+		d.TrafficClass != ip.TrafficClass || d.HopLimit != ip.HopLimit {
+		t.Errorf("decoded %+v, want %+v", d, ip)
+	}
+}
+
+func TestIPv6ExtensionHeaderSkipping(t *testing.T) {
+	// Fixed header -> hop-by-hop (8 bytes) -> UDP.
+	ip := IPv6{NextHeader: 0 /* hop-by-hop */, HopLimit: 1, Src: mkAddr6(3), Dst: mkAddr6(4)}
+	inner := []byte{0xAA, 0xBB}
+	ext := []byte{IPProtoUDP, 0, 1, 2, 3, 4, 5, 6} // next=UDP, len=0 (8 bytes)
+	ip.PayloadLen = uint16(len(ext) + len(inner))
+	buf := make([]byte, IPv6HeaderLen+len(ext)+len(inner))
+	if _, err := ip.EncodeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf[IPv6HeaderLen:], ext)
+	copy(buf[IPv6HeaderLen+len(ext):], inner)
+
+	var d IPv6
+	payload, next, err := d.DecodeFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != LayerUDP {
+		t.Errorf("next = %v, want udp after extension skip", next)
+	}
+	if !bytes.Equal(payload, inner) {
+		t.Errorf("payload = %v", payload)
+	}
+}
+
+func TestIPv6Malformed(t *testing.T) {
+	var d IPv6
+	if _, _, err := d.DecodeFrom(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	buf := make([]byte, IPv6HeaderLen)
+	buf[0] = 4 << 4
+	if _, _, err := d.DecodeFrom(buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated extension chain.
+	ip := IPv6{NextHeader: 0, PayloadLen: 4, Src: mkAddr6(1), Dst: mkAddr6(2)}
+	ebuf := make([]byte, IPv6HeaderLen+4)
+	ip.EncodeTo(ebuf)
+	if _, _, err := d.DecodeFrom(ebuf); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short extension: %v", err)
+	}
+}
+
+func TestAddr6String(t *testing.T) {
+	a := mkAddr6(0x42)
+	want := "2001:0000:0000:0000:0000:0000:0000:0042"
+	if got := a.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestIPv6FuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		var d IPv6
+		d.DecodeFrom(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPOptionsRoundTrip(t *testing.T) {
+	in := TCPOptions{
+		MSS:           1460,
+		WindowScale:   7,
+		WScalePresent: true,
+		SACKPermitted: true,
+		TSVal:         0xDEADBEEF,
+		TSEcr:         0x01020304,
+		TSPresent:     true,
+	}
+	block := AppendTCPOptions(nil, in)
+	if len(block)%4 != 0 {
+		t.Errorf("options block %d bytes, not padded", len(block))
+	}
+	out := ParseTCPOptions(block)
+	if out != in {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestTCPOptionsPartial(t *testing.T) {
+	out := ParseTCPOptions([]byte{TCPOptMSS, 4, 5, 0xb4, TCPOptEnd, TCPOptNop})
+	if out.MSS != 1460 {
+		t.Errorf("MSS = %d", out.MSS)
+	}
+	if out.SACKPermitted || out.TSPresent || out.WScalePresent {
+		t.Errorf("phantom options: %+v", out)
+	}
+}
+
+func TestTCPOptionsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{TCPOptMSS},        // kind without length
+		{TCPOptMSS, 1},     // length below minimum
+		{TCPOptMSS, 10, 1}, // length beyond buffer
+		{TCPOptWScale, 3},  // truncated body
+	}
+	for i, c := range cases {
+		out := ParseTCPOptions(c) // must not panic
+		if out.MSS != 0 || out.WScalePresent {
+			t.Errorf("case %d: parsed garbage: %+v", i, out)
+		}
+	}
+}
+
+func TestTCPOptionsThroughTCPHeader(t *testing.T) {
+	// Options survive the TCP encode/decode path.
+	opts := AppendTCPOptions(nil, TCPOptions{MSS: 1400, SACKPermitted: true})
+	tcp := TCP{SrcPort: 1, DstPort: 2, Flags: TCPSyn, Options: opts}
+	buf := make([]byte, tcp.HeaderLen())
+	if _, err := tcp.EncodeTo(buf, AddrFrom(1, 1, 1, 1), AddrFrom(2, 2, 2, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	var d TCP
+	if _, _, err := d.DecodeFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed := ParseTCPOptions(d.Options)
+	if parsed.MSS != 1400 || !parsed.SACKPermitted {
+		t.Errorf("through-header options: %+v", parsed)
+	}
+}
+
+func TestParserEthernetIPv6Stack(t *testing.T) {
+	// Build eth + ipv6 + udp by hand.
+	eth := Ethernet{EtherType: EtherTypeIPv6}
+	ip := IPv6{NextHeader: IPProtoUDP, HopLimit: 64, Src: mkAddr6(9), Dst: mkAddr6(10)}
+	payload := []byte{0xCA, 0xFE}
+	udpHdr := UDP{SrcPort: 1111, DstPort: 2222}
+	udpBuf := make([]byte, UDPHeaderLen+len(payload))
+	// IPv6 pseudo-header checksum differs; use zero checksum for the test.
+	binaryPut := func(b []byte, v uint16, off int) { b[off] = byte(v >> 8); b[off+1] = byte(v) }
+	binaryPut(udpBuf, udpHdr.SrcPort, 0)
+	binaryPut(udpBuf, udpHdr.DstPort, 2)
+	binaryPut(udpBuf, uint16(len(udpBuf)), 4)
+	copy(udpBuf[UDPHeaderLen:], payload)
+	ip.PayloadLen = uint16(len(udpBuf))
+
+	pkt := make([]byte, EthernetHeaderLen+IPv6HeaderLen+len(udpBuf))
+	if _, err := eth.EncodeTo(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.EncodeTo(pkt[EthernetHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+	copy(pkt[EthernetHeaderLen+IPv6HeaderLen:], udpBuf)
+
+	p := NewLayerParser(LayerEthernet)
+	d, err := p.Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !d.Has(LayerIPv6) || !d.Has(LayerUDP) {
+		t.Fatalf("layers = %v", d.Layers)
+	}
+	if d.Has(LayerIPv4) {
+		t.Error("phantom IPv4 layer")
+	}
+	if d.IP6.Src != mkAddr6(9) {
+		t.Errorf("src = %v", d.IP6.Src)
+	}
+	if d.UDP.DstPort != 2222 {
+		t.Errorf("dst port = %d", d.UDP.DstPort)
+	}
+	if len(d.Payload) != 2 {
+		t.Errorf("payload = %v", d.Payload)
+	}
+}

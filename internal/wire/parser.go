@@ -1,0 +1,95 @@
+package wire
+
+import "fmt"
+
+// Decoded is the result of parsing one packet with a LayerParser. The
+// layer structs it points to are owned by the parser and are
+// overwritten by the next Parse call.
+type Decoded struct {
+	Layers  []LayerType // layers decoded, in order
+	Eth     *Ethernet
+	IP      *IPv4
+	IP6     *IPv6
+	TCP     *TCP
+	UDP     *UDP
+	Payload []byte // application bytes (aliases the packet buffer)
+}
+
+// Has reports whether t was decoded from the last packet.
+func (d *Decoded) Has(t LayerType) bool {
+	for _, l := range d.Layers {
+		if l == t {
+			return true
+		}
+	}
+	return false
+}
+
+// LayerParser decodes Ethernet/IPv4/TCP/UDP packet stacks into
+// preallocated layer structs, avoiding per-packet allocation. It is the
+// moral equivalent of gopacket's DecodingLayerParser specialised to the
+// layers an edge probe cares about. A LayerParser is not safe for
+// concurrent use; give each goroutine its own.
+type LayerParser struct {
+	first LayerType
+	eth   Ethernet
+	ip    IPv4
+	ip6   IPv6
+	tcp   TCP
+	udp   UDP
+	dec   Decoded
+}
+
+// NewLayerParser returns a parser whose outermost layer is first
+// (LayerEthernet for a mirrored link, LayerIPv4 for cooked captures).
+func NewLayerParser(first LayerType) *LayerParser {
+	if first != LayerEthernet && first != LayerIPv4 {
+		panic(fmt.Sprintf("wire: cannot start parsing at %v", first))
+	}
+	p := &LayerParser{first: first}
+	p.dec.Eth = &p.eth
+	p.dec.IP = &p.ip
+	p.dec.IP6 = &p.ip6
+	p.dec.TCP = &p.tcp
+	p.dec.UDP = &p.udp
+	return p
+}
+
+// Parse decodes data. On success the returned Decoded aliases both the
+// parser's internal layer structs and data; neither survives the next
+// Parse call. On error, the Decoded holds whatever layers were decoded
+// before the failure.
+func (p *LayerParser) Parse(data []byte) (*Decoded, error) {
+	d := &p.dec
+	d.Layers = d.Layers[:0]
+	d.Payload = nil
+	next := p.first
+	for {
+		var layer DecodingLayer
+		switch next {
+		case LayerEthernet:
+			layer = &p.eth
+		case LayerIPv4:
+			layer = &p.ip
+		case LayerIPv6:
+			layer = &p.ip6
+		case LayerTCP:
+			layer = &p.tcp
+		case LayerUDP:
+			layer = &p.udp
+		case LayerPayload:
+			d.Payload = data
+			d.Layers = append(d.Layers, LayerPayload)
+			return d, nil
+		default:
+			return d, fmt.Errorf("wire: no decoder for %v: %w", next, ErrUnsupported)
+		}
+		payload, nxt, err := layer.DecodeFrom(data)
+		if err != nil {
+			return d, err
+		}
+		d.Layers = append(d.Layers, next)
+		data = payload
+		next = nxt
+	}
+}

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func buildTCP(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var b Builder
+	ip := IPv4{Src: AddrFrom(10, 0, 0, 1), Dst: AddrFrom(93, 184, 216, 34)}
+	tcp := TCP{SrcPort: 40000, DstPort: 443, Seq: 1, Flags: TCPAck | TCPPsh}
+	pkt, err := b.TCPPacket(&ip, &tcp, payload)
+	if err != nil {
+		t.Fatalf("TCPPacket: %v", err)
+	}
+	out := make([]byte, len(pkt))
+	copy(out, pkt)
+	return out
+}
+
+func TestParserTCPStack(t *testing.T) {
+	payload := []byte("\x16\x03\x01")
+	pkt := buildTCP(t, payload)
+	p := NewLayerParser(LayerEthernet)
+	d, err := p.Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []LayerType{LayerEthernet, LayerIPv4, LayerTCP, LayerPayload}
+	if len(d.Layers) != len(want) {
+		t.Fatalf("layers = %v, want %v", d.Layers, want)
+	}
+	for i := range want {
+		if d.Layers[i] != want[i] {
+			t.Fatalf("layers = %v, want %v", d.Layers, want)
+		}
+	}
+	if !bytes.Equal(d.Payload, payload) {
+		t.Errorf("payload = %q, want %q", d.Payload, payload)
+	}
+	if d.TCP.DstPort != 443 {
+		t.Errorf("dst port = %d, want 443", d.TCP.DstPort)
+	}
+	if d.IP.Dst != AddrFrom(93, 184, 216, 34) {
+		t.Errorf("dst addr = %v", d.IP.Dst)
+	}
+	if !d.Has(LayerTCP) || d.Has(LayerUDP) {
+		t.Errorf("Has() wrong: %v", d.Layers)
+	}
+}
+
+func TestParserUDPStack(t *testing.T) {
+	var b Builder
+	ip := IPv4{Src: AddrFrom(10, 0, 0, 2), Dst: AddrFrom(8, 8, 4, 4)}
+	udp := UDP{SrcPort: 5353, DstPort: 53}
+	pkt, err := b.UDPPacket(&ip, &udp, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewLayerParser(LayerEthernet)
+	d, err := p.Parse(pkt)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !d.Has(LayerUDP) {
+		t.Fatalf("layers = %v, want UDP present", d.Layers)
+	}
+	if d.UDP.DstPort != 53 {
+		t.Errorf("dst port = %d, want 53", d.UDP.DstPort)
+	}
+	if len(d.Payload) != 3 {
+		t.Errorf("payload len = %d, want 3", len(d.Payload))
+	}
+}
+
+func TestParserReuseDoesNotLeakState(t *testing.T) {
+	p := NewLayerParser(LayerEthernet)
+	first := buildTCP(t, []byte("first payload"))
+	if _, err := p.Parse(first); err != nil {
+		t.Fatal(err)
+	}
+	var b Builder
+	ip := IPv4{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(2, 2, 2, 2)}
+	udp := UDP{SrcPort: 1, DstPort: 2}
+	second, err := b.UDPPacket(&ip, &udp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Parse(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Has(LayerTCP) {
+		t.Errorf("second parse still reports TCP: %v", d.Layers)
+	}
+	if len(d.Payload) != 0 {
+		t.Errorf("payload = %q, want empty", d.Payload)
+	}
+}
+
+func TestParserIPv4First(t *testing.T) {
+	pkt := buildTCP(t, []byte("x"))
+	p := NewLayerParser(LayerIPv4)
+	d, err := p.Parse(pkt[EthernetHeaderLen:])
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Layers[0] != LayerIPv4 {
+		t.Errorf("first layer = %v, want ipv4", d.Layers[0])
+	}
+}
+
+func TestParserTruncatedMidStack(t *testing.T) {
+	pkt := buildTCP(t, []byte("payload"))
+	p := NewLayerParser(LayerEthernet)
+	// Cut inside the TCP header.
+	d, err := p.Parse(pkt[:EthernetHeaderLen+IPv4HeaderLen+4])
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// Ethernet and IPv4 were decoded before the failure.
+	if !d.Has(LayerEthernet) || !d.Has(LayerIPv4) {
+		t.Errorf("partial layers = %v", d.Layers)
+	}
+}
+
+func TestParserRejectsBadFirstLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLayerParser(LayerTCP) did not panic")
+		}
+	}()
+	NewLayerParser(LayerTCP)
+}
+
+func TestFlowKeyCanonical(t *testing.T) {
+	a := Endpoint{Addr: AddrFrom(10, 0, 0, 1), Port: 40000}
+	b := Endpoint{Addr: AddrFrom(151, 101, 1, 140), Port: 443}
+	k1, fwd1 := NewFlowKey(IPProtoTCP, a, b)
+	k2, fwd2 := NewFlowKey(IPProtoTCP, b, a)
+	if k1 != k2 {
+		t.Errorf("keys differ: %v vs %v", k1, k2)
+	}
+	if fwd1 == fwd2 {
+		t.Errorf("both directions report same orientation")
+	}
+	if k1.FastHash() != k2.FastHash() {
+		t.Errorf("FastHash not symmetric")
+	}
+}
+
+func TestFlowKeySamePortsDifferentAddrs(t *testing.T) {
+	a := Endpoint{Addr: AddrFrom(10, 0, 0, 1), Port: 443}
+	b := Endpoint{Addr: AddrFrom(10, 0, 0, 2), Port: 443}
+	k, fwd := NewFlowKey(IPProtoTCP, a, b)
+	if !fwd {
+		t.Errorf("lower address should be forward")
+	}
+	if k.Lo != a || k.Hi != b {
+		t.Errorf("key order wrong: %v", k)
+	}
+}
+
+// Property: FlowKey is direction-independent for arbitrary endpoints.
+func TestFlowKeySymmetryProperty(t *testing.T) {
+	f := func(sa, da uint32, sp, dp uint16, tcp bool) bool {
+		proto := IPProtoUDP
+		if tcp {
+			proto = IPProtoTCP
+		}
+		src := Endpoint{Addr: AddrFromUint32(sa), Port: sp}
+		dst := Endpoint{Addr: AddrFromUint32(da), Port: dp}
+		k1, _ := NewFlowKey(proto, src, dst)
+		k2, _ := NewFlowKey(proto, dst, src)
+		return k1 == k2 && k1.FastHash() == k2.FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any packet built by Builder parses back with identical
+// payload and addresses.
+func TestBuildParseRoundTripProperty(t *testing.T) {
+	p := NewLayerParser(LayerEthernet)
+	var b Builder
+	f := func(s, d uint32, sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		ip := IPv4{Src: AddrFromUint32(s), Dst: AddrFromUint32(d)}
+		tcp := TCP{SrcPort: sp, DstPort: dp, Flags: TCPAck}
+		pkt, err := b.TCPPacket(&ip, &tcp, payload)
+		if err != nil {
+			return false
+		}
+		dec, err := p.Parse(pkt)
+		if err != nil {
+			return false
+		}
+		return dec.IP.Src == ip.Src && dec.IP.Dst == ip.Dst &&
+			dec.TCP.SrcPort == sp && dec.TCP.DstPort == dp &&
+			bytes.Equal(dec.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLayerParserTCP(b *testing.B) {
+	var bd Builder
+	ip := IPv4{Src: AddrFrom(10, 0, 0, 1), Dst: AddrFrom(93, 184, 216, 34)}
+	tcp := TCP{SrcPort: 40000, DstPort: 443, Flags: TCPAck}
+	pkt, err := bd.TCPPacket(&ip, &tcp, make([]byte, 1200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewLayerParser(LayerEthernet)
+	b.SetBytes(int64(len(pkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

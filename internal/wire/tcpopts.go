@@ -1,0 +1,94 @@
+package wire
+
+// TCP option parsing. Tstat reports negotiated MSS, window scaling and
+// SACK permission per flow; the parser here extracts them from SYN
+// options.
+
+// TCP option kinds.
+const (
+	TCPOptEnd       uint8 = 0
+	TCPOptNop       uint8 = 1
+	TCPOptMSS       uint8 = 2
+	TCPOptWScale    uint8 = 3
+	TCPOptSACKPerm  uint8 = 4
+	TCPOptTimestamp uint8 = 8
+)
+
+// TCPOptions holds the option values a passive probe cares about.
+// Zero values mean "not present".
+type TCPOptions struct {
+	MSS           uint16
+	WindowScale   uint8
+	WScalePresent bool
+	SACKPermitted bool
+	TSVal, TSEcr  uint32
+	TSPresent     bool
+}
+
+// ParseTCPOptions walks a TCP options block. Malformed blocks yield
+// whatever was parsed before the damage — a probe keeps what it can.
+func ParseTCPOptions(opts []byte) TCPOptions {
+	var out TCPOptions
+	for len(opts) > 0 {
+		kind := opts[0]
+		switch kind {
+		case TCPOptEnd:
+			return out
+		case TCPOptNop:
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return out
+		}
+		l := int(opts[1])
+		if l < 2 || l > len(opts) {
+			return out
+		}
+		body := opts[2:l]
+		switch kind {
+		case TCPOptMSS:
+			if len(body) == 2 {
+				out.MSS = uint16(body[0])<<8 | uint16(body[1])
+			}
+		case TCPOptWScale:
+			if len(body) == 1 {
+				out.WindowScale = body[0]
+				out.WScalePresent = true
+			}
+		case TCPOptSACKPerm:
+			out.SACKPermitted = true
+		case TCPOptTimestamp:
+			if len(body) == 8 {
+				out.TSVal = uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3])
+				out.TSEcr = uint32(body[4])<<24 | uint32(body[5])<<16 | uint32(body[6])<<8 | uint32(body[7])
+				out.TSPresent = true
+			}
+		}
+		opts = opts[l:]
+	}
+	return out
+}
+
+// AppendTCPOptions builds an options block (padded to 4 bytes with
+// NOPs) for the simulator's SYN packets.
+func AppendTCPOptions(dst []byte, o TCPOptions) []byte {
+	if o.MSS != 0 {
+		dst = append(dst, TCPOptMSS, 4, byte(o.MSS>>8), byte(o.MSS))
+	}
+	if o.WScalePresent {
+		dst = append(dst, TCPOptWScale, 3, o.WindowScale)
+	}
+	if o.SACKPermitted {
+		dst = append(dst, TCPOptSACKPerm, 2)
+	}
+	if o.TSPresent {
+		dst = append(dst, TCPOptTimestamp, 10,
+			byte(o.TSVal>>24), byte(o.TSVal>>16), byte(o.TSVal>>8), byte(o.TSVal),
+			byte(o.TSEcr>>24), byte(o.TSEcr>>16), byte(o.TSEcr>>8), byte(o.TSEcr))
+	}
+	for len(dst)%4 != 0 {
+		dst = append(dst, TCPOptNop)
+	}
+	return dst
+}

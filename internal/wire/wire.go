@@ -1,0 +1,469 @@
+// Package wire implements zero-dependency encoding and decoding of the
+// packet layers observed at an ISP aggregation link: Ethernet II, IPv4,
+// TCP and UDP.
+//
+// The design follows the decoding-layer idiom popularised by gopacket:
+// callers keep preallocated layer structs and feed packets through a
+// LayerParser, which fills the structs in place without allocating. The
+// inverse direction (building packets) serialises layers in reverse
+// order, so each layer can fix up the lengths and checksums that depend
+// on its payload.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LayerType identifies one of the protocol layers this package decodes.
+type LayerType uint8
+
+// Known layer types.
+const (
+	LayerNone LayerType = iota
+	LayerEthernet
+	LayerIPv4
+	LayerTCP
+	LayerUDP
+	LayerPayload
+)
+
+// String returns the conventional protocol name.
+func (t LayerType) String() string {
+	switch t {
+	case LayerNone:
+		return "none"
+	case LayerEthernet:
+		return "ethernet"
+	case LayerIPv4:
+		return "ipv4"
+	case LayerTCP:
+		return "tcp"
+	case LayerUDP:
+		return "udp"
+	case LayerPayload:
+		return "payload"
+	default:
+		return fmt.Sprintf("layer(%d)", uint8(t))
+	}
+}
+
+// EtherType values understood by the Ethernet decoder.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers understood by the IPv4 decoder.
+const (
+	IPProtoICMP uint8 = 1
+	IPProtoTCP  uint8 = 6
+	IPProtoUDP  uint8 = 17
+)
+
+// Errors returned by the decoders. Decode errors wrap ErrTruncated or
+// ErrMalformed so that callers can distinguish short captures from
+// corrupt headers with errors.Is.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrMalformed   = errors.New("wire: malformed header")
+	ErrUnsupported = errors.New("wire: unsupported layer")
+)
+
+// DecodingLayer is implemented by layer structs that can parse themselves
+// from the front of a byte slice. DecodeFrom must not retain data beyond
+// the returned payload slice, which aliases data.
+type DecodingLayer interface {
+	// LayerType reports which layer this struct decodes.
+	LayerType() LayerType
+	// DecodeFrom parses the layer from data, returning the payload
+	// (the bytes following this layer) and the type of the next layer,
+	// or LayerPayload when the next bytes are opaque application data.
+	DecodeFrom(data []byte) (payload []byte, next LayerType, err error)
+}
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	SrcMAC    [6]byte
+	DstMAC    [6]byte
+	EtherType uint16
+}
+
+// EthernetHeaderLen is the length of an Ethernet II header in bytes.
+const EthernetHeaderLen = 14
+
+// LayerType implements DecodingLayer.
+func (e *Ethernet) LayerType() LayerType { return LayerEthernet }
+
+// DecodeFrom implements DecodingLayer.
+func (e *Ethernet) DecodeFrom(data []byte) ([]byte, LayerType, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, LayerNone, fmt.Errorf("ethernet: need %d bytes, have %d: %w", EthernetHeaderLen, len(data), ErrTruncated)
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	next := LayerPayload
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		next = LayerIPv4
+	case EtherTypeIPv6:
+		next = LayerIPv6
+	}
+	return data[EthernetHeaderLen:], next, nil
+}
+
+// EncodeTo serialises the header into b, which must have room for
+// EthernetHeaderLen bytes. It returns the number of bytes written.
+func (e *Ethernet) EncodeTo(b []byte) (int, error) {
+	if len(b) < EthernetHeaderLen {
+		return 0, fmt.Errorf("ethernet: encode buffer too small: %w", ErrTruncated)
+	}
+	copy(b[0:6], e.DstMAC[:])
+	copy(b[6:12], e.SrcMAC[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return EthernetHeaderLen, nil
+}
+
+// IPv4 is an IPv4 header. Options are preserved verbatim.
+type IPv4 struct {
+	Version    uint8
+	IHL        uint8 // header length in 32-bit words
+	TOS        uint8
+	TotalLen   uint16
+	ID         uint16
+	Flags      uint8 // 3 bits: reserved, DF, MF
+	FragOffset uint16
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	Src        Addr
+	Dst        Addr
+	Options    []byte
+}
+
+// Addr is an IPv4 address in wire order. It is a comparable value type
+// so it can key maps directly.
+type Addr [4]byte
+
+// AddrFrom returns the address for the four octets a.b.c.d.
+func AddrFrom(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// AddrFromUint32 converts a big-endian uint32 to an Addr.
+func AddrFromUint32(v uint32) Addr {
+	var a Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// Uint32 returns the address as a big-endian uint32.
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// String formats the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// IPv4 flag bits (in the 3-bit flags field).
+const (
+	IPv4DontFragment  uint8 = 0b010
+	IPv4MoreFragments uint8 = 0b001
+)
+
+// LayerType implements DecodingLayer.
+func (ip *IPv4) LayerType() LayerType { return LayerIPv4 }
+
+// DecodeFrom implements DecodingLayer.
+func (ip *IPv4) DecodeFrom(data []byte) ([]byte, LayerType, error) {
+	if len(data) < IPv4HeaderLen {
+		return nil, LayerNone, fmt.Errorf("ipv4: need %d bytes, have %d: %w", IPv4HeaderLen, len(data), ErrTruncated)
+	}
+	vihl := data[0]
+	ip.Version = vihl >> 4
+	ip.IHL = vihl & 0x0f
+	if ip.Version != 4 {
+		return nil, LayerNone, fmt.Errorf("ipv4: version %d: %w", ip.Version, ErrMalformed)
+	}
+	hdrLen := int(ip.IHL) * 4
+	if hdrLen < IPv4HeaderLen {
+		return nil, LayerNone, fmt.Errorf("ipv4: IHL %d too small: %w", ip.IHL, ErrMalformed)
+	}
+	if len(data) < hdrLen {
+		return nil, LayerNone, fmt.Errorf("ipv4: header claims %d bytes, have %d: %w", hdrLen, len(data), ErrTruncated)
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	ip.Options = data[IPv4HeaderLen:hdrLen]
+	if int(ip.TotalLen) < hdrLen {
+		return nil, LayerNone, fmt.Errorf("ipv4: total length %d < header %d: %w", ip.TotalLen, hdrLen, ErrMalformed)
+	}
+	end := int(ip.TotalLen)
+	if end > len(data) {
+		// Short capture: take what we have rather than failing, as a
+		// passive probe must (snaplen truncation is routine).
+		end = len(data)
+	}
+	payload := data[hdrLen:end]
+	next := LayerPayload
+	switch ip.Protocol {
+	case IPProtoTCP:
+		next = LayerTCP
+	case IPProtoUDP:
+		next = LayerUDP
+	}
+	return payload, next, nil
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (ip *IPv4) HeaderLen() int { return IPv4HeaderLen + len(ip.Options) }
+
+// EncodeTo serialises the header into b and computes the checksum.
+// TotalLen must already account for the payload; SetLengths helps.
+func (ip *IPv4) EncodeTo(b []byte) (int, error) {
+	hdrLen := ip.HeaderLen()
+	if hdrLen%4 != 0 {
+		return 0, fmt.Errorf("ipv4: options length %d not multiple of 4: %w", len(ip.Options), ErrMalformed)
+	}
+	if len(b) < hdrLen {
+		return 0, fmt.Errorf("ipv4: encode buffer too small: %w", ErrTruncated)
+	}
+	b[0] = 4<<4 | uint8(hdrLen/4)
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	b[10], b[11] = 0, 0
+	copy(b[12:16], ip.Src[:])
+	copy(b[16:20], ip.Dst[:])
+	copy(b[20:hdrLen], ip.Options)
+	ip.Checksum = Checksum(b[:hdrLen])
+	binary.BigEndian.PutUint16(b[10:12], ip.Checksum)
+	return hdrLen, nil
+}
+
+// SetLengths fills TotalLen for the given payload size.
+func (ip *IPv4) SetLengths(payloadLen int) {
+	ip.TotalLen = uint16(ip.HeaderLen() + payloadLen)
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial checksum of the IPv4 pseudo
+// header used by TCP and UDP.
+func pseudoHeaderSum(src, dst Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes the TCP/UDP checksum over the pseudo
+// header and segment bytes (header with zeroed checksum + payload).
+func transportChecksum(src, dst Addr, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+	TCPEce
+	TCPCwr
+)
+
+// FlagNames formats a TCP flag byte as e.g. "SYN|ACK".
+func FlagNames(flags uint8) string {
+	names := []struct {
+		bit  uint8
+		name string
+	}{
+		{TCPFin, "FIN"}, {TCPSyn, "SYN"}, {TCPRst, "RST"}, {TCPPsh, "PSH"},
+		{TCPAck, "ACK"}, {TCPUrg, "URG"}, {TCPEce, "ECE"}, {TCPCwr, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if flags&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// TCP is a TCP segment header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+}
+
+// TCPHeaderLen is the length of an option-less TCP header.
+const TCPHeaderLen = 20
+
+// LayerType implements DecodingLayer.
+func (t *TCP) LayerType() LayerType { return LayerTCP }
+
+// DecodeFrom implements DecodingLayer.
+func (t *TCP) DecodeFrom(data []byte) ([]byte, LayerType, error) {
+	if len(data) < TCPHeaderLen {
+		return nil, LayerNone, fmt.Errorf("tcp: need %d bytes, have %d: %w", TCPHeaderLen, len(data), ErrTruncated)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	hdrLen := int(t.DataOffset) * 4
+	if hdrLen < TCPHeaderLen {
+		return nil, LayerNone, fmt.Errorf("tcp: data offset %d too small: %w", t.DataOffset, ErrMalformed)
+	}
+	if hdrLen > len(data) {
+		return nil, LayerNone, fmt.Errorf("tcp: header claims %d bytes, have %d: %w", hdrLen, len(data), ErrTruncated)
+	}
+	t.Options = data[TCPHeaderLen:hdrLen]
+	return data[hdrLen:], LayerPayload, nil
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (t *TCP) HeaderLen() int { return TCPHeaderLen + len(t.Options) }
+
+// EncodeTo serialises the header into b. The checksum is computed over
+// the pseudo header for src/dst and the given payload.
+func (t *TCP) EncodeTo(b []byte, src, dst Addr, payload []byte) (int, error) {
+	hdrLen := t.HeaderLen()
+	if hdrLen%4 != 0 {
+		return 0, fmt.Errorf("tcp: options length %d not multiple of 4: %w", len(t.Options), ErrMalformed)
+	}
+	if len(b) < hdrLen+len(payload) {
+		return 0, fmt.Errorf("tcp: encode buffer too small: %w", ErrTruncated)
+	}
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = uint8(hdrLen/4) << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	b[16], b[17] = 0, 0
+	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
+	copy(b[TCPHeaderLen:hdrLen], t.Options)
+	copy(b[hdrLen:], payload)
+	t.DataOffset = uint8(hdrLen / 4)
+	t.Checksum = transportChecksum(src, dst, IPProtoTCP, b[:hdrLen+len(payload)])
+	binary.BigEndian.PutUint16(b[16:18], t.Checksum)
+	return hdrLen + len(payload), nil
+}
+
+// UDP is a UDP datagram header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// LayerType implements DecodingLayer.
+func (u *UDP) LayerType() LayerType { return LayerUDP }
+
+// DecodeFrom implements DecodingLayer.
+func (u *UDP) DecodeFrom(data []byte) ([]byte, LayerType, error) {
+	if len(data) < UDPHeaderLen {
+		return nil, LayerNone, fmt.Errorf("udp: need %d bytes, have %d: %w", UDPHeaderLen, len(data), ErrTruncated)
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen {
+		return nil, LayerNone, fmt.Errorf("udp: length %d < header: %w", u.Length, ErrMalformed)
+	}
+	end := int(u.Length)
+	if end > len(data) {
+		end = len(data) // snaplen truncation
+	}
+	return data[UDPHeaderLen:end], LayerPayload, nil
+}
+
+// EncodeTo serialises the header into b, fixing Length and Checksum for
+// the given payload.
+func (u *UDP) EncodeTo(b []byte, src, dst Addr, payload []byte) (int, error) {
+	total := UDPHeaderLen + len(payload)
+	if len(b) < total {
+		return 0, fmt.Errorf("udp: encode buffer too small: %w", ErrTruncated)
+	}
+	u.Length = uint16(total)
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	b[6], b[7] = 0, 0
+	copy(b[UDPHeaderLen:], payload)
+	u.Checksum = transportChecksum(src, dst, IPProtoUDP, b[:total])
+	if u.Checksum == 0 {
+		u.Checksum = 0xffff // RFC 768: zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	return total, nil
+}
