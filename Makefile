@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci vet build test race claims bench
+
+## ci: the full gate — what a PR must pass.
+ci: vet build race claims
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+## test: quick suite, no race detector.
+test:
+	$(GO) test ./...
+
+## race: full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+## claims: the paper-claims regression suite alone.
+claims:
+	$(GO) test -run=TestClaim ./internal/core
+
+## bench: one benchmark per table/figure.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

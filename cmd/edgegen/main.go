@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flowrec"
+	"repro/internal/metrics"
 	"repro/internal/simnet"
 )
 
@@ -30,8 +31,15 @@ func main() {
 		adsl   = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
 		ftth   = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
 		csv    = flag.String("csv", "", "also dump the first generated day as CSV to this file")
+		stats  = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 	)
 	flag.Parse()
+	if *stats {
+		defer func() {
+			fmt.Println("\n== pipeline metrics ==")
+			metrics.WriteText(os.Stdout)
+		}()
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "edgegen: -out is required")
 		os.Exit(2)

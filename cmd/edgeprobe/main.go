@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flowrec"
+	"repro/internal/metrics"
 	"repro/internal/pcap"
 	"repro/internal/probe"
 	"repro/internal/simnet"
@@ -41,8 +42,15 @@ func main() {
 		capKiB  = flag.Int("flowcap", 96, "materialised payload cap per flow direction (KiB)")
 		pcapIn  = flag.String("pcap-in", "", "replay packets from this pcap file instead of simulating")
 		pcapOut = flag.String("pcap-out", "", "also dump the simulated packet stream to this pcap file")
+		stats   = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 	)
 	flag.Parse()
+	if *stats {
+		defer func() {
+			fmt.Println("\n== pipeline metrics ==")
+			metrics.WriteText(os.Stdout)
+		}()
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "edgeprobe: -out is required")
 		os.Exit(2)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/flowrec"
+	"repro/internal/metrics"
 	"repro/internal/simnet"
 )
 
@@ -37,8 +38,15 @@ func main() {
 		aggDir  = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
 		export  = flag.String("export", "", "write the figure data tables (CSV) to this directory and exit")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		stats   = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 	)
 	flag.Parse()
+	if *stats {
+		defer func() {
+			fmt.Println("\n== pipeline metrics ==")
+			metrics.WriteText(os.Stdout)
+		}()
+	}
 
 	if *list {
 		for _, e := range core.AllExperiments() {

@@ -14,10 +14,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/classify"
 	"repro/internal/flowrec"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -64,7 +66,9 @@ type IPInfo struct {
 	Bytes    uint64
 }
 
-// rttCap bounds stored RTT samples per service-day.
+// rttCap bounds stored RTT samples per service-day. Over-cap days keep
+// a deterministic hash-based uniform sample (see reservoir.go), not
+// the first rttCap flows.
 const rttCap = 60000
 
 // DayAgg is the stage-one output for one day.
@@ -114,6 +118,10 @@ var rttServices = map[classify.Service]bool{
 type Aggregator struct {
 	cls *classify.Classifier
 	agg *DayAgg
+
+	// rtt holds the per-service sampling reservoirs; Result
+	// materialises them into agg.RTTMinMs.
+	rtt map[classify.Service]*rttReservoir
 }
 
 // NewAggregator starts an aggregation for day using classifier cls
@@ -125,6 +133,7 @@ func NewAggregator(day time.Time, cls *classify.Classifier) *Aggregator {
 	y, m, d := day.UTC().Date()
 	return &Aggregator{
 		cls: cls,
+		rtt: make(map[classify.Service]*rttReservoir),
 		agg: &DayAgg{
 			Day:          time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
 			Subs:         make(map[uint32]*SubDay),
@@ -187,10 +196,15 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 	agg.DownBins[tech][bin] += rec.BytesDown
 
 	if rec.RTTSamples > 0 && rttServices[svc] {
-		samples := agg.RTTMinMs[svc]
-		if len(samples) < rttCap {
-			agg.RTTMinMs[svc] = append(samples, float64(rec.RTTMin)/float64(time.Millisecond))
+		res := a.rtt[svc]
+		if res == nil {
+			res = newRTTReservoir(rttCap)
+			a.rtt[svc] = res
 		}
+		res.add(rttSample{
+			hash: flowSampleHash(rec),
+			ms:   float64(rec.RTTMin) / float64(time.Millisecond),
+		})
 	}
 
 	// Server inventory: only classified, non-P2P services are worth
@@ -217,8 +231,17 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 	}
 }
 
-// Result finalises and returns the aggregate.
-func (a *Aggregator) Result() *DayAgg { return a.agg }
+// Result finalises and returns the aggregate: the RTT reservoirs
+// materialise into RTTMinMs in canonical (hash) order, so equal
+// record sets yield byte-identical aggregates whatever the order they
+// arrived in.
+func (a *Aggregator) Result() *DayAgg {
+	for svc, res := range a.rtt {
+		a.agg.RTTMinMs[svc] = res.values()
+	}
+	a.rtt = nil
+	return a.agg
+}
 
 // timeBin maps a timestamp to its 10-minute bin.
 func timeBin(t time.Time) int {
@@ -278,40 +301,89 @@ type Source interface {
 // ErrNoData marks a missing day — the probe outages of section 2.3.
 var ErrNoData = errors.New("analytics: no data for day")
 
-// Run aggregates the given days in parallel with workers goroutines
-// (<=0 means 4). Days with no data are silently skipped — exactly how
-// the paper's plots carry gaps across probe outages. The result is
-// sorted by day.
+// Stage-one observability: per-day wall times, throughput and the
+// occupancy of the worker pool. These are what let an operator spot
+// the straggler day or the shrinking pool the paper's section 2.3
+// outages would cause.
+var (
+	mStage1DayWall   = metrics.GetTimer("stage1.day_wall")
+	mStage1Days      = metrics.GetCounter("stage1.days_done")
+	mStage1Skipped   = metrics.GetCounter("stage1.days_skipped")
+	mStage1Records   = metrics.GetCounter("stage1.records")
+	mStage1Workers   = metrics.GetGauge("stage1.workers")
+	mStage1Occupancy = metrics.GetGauge("stage1.occupancy_pct")
+)
+
+// Run aggregates the given days with a bounded pool of workers
+// goroutines (<=0 means 4) pulling from a shared day index — the pool
+// is the only goroutine cost no matter how many days are asked for
+// (a Stride:1 full span is ~1975 of them). Days with no data are
+// silently skipped — exactly how the paper's plots carry gaps across
+// probe outages. The result is sorted by day.
 func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([]*DayAgg, error) {
 	if workers <= 0 {
 		workers = 4
+	}
+	if workers > len(days) {
+		workers = len(days)
+	}
+	if len(days) == 0 {
+		return nil, nil
 	}
 	type result struct {
 		agg *DayAgg
 		err error
 	}
 	results := make([]result, len(days))
+	busy := make([]time.Duration, workers)
+
+	mStage1Workers.Set(int64(workers))
+	start := time.Now()
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, day := range days {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, day time.Time) {
+		go func(w int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			a := NewAggregator(day, cls)
-			err := src.Records(day, a.Add)
-			if err != nil {
-				if errors.Is(err, ErrNoData) {
-					return // probe outage: leave the gap
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(days) {
+					return
 				}
-				results[i] = result{err: fmt.Errorf("analytics: day %s: %w", day.Format("2006-01-02"), err)}
-				return
+				day := days[i]
+				t0 := time.Now()
+				a := NewAggregator(day, cls)
+				err := src.Records(day, a.Add)
+				elapsed := time.Since(t0)
+				busy[w] += elapsed
+				mStage1DayWall.ObserveDuration(elapsed)
+				if err != nil {
+					if errors.Is(err, ErrNoData) {
+						mStage1Skipped.Inc() // probe outage: leave the gap
+						continue
+					}
+					results[i] = result{err: fmt.Errorf("analytics: day %s: %w", day.Format("2006-01-02"), err)}
+					continue
+				}
+				agg := a.Result()
+				mStage1Days.Inc()
+				mStage1Records.Add(agg.Flows)
+				results[i] = result{agg: agg}
 			}
-			results[i] = result{agg: a.Result()}
-		}(i, day)
+		}(w)
 	}
 	wg.Wait()
+
+	// Occupancy: how much of the pool's wall-clock capacity did real
+	// aggregation work fill. Low numbers mean stragglers or an
+	// undersized day list, not a faster run.
+	if wall := time.Since(start); wall > 0 {
+		var total time.Duration
+		for _, b := range busy {
+			total += b
+		}
+		mStage1Occupancy.Set(int64(float64(total) / (float64(wall) * float64(workers)) * 100))
+	}
 
 	var out []*DayAgg
 	for _, r := range results {

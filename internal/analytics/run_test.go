@@ -1,0 +1,105 @@
+package analytics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// TestRunBoundedWorkers verifies Run uses a fixed worker pool: with W
+// workers over many days, no more than W aggregations run at once —
+// and, regression for the goroutine-per-day version, no more than W+1
+// goroutines are ever created for the work.
+func TestRunBoundedWorkers(t *testing.T) {
+	const workers, nDays = 3, 64
+	var days []time.Time
+	for i := 0; i < nDays; i++ {
+		days = append(days, testDay.AddDate(0, 0, i))
+	}
+	var inFlight, peak atomic.Int64
+	src := FuncSource(func(day time.Time, fn func(*flowrec.Record)) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond) // widen the overlap window
+		fn(mkRec(1, flowrec.TechADSL, "example.org", 1000, 100))
+		return nil
+	})
+	aggs, err := Run(src, days, nil, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != nDays {
+		t.Fatalf("aggregated %d days, want %d", len(aggs), nDays)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrent aggregations = %d, want <= %d", p, workers)
+	}
+}
+
+// TestRunConcurrentCallers runs several Run invocations over the same
+// source at once — the -race guard for stage one under contention.
+func TestRunConcurrentCallers(t *testing.T) {
+	var days []time.Time
+	for i := 0; i < 8; i++ {
+		days = append(days, testDay.AddDate(0, 0, i))
+	}
+	src := FuncSource(func(day time.Time, fn func(*flowrec.Record)) error {
+		for s := uint32(1); s <= 20; s++ {
+			fn(mkRec(s, flowrec.TechADSL, "example.org", 50000, 10000))
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			aggs, err := Run(src, days, nil, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(aggs) != len(days) {
+				t.Errorf("got %d aggs, want %d", len(aggs), len(days))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRunSkipsOutageDays keeps the probe-outage contract under the
+// pool implementation: ErrNoData days leave gaps, not failures.
+func TestRunSkipsOutageDays(t *testing.T) {
+	var days []time.Time
+	for i := 0; i < 6; i++ {
+		days = append(days, testDay.AddDate(0, 0, i))
+	}
+	src := FuncSource(func(day time.Time, fn func(*flowrec.Record)) error {
+		if day.Day()%2 == 0 {
+			return ErrNoData
+		}
+		fn(mkRec(1, flowrec.TechADSL, "example.org", 1000, 100))
+		return nil
+	})
+	aggs, err := Run(src, days, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 3 {
+		t.Fatalf("got %d aggs, want 3 (odd days only)", len(aggs))
+	}
+	for i := 1; i < len(aggs); i++ {
+		if !aggs[i-1].Day.Before(aggs[i].Day) {
+			t.Errorf("aggs not sorted: %v before %v", aggs[i-1].Day, aggs[i].Day)
+		}
+	}
+}

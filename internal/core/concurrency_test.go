@@ -1,0 +1,100 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// TestAggregateConcurrentCallers hammers one pipeline's Aggregate
+// from several goroutines over overlapping day windows — the -race
+// guard for the reservation cache under contention. Every caller must
+// see the same per-day aggregate pointers afterwards (days computed
+// exactly once).
+func TestAggregateConcurrentCallers(t *testing.T) {
+	p := testPipeline()
+	april := MonthDays(2016, time.April)
+	windows := [][]time.Time{
+		april[:4],
+		april[2:6],
+		april[:6],
+		april[3:5],
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			days := windows[g%len(windows)]
+			if _, err := p.Aggregate(days); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Repeat serially: everything is now cached, and a second pass
+	// over the union returns identical pointers.
+	a1, err := p.Aggregate(april[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Aggregate(april[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 6 || len(a2) != 6 {
+		t.Fatalf("lengths %d, %d, want 6", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Errorf("day %d recomputed after concurrent warm-up", i)
+		}
+	}
+}
+
+// TestGenerateStoreBoundedGoroutines regresses the goroutine-per-day
+// spawn: generating many days must not grow the goroutine count
+// beyond the configured worker pool (plus test overhead).
+func TestGenerateStoreBoundedGoroutines(t *testing.T) {
+	p := testPipeline() // Workers: 4
+	store, err := flowrec.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := MonthDays(2016, time.April) // 30 days >> 4 workers
+	before := runtime.NumGoroutine()
+	quit := make(chan struct{})
+	peakCh := make(chan int, 1)
+	go func() {
+		peak := 0
+		for {
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+			select {
+			case <-quit:
+				peakCh <- peak
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+	n, err := p.GenerateStore(store, days)
+	close(quit)
+	peak := <-peakCh
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records generated")
+	}
+	// Allow slack for runtime/test goroutines; the old implementation
+	// peaked at before+30.
+	if peak > before+4+6 {
+		t.Errorf("goroutines peaked at %d (baseline %d): pool not bounded", peak, before)
+	}
+}

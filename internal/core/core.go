@@ -9,13 +9,27 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/asn"
 	"repro/internal/classify"
 	"repro/internal/flowrec"
+	"repro/internal/metrics"
 	"repro/internal/simnet"
+)
+
+// Pipeline cache observability: the memory cache serves experiments
+// sharing day windows, the disk cache serves repeated runs. Misses are
+// what stage one actually has to compute.
+var (
+	mMemHits    = metrics.GetCounter("aggcache.mem_hits")
+	mMemMisses  = metrics.GetCounter("aggcache.mem_misses")
+	mDiskHits   = metrics.GetCounter("aggcache.disk_hits")
+	mDiskMisses = metrics.GetCounter("aggcache.disk_misses")
+	mGenDayWall = metrics.GetTimer("store_gen.day_wall")
+	mGenRecords = metrics.GetCounter("store_gen.records")
 )
 
 // Config parameterises a Pipeline.
@@ -105,17 +119,21 @@ func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
 		}
 	}
 	p.mu.Unlock()
+	mMemHits.Add(uint64(len(days) - len(missing)))
+	mMemMisses.Add(uint64(len(missing)))
 
 	// Disk cache: days reduced by an earlier run load directly.
 	if p.cfg.AggCacheDir != "" && len(missing) > 0 {
 		still := missing[:0]
 		for _, d := range missing {
 			if agg := loadAgg(p.cfg.AggCacheDir, d); agg != nil {
+				mDiskHits.Inc()
 				p.mu.Lock()
 				p.cache[d] = agg
 				p.mu.Unlock()
 				continue
 			}
+			mDiskMisses.Inc()
 			still = append(still, d)
 		}
 		missing = still
@@ -163,52 +181,65 @@ func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
 }
 
 // GenerateStore materialises the given days of the simulation into an
-// on-disk flow store — the "copy logs to long-term storage" step. It
-// parallelises across days and reports total records written.
+// on-disk flow store — the "copy logs to long-term storage" step. A
+// bounded pool of Workers goroutines pulls days from a shared index
+// (never one goroutine per day: a Stride:1 span is ~1975 days), and
+// the total record count is reported.
 func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64, error) {
-	var total uint64
-	var mu sync.Mutex
-	sem := make(chan struct{}, p.cfg.Workers)
-	errs := make(chan error, len(days))
+	workers := p.cfg.Workers
+	if workers > len(days) {
+		workers = len(days)
+	}
+	if len(days) == 0 {
+		return 0, nil
+	}
+	var total atomic.Uint64
+	errs := make([]error, len(days))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for _, day := range days {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(day time.Time) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			w, err := store.CreateDay(day)
-			if err != nil {
-				errs <- err
-				return
-			}
-			var werr error
-			p.World.EmitDay(day, func(r *flowrec.Record) {
-				if werr == nil {
-					werr = w.Write(r)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(days) {
+					return
 				}
-			})
-			n := w.Count()
-			if cerr := w.Close(); werr == nil {
-				werr = cerr
+				day := days[i]
+				t0 := time.Now()
+				w, err := store.CreateDay(day)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				var werr error
+				p.World.EmitDay(day, func(r *flowrec.Record) {
+					if werr == nil {
+						werr = w.Write(r)
+					}
+				})
+				n := w.Count()
+				if cerr := w.Close(); werr == nil {
+					werr = cerr
+				}
+				mGenDayWall.ObserveSince(t0)
+				if werr != nil {
+					errs[i] = fmt.Errorf("core: generating %s: %w", day.Format("2006-01-02"), werr)
+					continue
+				}
+				total.Add(n)
+				mGenRecords.Add(n)
 			}
-			if werr != nil {
-				errs <- fmt.Errorf("core: generating %s: %w", day.Format("2006-01-02"), werr)
-				return
-			}
-			mu.Lock()
-			total += n
-			mu.Unlock()
-		}(day)
+		}()
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return total, err
+			return total.Load(), err
 		}
 	}
-	return total, nil
+	return total.Load(), nil
 }
 
 // SpanDays returns the experiment's full-span sample under the

@@ -9,7 +9,36 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"repro/internal/metrics"
 )
+
+// Store observability: record and (compressed) byte throughput in both
+// directions, plus the damage counters a five-year lake accumulates.
+// Per-record counts are batched per day-file, so the decode loop pays
+// no atomics.
+var (
+	mRecordsWritten = metrics.GetCounter("store.records_written")
+	mBytesWritten   = metrics.GetCounter("store.bytes_written")
+	mRecordsRead    = metrics.GetCounter("store.records_read")
+	mBytesRead      = metrics.GetCounter("store.bytes_read")
+	mCorruptRecords = metrics.GetCounter("store.corrupt_records")
+	mDaysWritten    = metrics.GetCounter("store.days_written")
+	mDaysRead       = metrics.GetCounter("store.days_read")
+	mDaysMissing    = metrics.GetCounter("store.days_missing")
+)
+
+// countingWriter tracks compressed bytes leaving a DayWriter.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
 
 // Store is the data lake of the reproduction: a directory of
 // day-partitioned, gzip-compressed flow logs, mirroring the paper's
@@ -45,6 +74,7 @@ func (s *Store) dayPath(day time.Time) string {
 type DayWriter struct {
 	day  time.Time
 	f    *os.File
+	cw   *countingWriter
 	gz   *gzip.Writer
 	enc  *Encoder
 	path string
@@ -60,7 +90,8 @@ func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flowrec: creating day log: %w", err)
 	}
-	gz, err := gzip.NewWriterLevel(f, gzip.BestSpeed)
+	cw := &countingWriter{w: f}
+	gz, err := gzip.NewWriterLevel(cw, gzip.BestSpeed)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -74,7 +105,7 @@ func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
 	y, m, d := day.UTC().Date()
 	return &DayWriter{
 		day: time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
-		f:   f, gz: gz, enc: enc, path: path,
+		f:   f, cw: cw, gz: gz, enc: enc, path: path,
 	}, nil
 }
 
@@ -93,7 +124,7 @@ func (w *DayWriter) Write(r *Record) error {
 	return w.enc.Encode(r)
 }
 
-// Close flushes and closes the log.
+// Close flushes and closes the log, publishing throughput counters.
 func (w *DayWriter) Close() error {
 	var firstErr error
 	if err := w.enc.Flush(); err != nil {
@@ -105,6 +136,9 @@ func (w *DayWriter) Close() error {
 	if err := w.f.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	mRecordsWritten.Add(w.enc.Count())
+	mBytesWritten.Add(w.cw.n)
+	mDaysWritten.Inc()
 	return firstErr
 }
 
@@ -119,16 +153,26 @@ func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
+			mDaysMissing.Inc()
 			return fmt.Errorf("%w: %s", ErrNoDay, day.UTC().Format("2006-01-02"))
 		}
 		return fmt.Errorf("flowrec: opening day log: %w", err)
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	// Per-day counts accumulate locally and publish once: the decode
+	// loop is the stage-one hot path.
+	var nRecs, nBytes uint64
+	defer func() {
+		mRecordsRead.Add(nRecs)
+		mBytesRead.Add(nBytes)
+		mDaysRead.Inc()
+	}()
+	cr := &countingReader{r: f}
+	gz, err := gzip.NewReader(cr)
 	if err != nil {
 		return fmt.Errorf("flowrec: %s: %w", path, err)
 	}
-	defer gz.Close()
+	defer func() { gz.Close(); nBytes = cr.n }()
 	dec, err := NewDecoder(gz)
 	if err != nil {
 		return fmt.Errorf("flowrec: %s: %w", path, err)
@@ -140,12 +184,28 @@ func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
+			if errors.Is(err, ErrCorrupt) {
+				mCorruptRecords.Inc()
+			}
 			return fmt.Errorf("flowrec: %s: %w", path, err)
 		}
+		nRecs++
 		if err := fn(&rec); err != nil {
 			return err
 		}
 	}
+}
+
+// countingReader tracks compressed bytes entering a day read.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // Days lists every day with a log, sorted ascending.

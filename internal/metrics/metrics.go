@@ -1,0 +1,205 @@
+// Package metrics is the pipeline's self-monitoring substrate: a
+// stdlib-only, allocation-free instrumentation layer of atomic
+// counters, gauges and fixed-bucket histograms behind a named
+// registry. The paper's operators had to notice probe outages,
+// parse-error storms and stage-one stragglers across five years of
+// unattended operation (section 2.3 reports the resulting data gaps);
+// every layer of this reproduction publishes its health here, and the
+// -stats flag on each binary renders the registry as a text table
+// after the run.
+//
+// Hot-path discipline: counter and histogram updates are single atomic
+// operations with no allocation, so they are safe to leave enabled in
+// production paths. Registration (the only locking, allocating
+// operation) happens once, at package init or setup time.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways (queue
+// depth, worker occupancy, open flows).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram counts int64 observations into fixed buckets. Bucket i
+// holds observations v <= bounds[i]; one implicit overflow bucket
+// catches the rest. Observe is a handful of atomic operations and
+// never allocates; bounds are fixed at construction.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // MaxInt64 until first observation
+	max    atomic.Int64
+
+	// unit labels rendered values: "ns" formats as durations, "B" as
+	// byte sizes, "" as plain integers.
+	unit string
+}
+
+// newHistogram builds a histogram with the given ascending bounds.
+func newHistogram(unit string, bounds []int64) *Histogram {
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		unit:   unit,
+	}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v; bounds are short (tens
+	// of entries), so this is a few cache-hot comparisons.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMin(&h.min, v)
+	atomicMax(&h.max, v)
+}
+
+// ObserveDuration records a duration (for timer-flavoured histograms,
+// whose unit is nanoseconds).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(int64(time.Since(t0))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Unit returns the histogram's value unit ("ns", "B" or "").
+func (h *Histogram) Unit() string { return h.unit }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from bucket counts:
+// the upper bound of the bucket where the cumulative count crosses
+// q*total, clamped to the observed min/max. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	est := h.max.Load()
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				est = h.bounds[i]
+			}
+			break
+		}
+	}
+	if mn := h.min.Load(); est < mn {
+		est = mn
+	}
+	if mx := h.max.Load(); est > mx {
+		est = mx
+	}
+	return est
+}
+
+// reset zeroes the histogram.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+}
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// DurationBuckets returns a 1-2-5 series from 1µs to 500s (in
+// nanoseconds) — wide enough for packet-level operations and per-day
+// stage-one wall times alike.
+func DurationBuckets() []int64 {
+	var out []int64
+	for base := int64(time.Microsecond); base <= int64(100*time.Second); base *= 10 {
+		out = append(out, base, 2*base, 5*base)
+	}
+	return out
+}
+
+// DepthBuckets returns power-of-two bounds 0..4096 for queue-depth
+// style histograms.
+func DepthBuckets() []int64 {
+	out := []int64{0}
+	for b := int64(1); b <= 4096; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// SizeBuckets returns power-of-four byte-size bounds 64B..256MB.
+func SizeBuckets() []int64 {
+	var out []int64
+	for b := int64(64); b <= 256<<20; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("x.depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.h", "", []int64{10, 100, 1000})
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v) // 10 in (..10], 90 in (10..100]
+	}
+	h.Observe(5000) // overflow bucket
+	if h.Count() != 101 {
+		t.Fatalf("count = %d, want 101", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("p50 = %d, want 100 (bucket bound)", got)
+	}
+	if got := h.Quantile(1.0); got != 5000 {
+		t.Errorf("p100 = %d, want observed max 5000", got)
+	}
+	if got := h.Quantile(0.01); got != 10 {
+		t.Errorf("p1 = %d, want 10", got)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.h", "", DepthBuckets())
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+}
+
+func TestTimerUnit(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("stage.wall")
+	tm.ObserveDuration(3 * time.Millisecond)
+	if tm.Unit() != "ns" {
+		t.Errorf("timer unit = %q", tm.Unit())
+	}
+	if tm.Sum() != int64(3*time.Millisecond) {
+		t.Errorf("timer sum = %d", tm.Sum())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge lookup of a counter name did not panic")
+		}
+	}()
+	r.Gauge("dual")
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.Gauge("c.three").Set(3)
+	r.Timer("d.four").ObserveDuration(time.Second)
+
+	rows := r.Snapshot()
+	if len(rows) != 4 {
+		t.Fatalf("snapshot has %d rows, want 4", len(rows))
+	}
+	wantOrder := []string{"a.one", "b.two", "c.three", "d.four"}
+	for i, name := range wantOrder {
+		if rows[i].Name != name {
+			t.Errorf("row %d = %q, want %q", i, rows[i].Name, name)
+		}
+	}
+	if rows[0].Value != 1 || rows[1].Value != 2 || rows[2].Value != 3 {
+		t.Errorf("values = %d,%d,%d", rows[0].Value, rows[1].Value, rows[2].Value)
+	}
+	if rows[3].Kind != KindTimer || rows[3].Count != 1 {
+		t.Errorf("timer row = %+v", rows[3])
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("probe.packets").Add(123)
+	r.Histogram("probe.queue", "", DepthBuckets()).Observe(5)
+	r.Timer("stage1.day_wall").ObserveDuration(2 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"probe.packets", "123", "stage1.day_wall", "count=1", "2ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Timer("y")
+	c.Add(5)
+	h.ObserveDuration(time.Second)
+	r.Reset()
+	if c.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("reset left values: c=%d hc=%d hs=%d", c.Load(), h.Count(), h.Sum())
+	}
+	h.ObserveDuration(time.Millisecond)
+	if got := h.Quantile(0.5); got != int64(time.Millisecond) {
+		t.Errorf("post-reset p50 = %d (min tracking not restored)", got)
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free paths under the race
+// detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.count")
+			h := r.Histogram("shared.h", "", DepthBuckets())
+			g := r.Gauge("shared.g")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j % 64))
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Load(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared.h", "", nil).Count(); got != 8000 {
+		t.Errorf("hist count = %d, want 8000", got)
+	}
+	if got := r.Gauge("shared.g").Load(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Timer("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) % int64(time.Second))
+	}
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind discriminates registered metric types.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+	KindTimer // a Histogram of nanosecond durations
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindTimer:
+		return "timer"
+	}
+	return "unknown"
+}
+
+// entry is one registered metric.
+type entry struct {
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics. Lookup/registration takes a lock;
+// returned metric handles are lock-free, so callers fetch them once
+// (package init, constructor) and update them on hot paths.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry every package publishes to and
+// the -stats flags render.
+var Default = NewRegistry()
+
+// lookup returns the entry for name, creating it with mk on first use.
+// A name registered under a different kind is a wiring bug and panics.
+func (r *Registry) lookup(name string, kind Kind, mk func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[name]
+	if !ok {
+		e = mk()
+		r.m[name] = e
+		return e
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", name, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.lookup(name, KindCounter, func() *entry {
+		return &entry{kind: KindCounter, c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.lookup(name, KindGauge, func() *entry {
+		return &entry{kind: KindGauge, g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the named histogram, registering it on first use
+// with the given unit and bucket bounds (ignored on later lookups).
+func (r *Registry) Histogram(name, unit string, bounds []int64) *Histogram {
+	return r.lookup(name, KindHistogram, func() *entry {
+		return &entry{kind: KindHistogram, h: newHistogram(unit, bounds)}
+	}).h
+}
+
+// Timer returns the named duration histogram (unit ns, 1µs–500s
+// buckets), registering it on first use.
+func (r *Registry) Timer(name string) *Histogram {
+	return r.lookup(name, KindTimer, func() *entry {
+		return &entry{kind: KindTimer, h: newHistogram("ns", DurationBuckets())}
+	}).h
+}
+
+// Reset zeroes every registered metric (names stay registered). Used
+// between benchmark iterations and tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.m {
+		switch e.kind {
+		case KindCounter:
+			e.c.v.Store(0)
+		case KindGauge:
+			e.g.v.Store(0)
+		default:
+			e.h.reset()
+		}
+	}
+}
+
+// Row is one metric in a snapshot.
+type Row struct {
+	Name string
+	Kind Kind
+	Unit string
+
+	// Value carries the counter or gauge reading.
+	Value int64
+
+	// Histogram/timer summary.
+	Count              uint64
+	Sum, Min, Max      int64
+	Mean, P50, P90, P99 int64
+}
+
+// Snapshot captures every registered metric, sorted by name.
+func (r *Registry) Snapshot() []Row {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	entries := make([]*entry, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		entries = append(entries, r.m[name])
+	}
+	r.mu.Unlock()
+
+	rows := make([]Row, 0, len(names))
+	for i, name := range names {
+		e := entries[i]
+		row := Row{Name: name, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			row.Value = int64(e.c.Load())
+		case KindGauge:
+			row.Value = e.g.Load()
+		default:
+			h := e.h
+			row.Unit = h.unit
+			row.Count = h.Count()
+			row.Sum = h.Sum()
+			if row.Count > 0 {
+				row.Min = h.min.Load()
+				row.Max = h.max.Load()
+				row.Mean = row.Sum / int64(row.Count)
+				row.P50 = h.Quantile(0.50)
+				row.P90 = h.Quantile(0.90)
+				row.P99 = h.Quantile(0.99)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteText renders the registry as an aligned text table, grouped by
+// the dotted name prefix (probe.*, store.*, stage1.*, ...).
+func (r *Registry) WriteText(w io.Writer) error {
+	rows := r.Snapshot()
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "(no metrics registered)")
+		return err
+	}
+	width := 0
+	for _, row := range rows {
+		if len(row.Name) > width {
+			width = len(row.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-9s  %s\n", width, "metric", "kind", "value"); err != nil {
+		return err
+	}
+	prevGroup := ""
+	for _, row := range rows {
+		group, _, _ := strings.Cut(row.Name, ".")
+		if prevGroup != "" && group != prevGroup {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		prevGroup = group
+		if _, err := fmt.Fprintf(w, "%-*s  %-9s  %s\n", width, row.Name, row.Kind, row.render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// render formats a row's value column.
+func (row Row) render() string {
+	switch row.Kind {
+	case KindCounter, KindGauge:
+		return fmt.Sprintf("%d", row.Value)
+	}
+	if row.Count == 0 {
+		return "count=0"
+	}
+	f := func(v int64) string { return formatValue(v, row.Unit) }
+	return fmt.Sprintf("count=%d min=%s p50=%s p90=%s p99=%s max=%s mean=%s",
+		row.Count, f(row.Min), f(row.P50), f(row.P90), f(row.P99), f(row.Max), f(row.Mean))
+}
+
+// formatValue renders v in the histogram's unit.
+func formatValue(v int64, unit string) string {
+	switch unit {
+	case "ns":
+		return time.Duration(v).Round(time.Microsecond).String()
+	case "B":
+		return formatBytes(v)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// formatBytes renders a byte count human-readably.
+func formatBytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(v)/float64(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(v)/float64(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(v)/float64(1<<10))
+	}
+	return fmt.Sprintf("%dB", v)
+}
+
+// Package-level conveniences over the Default registry.
+
+// GetCounter returns a counter from the default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetHistogram returns a histogram from the default registry.
+func GetHistogram(name, unit string, bounds []int64) *Histogram {
+	return Default.Histogram(name, unit, bounds)
+}
+
+// GetTimer returns a duration histogram from the default registry.
+func GetTimer(name string) *Histogram { return Default.Timer(name) }
+
+// WriteText renders the default registry.
+func WriteText(w io.Writer) error { return Default.WriteText(w) }
+
+// Reset zeroes the default registry.
+func Reset() { Default.Reset() }

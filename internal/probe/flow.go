@@ -109,12 +109,14 @@ func (f *flowState) feedFirstFlight(seq uint32, payload []byte, p *Probe) {
 		f.reasmSeq = seq + uint32(len(payload))
 		f.reasm = append(f.reasm, payload...)
 	case seq == f.reasmSeq:
+		p.Stats.ReasmBufferedSegs++
 		f.reasm = append(f.reasm, payload...)
 		f.reasmSeq += uint32(len(payload))
 	case int32(seq-f.reasmSeq) < 0:
 		return // retransmission of bytes we already hold
 	default:
 		// Sequence gap: classification proceeds on what we have.
+		p.Stats.ReasmGaps++
 		f.inspectTCPPayload(f.reasm, p, true)
 		f.reasm = nil
 		f.webFinal = true

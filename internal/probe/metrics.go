@@ -1,0 +1,45 @@
+package probe
+
+import "repro/internal/metrics"
+
+// Registry wiring. Handles are resolved once at package init; the
+// per-packet counters stay in Probe.Stats (plain fields, no atomics)
+// and are published as deltas when a probe flushes, so the packet hot
+// path pays nothing for observability. Only the shard router touches
+// a metric per packet (its queue-depth histogram), because queue
+// pressure is invisible after the fact.
+var (
+	mPackets       = metrics.GetCounter("probe.packets")
+	mBytes         = metrics.GetCounter("probe.bytes")
+	mNonIP         = metrics.GetCounter("probe.non_ip")
+	mParseErrors   = metrics.GetCounter("probe.parse_errors")
+	mFlowsCreated  = metrics.GetCounter("probe.flows_created")
+	mFlowsIdle     = metrics.GetCounter("probe.flows_idle_expired")
+	mFlowsFlushed  = metrics.GetCounter("probe.flows_flushed")
+	mFlowsExported = metrics.GetCounter("probe.flows_exported")
+	mReasmBuffered = metrics.GetCounter("probe.reasm_buffered_segs")
+	mReasmGaps     = metrics.GetCounter("probe.reasm_gaps")
+	mDNSResponses  = metrics.GetCounter("probe.dns_responses")
+	mShardFallback = metrics.GetCounter("probe.shard_fallback")
+	mShardQueue    = metrics.GetHistogram("probe.shard_queue_depth", "", metrics.DepthBuckets())
+)
+
+// publishMetrics pushes the delta between the probe's current Stats
+// and what it last published into the process-wide registry. Called
+// from Flush so that per-day probe runs accumulate correctly and a
+// probe flushed twice publishes each event once.
+func (p *Probe) publishMetrics() {
+	cur, prev := p.Stats, p.published
+	mPackets.Add(cur.Packets - prev.Packets)
+	mBytes.Add(cur.Bytes - prev.Bytes)
+	mNonIP.Add(cur.NonIP - prev.NonIP)
+	mParseErrors.Add(cur.ParseErrors - prev.ParseErrors)
+	mFlowsCreated.Add(cur.FlowsCreated - prev.FlowsCreated)
+	mFlowsIdle.Add(cur.FlowsIdleExpired - prev.FlowsIdleExpired)
+	mFlowsFlushed.Add(cur.FlowsFlushed - prev.FlowsFlushed)
+	mFlowsExported.Add(cur.FlowsExported - prev.FlowsExported)
+	mReasmBuffered.Add(cur.ReasmBufferedSegs - prev.ReasmBufferedSegs)
+	mReasmGaps.Add(cur.ReasmGaps - prev.ReasmGaps)
+	mDNSResponses.Add(cur.DNSResponses - prev.DNSResponses)
+	p.published = cur
+}

@@ -81,6 +81,10 @@ type Probe struct {
 
 	// Stats counts what the probe saw; cheap enough to always keep.
 	Stats Stats
+
+	// published remembers the Stats values already pushed to the
+	// metrics registry, so Flush publishes deltas.
+	published Stats
 }
 
 // Stats aggregates probe-level counters.
@@ -91,6 +95,21 @@ type Stats struct {
 	ParseErrors   uint64
 	FlowsExported uint64
 	DNSResponses  uint64
+
+	// Flow lifecycle: creations, idle-timeout expiries, end-of-trace
+	// flushes. Exported = terminated (FIN/RST) + idle + flushed.
+	FlowsCreated     uint64
+	FlowsIdleExpired uint64
+	FlowsFlushed     uint64
+
+	// First-flight reassembly: segments buffered beyond a flow's first
+	// payload, and sequence gaps that forced early classification.
+	ReasmBufferedSegs uint64
+	ReasmGaps         uint64
+
+	// ShardFallback counts packets the sharded front-end could not
+	// flow-hash (routed to shard 0). Only Sharded.Stats fills it.
+	ShardFallback uint64
 }
 
 // sweepEvery bounds how often the idle-expiry scan runs.
@@ -173,6 +192,7 @@ func (p *Probe) feedTCP(ts time.Time, d *wire.Decoded) {
 		if f == nil {
 			return // neither endpoint is a subscriber
 		}
+		p.Stats.FlowsCreated++
 		p.flows[key] = f
 	}
 	fromClient := fwd == f.clientIsLo
@@ -206,6 +226,7 @@ func (p *Probe) feedUDP(ts time.Time, d *wire.Decoded) {
 		if f == nil {
 			return
 		}
+		p.Stats.FlowsCreated++
 		p.flows[key] = f
 	}
 	fromClient := fwd == f.clientIsLo
@@ -247,18 +268,22 @@ func (p *Probe) sweep() {
 			timeout = p.cfg.UDPIdleTimeout
 		}
 		if p.now.Sub(f.last) >= timeout {
+			p.Stats.FlowsIdleExpired++
 			p.export(f)
 			delete(p.flows, key)
 		}
 	}
 }
 
-// Flush exports every open flow; call at end of trace.
+// Flush exports every open flow and publishes counter deltas to the
+// metrics registry; call at end of trace (or day).
 func (p *Probe) Flush() {
 	for key, f := range p.flows {
+		p.Stats.FlowsFlushed++
 		p.export(f)
 		delete(p.flows, key)
 	}
+	p.publishMetrics()
 }
 
 // export converts flow state to a record and hands it out.

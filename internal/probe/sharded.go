@@ -2,6 +2,7 @@ package probe
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -12,12 +13,13 @@ import (
 // on the same worker, so per-flow state never needs locks.
 type Sharded struct {
 	workers []*worker
-	parser  *wire.LayerParser // classifies packets onto shards
+	parsers sync.Pool // *wire.LayerParser; Feed may run concurrently
 	wg      sync.WaitGroup
 
 	// fallback counts packets that could not be flow-hashed (non-IP,
-	// malformed); they go to shard 0, which counts the parse error.
-	fallback uint64
+	// malformed, or IPv4 carrying neither TCP nor UDP); they go to
+	// shard 0, which counts the parse error.
+	fallback atomic.Uint64
 }
 
 type worker struct {
@@ -36,7 +38,11 @@ func NewSharded(n int, cfg Config) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{parser: wire.NewLayerParser(wire.LayerEthernet)}
+	s := &Sharded{
+		parsers: sync.Pool{New: func() any {
+			return wire.NewLayerParser(wire.LayerEthernet)
+		}},
+	}
 	for i := 0; i < n; i++ {
 		w := &worker{
 			in:    make(chan Packet, shardQueueDepth),
@@ -57,28 +63,37 @@ func NewSharded(n int, cfg Config) *Sharded {
 
 // Feed routes one packet to its flow's worker. The packet data must
 // not be reused by the caller after Feed returns (it crosses a
-// goroutine boundary); hand each packet its own buffer.
+// goroutine boundary); hand each packet its own buffer. Feed is safe
+// to call from multiple goroutines (each call grabs its own parser),
+// though concurrent feeders forfeit packet ordering within a flow.
 func (s *Sharded) Feed(pkt Packet) {
 	shard := 0
-	if d, err := s.parser.Parse(pkt.Data); err == nil && d.Has(wire.LayerIPv4) {
-		var key wire.FlowKey
+	parser := s.parsers.Get().(*wire.LayerParser)
+	if d, err := parser.Parse(pkt.Data); err == nil && d.Has(wire.LayerIPv4) {
 		switch {
 		case d.Has(wire.LayerTCP):
-			key, _ = wire.NewFlowKey(wire.IPProtoTCP,
+			key, _ := wire.NewFlowKey(wire.IPProtoTCP,
 				wire.Endpoint{Addr: d.IP.Src, Port: d.TCP.SrcPort},
 				wire.Endpoint{Addr: d.IP.Dst, Port: d.TCP.DstPort})
+			shard = int(key.FastHash() % uint64(len(s.workers)))
 		case d.Has(wire.LayerUDP):
-			key, _ = wire.NewFlowKey(wire.IPProtoUDP,
+			key, _ := wire.NewFlowKey(wire.IPProtoUDP,
 				wire.Endpoint{Addr: d.IP.Src, Port: d.UDP.SrcPort},
 				wire.Endpoint{Addr: d.IP.Dst, Port: d.UDP.DstPort})
+			shard = int(key.FastHash() % uint64(len(s.workers)))
 		default:
-			s.fallback++
+			// Not flow-hashable: shard 0, as documented on fallback.
+			s.fallback.Add(1)
+			mShardFallback.Inc()
 		}
-		shard = int(key.FastHash() % uint64(len(s.workers)))
 	} else {
-		s.fallback++
+		s.fallback.Add(1)
+		mShardFallback.Inc()
 	}
-	s.workers[shard].in <- pkt
+	s.parsers.Put(parser)
+	w := s.workers[shard]
+	mShardQueue.Observe(int64(len(w.in)))
+	w.in <- pkt
 }
 
 // Close drains the queues, flushes every worker's open flows and waits
@@ -101,6 +116,12 @@ func (s *Sharded) Stats() Stats {
 		total.ParseErrors += st.ParseErrors
 		total.FlowsExported += st.FlowsExported
 		total.DNSResponses += st.DNSResponses
+		total.FlowsCreated += st.FlowsCreated
+		total.FlowsIdleExpired += st.FlowsIdleExpired
+		total.FlowsFlushed += st.FlowsFlushed
+		total.ReasmBufferedSegs += st.ReasmBufferedSegs
+		total.ReasmGaps += st.ReasmGaps
 	}
+	total.ShardFallback = s.fallback.Load()
 	return total
 }

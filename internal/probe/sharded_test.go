@@ -32,8 +32,16 @@ func shardedConfig(mu *sync.Mutex, records *[]*flowrec.Record) Config {
 // feedFlows pushes n complete TLS flows through feed, one per client.
 func feedFlows(t *testing.T, feed func(Packet), n int) {
 	t.Helper()
+	feedFlowsFrom(t, feed, 0, n)
+}
+
+// feedFlowsFrom pushes n complete TLS flows with client identities
+// starting at base, so concurrent feeders can use disjoint flows.
+func feedFlowsFrom(t *testing.T, feed func(Packet), base, n int) {
+	t.Helper()
 	hello := tlsx.AppendClientHello(nil, tlsx.HelloSpec{SNI: "www.netflix.com", ALPN: []string{"h2"}})
-	for i := 0; i < n; i++ {
+	for j := 0; j < n; j++ {
+		i := base + j
 		cli := wire.Endpoint{Addr: wire.AddrFrom(10, byte(i>>8), byte(i), 7), Port: uint16(30000 + i)}
 		srv := wire.Endpoint{Addr: testServer, Port: 443}
 		s := newTCPSession(cli, srv)
@@ -123,6 +131,96 @@ func TestShardedGarbageGoesToShardZero(t *testing.T) {
 	}
 	if len(records) != 0 {
 		t.Errorf("garbage produced records")
+	}
+}
+
+// icmpPacket renders an Ethernet+IPv4 frame whose protocol is neither
+// TCP nor UDP — flow-hashable by nobody.
+func icmpPacket(t *testing.T, host byte) []byte {
+	t.Helper()
+	payload := []byte{8, 0, 0, 0, 0, 1, 0, 1} // echo request
+	ip := wire.IPv4{
+		Version:  4,
+		TTL:      64,
+		Protocol: wire.IPProtoICMP,
+		Src:      wire.AddrFrom(10, 0, 0, host),
+		Dst:      wire.AddrFrom(93, 184, 216, 34),
+	}
+	ip.SetLengths(len(payload))
+	buf := make([]byte, wire.EthernetHeaderLen+ip.HeaderLen()+len(payload))
+	eth := wire.Ethernet{EtherType: wire.EtherTypeIPv4}
+	n, err := eth.EncodeTo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ip.EncodeTo(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf[n+in:], payload)
+	return buf
+}
+
+// TestShardedFallbackGoesToShardZero is the regression test for the
+// routing bug where non-TCP/UDP IPv4 packets were hashed through a
+// zero-value FlowKey instead of landing on shard 0 as documented.
+func TestShardedFallbackGoesToShardZero(t *testing.T) {
+	var mu sync.Mutex
+	var records []*flowrec.Record
+	const shards, pkts = 8, 32
+	sh := NewSharded(shards, shardedConfig(&mu, &records))
+	for i := 0; i < pkts; i++ {
+		sh.Feed(Packet{TS: testT0.Add(time.Duration(i) * time.Millisecond), Data: icmpPacket(t, byte(i))})
+	}
+	sh.Close()
+	if got := sh.workers[0].probe.Stats.Packets; got != pkts {
+		t.Errorf("shard 0 saw %d packets, want all %d", got, pkts)
+	}
+	for i := 1; i < shards; i++ {
+		if got := sh.workers[i].probe.Stats.Packets; got != 0 {
+			t.Errorf("shard %d saw %d fallback packets, want 0", i, got)
+		}
+	}
+	st := sh.Stats()
+	if st.ShardFallback != pkts {
+		t.Errorf("ShardFallback = %d, want %d", st.ShardFallback, pkts)
+	}
+	if st.NonIP != pkts {
+		t.Errorf("NonIP = %d, want %d (shard 0 accounts the oddballs)", st.NonIP, pkts)
+	}
+}
+
+// TestShardedConcurrentFeed drives Feed from several goroutines at
+// once (disjoint flows each) — the -race guard for the shared parser
+// pool, the fallback counter and the concurrent OnRecord fan-in.
+func TestShardedConcurrentFeed(t *testing.T) {
+	var mu sync.Mutex
+	var records []*flowrec.Record
+	sh := NewSharded(4, shardedConfig(&mu, &records))
+
+	const feeders, flowsEach = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			feedFlowsFrom(t, sh.Feed, g*flowsEach, flowsEach)
+			// Interleave unhashable packets to stress the fallback path.
+			sh.Feed(Packet{TS: testT0, Data: icmpPacket(t, byte(g))})
+		}(g)
+	}
+	wg.Wait()
+	sh.Close()
+
+	if len(records) != feeders*flowsEach {
+		t.Errorf("records = %d, want %d", len(records), feeders*flowsEach)
+	}
+	st := sh.Stats()
+	if st.FlowsExported != feeders*flowsEach {
+		t.Errorf("FlowsExported = %d, want %d", st.FlowsExported, feeders*flowsEach)
+	}
+	if st.ShardFallback != feeders {
+		t.Errorf("ShardFallback = %d, want %d", st.ShardFallback, feeders)
 	}
 }
 
