@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race claims bench
+.PHONY: ci vet build test race claims bench benchbuild
 
 ## ci: the full gate — what a PR must pass.
-ci: vet build race claims
+ci: vet build benchbuild race claims
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,13 @@ race:
 claims:
 	$(GO) test -run=TestClaim ./internal/core
 
-## bench: one benchmark per table/figure.
+## benchbuild: compile the benchmark harness without running it.
+benchbuild:
+	$(GO) test -c -o /dev/null .
+
+## bench: one benchmark per table/figure, 5 runs each, with a
+## machine-readable summary in BENCH.json alongside the raw text.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ -count=5 . | tee BENCH.txt
+	$(GO) run ./cmd/benchjson < BENCH.txt > BENCH.json
+	@echo "wrote BENCH.txt and BENCH.json"

@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a machine-readable JSON summary on stdout, so benchmark runs
+// can be diffed across commits without scraping the text format.
+//
+// Repeated runs of the same benchmark (-count=N) are averaged, and
+// the per-run samples kept, so noisy metrics stay inspectable.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=5 . | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result accumulates every sample of one benchmark across -count runs.
+type result struct {
+	Name      string    `json:"name"`
+	Runs      int       `json:"runs"`
+	NsPerOp   float64   `json:"ns_per_op"`
+	BPerOp    float64   `json:"bytes_per_op,omitempty"`
+	AllocsOp  float64   `json:"allocs_per_op,omitempty"`
+	NsSamples []float64 `json:"ns_samples,omitempty"`
+}
+
+func main() {
+	byName := make(map[string]*result)
+	var order []string
+	goos, goarch, pkg := "", "", ""
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  12345 ns/op  [678 B/op  9 allocs/op ...]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", cpuSuffix(fields[0])))
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		r := byName[name]
+		if r == nil {
+			r = &result{Name: name}
+			byName[name] = r
+			order = append(order, name)
+		}
+		r.Runs++
+		r.NsSamples = append(r.NsSamples, ns)
+		r.NsPerOp += ns
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				r.BPerOp += v
+			case "allocs/op":
+				r.AllocsOp += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	sort.Strings(order)
+	results := make([]*result, 0, len(order))
+	for _, name := range order {
+		r := byName[name]
+		n := float64(r.Runs)
+		r.NsPerOp /= n
+		r.BPerOp /= n
+		r.AllocsOp /= n
+		results = append(results, r)
+	}
+	out := struct {
+		GOOS       string    `json:"goos,omitempty"`
+		GOARCH     string    `json:"goarch,omitempty"`
+		Pkg        string    `json:"pkg,omitempty"`
+		Benchmarks []*result `json:"benchmarks"`
+	}{goos, goarch, pkg, results}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// cpuSuffix extracts the trailing -N GOMAXPROCS marker of a benchmark
+// name, or 0 when there is none (GOMAXPROCS=1 runs have no suffix).
+func cpuSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -18,22 +18,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/simnet"
 )
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "world seed")
-		out    = flag.String("out", "", "store directory (required)")
-		from   = flag.String("from", "", "first day (YYYY-MM-DD, default span start)")
-		to     = flag.String("to", "", "last day (YYYY-MM-DD, default span end)")
-		stride = flag.Int("stride", 1, "generate every Nth day")
-		adsl   = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
-		ftth   = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
-		csv    = flag.String("csv", "", "also dump the first generated day as CSV to this file")
-		stats  = flag.Bool("stats", false, "print the pipeline metrics table after the run")
+		seed       = flag.Uint64("seed", 1, "world seed")
+		out        = flag.String("out", "", "store directory (required)")
+		from       = flag.String("from", "", "first day (YYYY-MM-DD, default span start)")
+		to         = flag.String("to", "", "last day (YYYY-MM-DD, default span end)")
+		stride     = flag.Int("stride", 1, "generate every Nth day")
+		adsl       = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
+		ftth       = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
+		csv        = flag.String("csv", "", "also dump the first generated day as CSV to this file")
+		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
+		}
+	}()
 	if *stats {
 		defer func() {
 			fmt.Println("\n== pipeline metrics ==")

@@ -28,23 +28,36 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pcap"
 	"repro/internal/probe"
+	"repro/internal/prof"
 	"repro/internal/simnet"
 )
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "world seed")
-		out     = flag.String("out", "", "store directory (required)")
-		from    = flag.String("from", "", "first day (YYYY-MM-DD)")
-		to      = flag.String("to", "", "last day (YYYY-MM-DD)")
-		adsl    = flag.Int("adsl", 12, "ADSL subscriber count")
-		ftth    = flag.Int("ftth", 6, "FTTH subscriber count")
-		capKiB  = flag.Int("flowcap", 96, "materialised payload cap per flow direction (KiB)")
-		pcapIn  = flag.String("pcap-in", "", "replay packets from this pcap file instead of simulating")
-		pcapOut = flag.String("pcap-out", "", "also dump the simulated packet stream to this pcap file")
-		stats   = flag.Bool("stats", false, "print the pipeline metrics table after the run")
+		seed       = flag.Uint64("seed", 1, "world seed")
+		out        = flag.String("out", "", "store directory (required)")
+		from       = flag.String("from", "", "first day (YYYY-MM-DD)")
+		to         = flag.String("to", "", "last day (YYYY-MM-DD)")
+		adsl       = flag.Int("adsl", 12, "ADSL subscriber count")
+		ftth       = flag.Int("ftth", 6, "FTTH subscriber count")
+		capKiB     = flag.Int("flowcap", 96, "materialised payload cap per flow direction (KiB)")
+		pcapIn     = flag.String("pcap-in", "", "replay packets from this pcap file instead of simulating")
+		pcapOut    = flag.String("pcap-out", "", "also dump the simulated packet stream to this pcap file")
+		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
+		}
+	}()
 	if *stats {
 		defer func() {
 			fmt.Println("\n== pipeline metrics ==")

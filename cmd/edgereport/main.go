@@ -24,23 +24,36 @@ import (
 	"repro/internal/core"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/simnet"
 )
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "world seed (same seed, same dataset)")
-		stride  = flag.Int("stride", 7, "day sampling stride for full-span experiments")
-		scale   = flag.String("scale", "default", "population scale: small, default, large")
-		workers = flag.Int("workers", 0, "parallel aggregation workers (0 = NumCPU)")
-		store   = flag.String("store", "", "read records from this flow store instead of simulating")
-		rules   = flag.String("rules", "", "classification rules file (default: built-in list)")
-		aggDir  = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
-		export  = flag.String("export", "", "write the figure data tables (CSV) to this directory and exit")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		stats   = flag.Bool("stats", false, "print the pipeline metrics table after the run")
+		seed       = flag.Uint64("seed", 1, "world seed (same seed, same dataset)")
+		stride     = flag.Int("stride", 7, "day sampling stride for full-span experiments")
+		scale      = flag.String("scale", "default", "population scale: small, default, large")
+		workers    = flag.Int("workers", 0, "parallel aggregation workers (0 = NumCPU)")
+		store      = flag.String("store", "", "read records from this flow store instead of simulating")
+		rules      = flag.String("rules", "", "classification rules file (default: built-in list)")
+		aggDir     = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
+		export     = flag.String("export", "", "write the figure data tables (CSV) to this directory and exit")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
+		}
+	}()
 	if *stats {
 		defer func() {
 			fmt.Println("\n== pipeline metrics ==")

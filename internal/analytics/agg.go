@@ -11,6 +11,7 @@ package analytics
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -25,7 +26,7 @@ import (
 
 // P2PService is the label used for peer-to-peer traffic, which carries
 // no domain and is recognised by the probe's payload heuristics.
-const P2PService classify.Service = "Peer-To-Peer"
+const P2PService = classify.P2P
 
 // Activity thresholds of section 3: a subscriber is active on a day
 // when it generated at least 10 flows, downloaded more than 15 kB and
@@ -113,15 +114,61 @@ var rttServices = map[classify.Service]bool{
 	"Netflix": true, "WhatsApp": true,
 }
 
+// memoCap bounds the per-aggregator name→ID memo. A day file repeats a
+// few hundred distinct server names across millions of records; the
+// cap only matters against adversarial name churn.
+const memoCap = 1 << 16
+
+// subAcc is the internal per-subscription accumulator: service usage
+// lives in a dense ID-indexed slice instead of a map.
+type subAcc struct {
+	tech     flowrec.AccessTech
+	flows    int
+	down, up uint64
+	perSvc   []svcUse
+}
+
+// svcUse mirrors SvcUse plus a touched bit, so Result can reproduce
+// the exact key set map-based accumulation would have created (a key
+// appears once any flow classifies to the service, even at 0 bytes).
+type svcUse struct {
+	down, up uint64
+	touched  bool
+}
+
+// ipAcc is the internal per-server-address accumulator. The service
+// set is a bitset for IDs < 64 — which covers any realistic rule set —
+// with a lazily-allocated spill map beyond that, so the common case
+// costs no allocation at all.
+type ipAcc struct {
+	bytes uint64
+	svcs  uint64
+	over  map[classify.ServiceID]struct{}
+}
+
 // Aggregator reduces one day's records. Not safe for concurrent use;
-// the Runner gives each day its own.
+// the Runner gives each day its own — which is exactly why it can keep
+// a private, unsynchronized name→ID memo and never touch the
+// classifier's global RWMutex on the per-record path.
 type Aggregator struct {
-	cls *classify.Classifier
-	agg *DayAgg
+	cls  *classify.Classifier
+	agg  *DayAgg
+	nsvc int
+
+	p2pID classify.ServiceID
+	memo  map[string]classify.ServiceID // raw ServerName → ID, no locks
+
+	subs        map[uint32]*subAcc
+	svcBytes    []uint64
+	svcTouched  []bool
+	domainBytes []map[string]uint64
+	ips         map[wire.Addr]ipAcc
 
 	// rtt holds the per-service sampling reservoirs; Result
 	// materialises them into agg.RTTMinMs.
-	rtt map[classify.Service]*rttReservoir
+	rtt      []*rttReservoir
+	rttWant  []bool
+	finished bool
 }
 
 // NewAggregator starts an aggregation for day using classifier cls
@@ -131,19 +178,29 @@ func NewAggregator(day time.Time, cls *classify.Classifier) *Aggregator {
 		cls = classify.Default()
 	}
 	y, m, d := day.UTC().Date()
-	return &Aggregator{
-		cls: cls,
-		rtt: make(map[classify.Service]*rttReservoir),
+	nsvc := cls.NumServices()
+	a := &Aggregator{
+		cls:         cls,
+		nsvc:        nsvc,
+		memo:        make(map[string]classify.ServiceID, 512),
+		subs:        make(map[uint32]*subAcc),
+		svcBytes:    make([]uint64, nsvc),
+		svcTouched:  make([]bool, nsvc),
+		domainBytes: make([]map[string]uint64, nsvc),
+		ips:         make(map[wire.Addr]ipAcc),
+		rtt:         make([]*rttReservoir, nsvc),
+		rttWant:     make([]bool, nsvc),
 		agg: &DayAgg{
-			Day:          time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
-			Subs:         make(map[uint32]*SubDay),
-			ServiceBytes: make(map[classify.Service]uint64),
-			RTTMinMs:     make(map[classify.Service][]float64),
-			ServerIPs:    make(map[wire.Addr]*IPInfo),
-			DomainBytes:  make(map[classify.Service]map[string]uint64),
-			QUICVersions: make(map[string]uint64),
+			Day: time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
 		},
 	}
+	a.p2pID, _ = cls.IDOf(classify.P2P) // always interned
+	for svc := range rttServices {
+		if id, ok := cls.IDOf(svc); ok {
+			a.rttWant[id] = true
+		}
+	}
+	return a
 }
 
 // ServiceOf classifies a record: P2P by probe label, everything else
@@ -155,36 +212,56 @@ func ServiceOf(cls *classify.Classifier, rec *flowrec.Record) classify.Service {
 	return cls.Lookup(rec.ServerName)
 }
 
+// serviceIDOf is ServiceOf on the memoized fast path.
+func (a *Aggregator) serviceIDOf(rec *flowrec.Record) classify.ServiceID {
+	if rec.Web == flowrec.WebP2P {
+		return a.p2pID
+	}
+	if rec.ServerName == "" {
+		return classify.UnknownID
+	}
+	if id, ok := a.memo[rec.ServerName]; ok {
+		return id
+	}
+	id := a.cls.LookupID(rec.ServerName)
+	if len(a.memo) < memoCap {
+		a.memo[rec.ServerName] = id
+	}
+	return id
+}
+
 // Add accumulates one record.
 func (a *Aggregator) Add(rec *flowrec.Record) {
 	agg := a.agg
-	svc := ServiceOf(a.cls, rec)
+	id := a.serviceIDOf(rec)
 
-	sd := agg.Subs[rec.SubID]
-	if sd == nil {
-		sd = &SubDay{Tech: rec.Tech, PerSvc: make(map[classify.Service]*SvcUse)}
-		agg.Subs[rec.SubID] = sd
+	sa := a.subs[rec.SubID]
+	if sa == nil {
+		sa = &subAcc{tech: rec.Tech}
+		sa.perSvc = make([]svcUse, a.nsvc)
+		a.subs[rec.SubID] = sa
 	}
-	sd.Flows++
-	sd.Down += rec.BytesDown
-	sd.Up += rec.BytesUp
-	if svc != classify.Unknown {
-		use := sd.PerSvc[svc]
-		if use == nil {
-			use = &SvcUse{}
-			sd.PerSvc[svc] = use
-		}
-		use.Down += rec.BytesDown
-		use.Up += rec.BytesUp
+	sa.flows++
+	sa.down += rec.BytesDown
+	sa.up += rec.BytesUp
+	if id != classify.UnknownID {
+		use := &sa.perSvc[id]
+		use.touched = true
+		use.down += rec.BytesDown
+		use.up += rec.BytesUp
 	}
 
 	agg.TotalDown += rec.BytesDown
 	agg.TotalUp += rec.BytesUp
 	agg.Flows++
 	agg.ProtoBytes[rec.Web] += rec.BytesDown + rec.BytesUp
-	agg.ServiceBytes[svc] += rec.BytesDown
+	a.svcBytes[id] += rec.BytesDown
+	a.svcTouched[id] = true
 
 	if rec.Web == flowrec.WebQUIC && rec.QUICVer != "" {
+		if agg.QUICVersions == nil {
+			agg.QUICVersions = make(map[string]uint64)
+		}
 		agg.QUICVersions[rec.QUICVer]++
 	}
 
@@ -195,11 +272,11 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 	}
 	agg.DownBins[tech][bin] += rec.BytesDown
 
-	if rec.RTTSamples > 0 && rttServices[svc] {
-		res := a.rtt[svc]
+	if rec.RTTSamples > 0 && a.rttWant[id] {
+		res := a.rtt[id]
 		if res == nil {
 			res = newRTTReservoir(rttCap)
-			a.rtt[svc] = res
+			a.rtt[id] = res
 		}
 		res.add(rttSample{
 			hash: flowSampleHash(rec),
@@ -210,37 +287,137 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 	// Server inventory: only classified, non-P2P services are worth
 	// tracking (P2P "servers" are other households), but unknown
 	// services still mark addresses as shared.
-	if svc != P2PService && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
-		info := agg.ServerIPs[rec.Server]
-		if info == nil {
-			info = &IPInfo{Services: make(map[classify.Service]bool, 2)}
-			agg.ServerIPs[rec.Server] = info
+	if id != a.p2pID && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
+		acc := a.ips[rec.Server]
+		if id < 64 {
+			acc.svcs |= 1 << id
+		} else {
+			if acc.over == nil {
+				acc.over = make(map[classify.ServiceID]struct{}, 1)
+			}
+			acc.over[id] = struct{}{}
 		}
-		info.Services[svc] = true
-		info.Bytes += rec.BytesDown
+		acc.bytes += rec.BytesDown
+		a.ips[rec.Server] = acc
 
-		if svc != classify.Unknown && rec.ServerName != "" {
+		if id != classify.UnknownID && rec.ServerName != "" {
 			dom := SecondLevelDomain(rec.ServerName)
-			m := agg.DomainBytes[svc]
+			m := a.domainBytes[id]
 			if m == nil {
 				m = make(map[string]uint64, 4)
-				agg.DomainBytes[svc] = m
+				a.domainBytes[id] = m
 			}
 			m[dom] += rec.BytesDown
 		}
 	}
 }
 
-// Result finalises and returns the aggregate: the RTT reservoirs
-// materialise into RTTMinMs in canonical (hash) order, so equal
-// record sets yield byte-identical aggregates whatever the order they
-// arrived in.
+// Result finalises and returns the aggregate. The ID-indexed internal
+// accumulators materialise here — once per day, not once per record —
+// into the exported string-keyed DayAgg maps, with exactly the key
+// sets map-based accumulation produced, so figures, the gob agg-cache
+// and CSV export see an unchanged schema. RTT reservoirs materialise
+// in canonical (hash) order, so equal record sets yield byte-identical
+// aggregates whatever the order they arrived in.
 func (a *Aggregator) Result() *DayAgg {
-	for svc, res := range a.rtt {
-		a.agg.RTTMinMs[svc] = res.values()
+	if a.finished {
+		return a.agg
+	}
+	a.finished = true
+	agg := a.agg
+
+	// Subscriptions: batch-allocate the SubDay and SvcUse backing
+	// arrays, then size each PerSvc map to its exact touched count.
+	agg.Subs = make(map[uint32]*SubDay, len(a.subs))
+	subDays := make([]SubDay, len(a.subs))
+	nUse := 0
+	for _, sa := range a.subs {
+		for id := range sa.perSvc {
+			if sa.perSvc[id].touched {
+				nUse++
+			}
+		}
+	}
+	uses := make([]SvcUse, nUse)
+	si, ui := 0, 0
+	for subID, sa := range a.subs {
+		sd := &subDays[si]
+		si++
+		sd.Tech = sa.tech
+		sd.Flows = sa.flows
+		sd.Down = sa.down
+		sd.Up = sa.up
+		n := 0
+		for id := range sa.perSvc {
+			if sa.perSvc[id].touched {
+				n++
+			}
+		}
+		sd.PerSvc = make(map[classify.Service]*SvcUse, n)
+		for id := range sa.perSvc {
+			if u := &sa.perSvc[id]; u.touched {
+				use := &uses[ui]
+				ui++
+				use.Down = u.down
+				use.Up = u.up
+				sd.PerSvc[a.cls.ServiceName(classify.ServiceID(id))] = use
+			}
+		}
+		agg.Subs[subID] = sd
+	}
+	a.subs = nil
+
+	// Per-service byte totals: every service any record classified to,
+	// Unknown included.
+	agg.ServiceBytes = make(map[classify.Service]uint64, a.nsvc)
+	for id, touched := range a.svcTouched {
+		if touched {
+			agg.ServiceBytes[a.cls.ServiceName(classify.ServiceID(id))] = a.svcBytes[id]
+		}
+	}
+
+	// Server inventory: expand each address's service bitset.
+	agg.ServerIPs = make(map[wire.Addr]*IPInfo, len(a.ips))
+	infos := make([]IPInfo, len(a.ips))
+	ii := 0
+	for addr, acc := range a.ips {
+		info := &infos[ii]
+		ii++
+		info.Bytes = acc.bytes
+		info.Services = make(map[classify.Service]bool, bits.OnesCount64(acc.svcs)+len(acc.over))
+		for set := acc.svcs; set != 0; set &= set - 1 {
+			id := classify.ServiceID(bits.TrailingZeros64(set))
+			info.Services[a.cls.ServiceName(id)] = true
+		}
+		for id := range acc.over {
+			info.Services[a.cls.ServiceName(id)] = true
+		}
+		agg.ServerIPs[addr] = info
+	}
+	a.ips = nil
+
+	// Domain drill-down: the internal per-ID maps become the exported
+	// inner maps directly — no copying.
+	agg.DomainBytes = make(map[classify.Service]map[string]uint64, 8)
+	for id, m := range a.domainBytes {
+		if m != nil {
+			agg.DomainBytes[a.cls.ServiceName(classify.ServiceID(id))] = m
+		}
+	}
+	a.domainBytes = nil
+
+	agg.RTTMinMs = make(map[classify.Service][]float64, 6)
+	for id, res := range a.rtt {
+		if res != nil {
+			agg.RTTMinMs[a.cls.ServiceName(classify.ServiceID(id))] = res.values()
+		}
 	}
 	a.rtt = nil
-	return a.agg
+
+	if agg.QUICVersions == nil {
+		agg.QUICVersions = make(map[string]uint64)
+	}
+	return agg
 }
 
 // timeBin maps a timestamp to its 10-minute bin.
@@ -253,13 +430,19 @@ func timeBin(t time.Time) int {
 // the last two labels ("scontent.xx.fbcdn.net" → "fbcdn.net"). The
 // handful of two-level public suffixes in our data (co.uk-style) do
 // not occur, so two labels suffice, as in the paper's Figure 11g-i.
+// The result is a substring of the (lowercased) input: zero
+// allocations on the already-lowercase names probes export.
 func SecondLevelDomain(host string) string {
 	host = strings.TrimSuffix(strings.ToLower(host), ".")
-	labels := strings.Split(host, ".")
-	if len(labels) <= 2 {
+	last := strings.LastIndexByte(host, '.')
+	if last < 0 {
 		return host
 	}
-	return strings.Join(labels[len(labels)-2:], ".")
+	prev := strings.LastIndexByte(host[:last], '.')
+	if prev < 0 {
+		return host
+	}
+	return host[prev+1:]
 }
 
 // ActiveSubs counts subscriptions passing the activity filter, per

@@ -1,0 +1,226 @@
+package analytics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// The service-ID interning refactor must be invisible from outside:
+// the ID-indexed Aggregator has to produce exactly the DayAgg the
+// string-keyed implementation produced — same values AND same map key
+// sets — and the hot-path helpers must not allocate.
+
+// referenceDayAgg is the pre-interning aggregation, kept as the test
+// oracle: plain string-keyed maps filled record by record.
+func referenceDayAgg(day time.Time, cls *classify.Classifier, recs []*flowrec.Record) *DayAgg {
+	y, m, d := day.UTC().Date()
+	agg := &DayAgg{
+		Day:          time.Date(y, m, d, 0, 0, 0, 0, time.UTC),
+		Subs:         make(map[uint32]*SubDay),
+		ServiceBytes: make(map[classify.Service]uint64),
+		RTTMinMs:     make(map[classify.Service][]float64),
+		ServerIPs:    make(map[wire.Addr]*IPInfo),
+		DomainBytes:  make(map[classify.Service]map[string]uint64),
+		QUICVersions: make(map[string]uint64),
+	}
+	rtt := make(map[classify.Service]*rttReservoir)
+	for _, rec := range recs {
+		svc := ServiceOf(cls, rec)
+		sd := agg.Subs[rec.SubID]
+		if sd == nil {
+			sd = &SubDay{Tech: rec.Tech, PerSvc: make(map[classify.Service]*SvcUse)}
+			agg.Subs[rec.SubID] = sd
+		}
+		sd.Flows++
+		sd.Down += rec.BytesDown
+		sd.Up += rec.BytesUp
+		if svc != classify.Unknown {
+			use := sd.PerSvc[svc]
+			if use == nil {
+				use = &SvcUse{}
+				sd.PerSvc[svc] = use
+			}
+			use.Down += rec.BytesDown
+			use.Up += rec.BytesUp
+		}
+		agg.TotalDown += rec.BytesDown
+		agg.TotalUp += rec.BytesUp
+		agg.Flows++
+		agg.ProtoBytes[rec.Web] += rec.BytesDown + rec.BytesUp
+		agg.ServiceBytes[svc] += rec.BytesDown
+		if rec.Web == flowrec.WebQUIC && rec.QUICVer != "" {
+			agg.QUICVersions[rec.QUICVer]++
+		}
+		bin := timeBin(rec.Start)
+		tech := 0
+		if rec.Tech == flowrec.TechFTTH {
+			tech = 1
+		}
+		agg.DownBins[tech][bin] += rec.BytesDown
+		if rec.RTTSamples > 0 && rttServices[svc] {
+			res := rtt[svc]
+			if res == nil {
+				res = newRTTReservoir(rttCap)
+				rtt[svc] = res
+			}
+			res.add(rttSample{hash: flowSampleHash(rec), ms: float64(rec.RTTMin) / float64(time.Millisecond)})
+		}
+		if svc != P2PService && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
+			info := agg.ServerIPs[rec.Server]
+			if info == nil {
+				info = &IPInfo{Services: make(map[classify.Service]bool, 2)}
+				agg.ServerIPs[rec.Server] = info
+			}
+			info.Services[svc] = true
+			info.Bytes += rec.BytesDown
+			if svc != classify.Unknown && rec.ServerName != "" {
+				dom := SecondLevelDomain(rec.ServerName)
+				m := agg.DomainBytes[svc]
+				if m == nil {
+					m = make(map[string]uint64, 4)
+					agg.DomainBytes[svc] = m
+				}
+				m[dom] += rec.BytesDown
+			}
+		}
+	}
+	for svc, res := range rtt {
+		agg.RTTMinMs[svc] = res.values()
+	}
+	return agg
+}
+
+// TestAggregatorMatchesReference drives both implementations with a
+// full simulated day — P2P, QUIC, DNS, gateway noise, RTT samples, the
+// works — and requires identical aggregates, exported key sets
+// included.
+func TestAggregatorMatchesReference(t *testing.T) {
+	day := time.Date(2016, 11, 20, 0, 0, 0, 0, time.UTC) // post-FBZero: every protocol present
+	w := simnet.NewWorld(7, simnet.Scale{ADSL: 24, FTTH: 12})
+	var recs []*flowrec.Record
+	w.EmitDay(day, func(r *flowrec.Record) {
+		c := *r
+		recs = append(recs, &c)
+	})
+	if len(recs) == 0 {
+		t.Fatal("no records emitted")
+	}
+
+	cls := classify.Default()
+	a := NewAggregator(day, cls)
+	for _, r := range recs {
+		a.Add(r)
+	}
+	got := a.Result()
+	want := referenceDayAgg(day, cls, recs)
+
+	if got.TotalDown != want.TotalDown || got.TotalUp != want.TotalUp || got.Flows != want.Flows {
+		t.Fatalf("totals: got %d/%d/%d, want %d/%d/%d",
+			got.TotalDown, got.TotalUp, got.Flows, want.TotalDown, want.TotalUp, want.Flows)
+	}
+	if got.ProtoBytes != want.ProtoBytes {
+		t.Errorf("ProtoBytes differ: %v vs %v", got.ProtoBytes, want.ProtoBytes)
+	}
+	if got.DownBins != want.DownBins {
+		t.Error("DownBins differ")
+	}
+	if !reflect.DeepEqual(got.ServiceBytes, want.ServiceBytes) {
+		t.Errorf("ServiceBytes differ:\n got %v\nwant %v", got.ServiceBytes, want.ServiceBytes)
+	}
+	if !reflect.DeepEqual(got.QUICVersions, want.QUICVersions) {
+		t.Errorf("QUICVersions differ: %v vs %v", got.QUICVersions, want.QUICVersions)
+	}
+	if !reflect.DeepEqual(got.RTTMinMs, want.RTTMinMs) {
+		t.Error("RTTMinMs differ")
+	}
+	if !reflect.DeepEqual(got.DomainBytes, want.DomainBytes) {
+		t.Errorf("DomainBytes differ:\n got %v\nwant %v", got.DomainBytes, want.DomainBytes)
+	}
+	if len(got.Subs) != len(want.Subs) {
+		t.Fatalf("Subs: %d vs %d", len(got.Subs), len(want.Subs))
+	}
+	for id, wsd := range want.Subs {
+		gsd := got.Subs[id]
+		if gsd == nil {
+			t.Fatalf("sub %d missing", id)
+		}
+		if !reflect.DeepEqual(gsd, wsd) {
+			t.Errorf("sub %d differs:\n got %+v\nwant %+v", id, gsd, wsd)
+		}
+	}
+	if len(got.ServerIPs) != len(want.ServerIPs) {
+		t.Fatalf("ServerIPs: %d vs %d", len(got.ServerIPs), len(want.ServerIPs))
+	}
+	for addr, winfo := range want.ServerIPs {
+		ginfo := got.ServerIPs[addr]
+		if ginfo == nil {
+			t.Fatalf("server %v missing", addr)
+		}
+		if !reflect.DeepEqual(ginfo, winfo) {
+			t.Errorf("server %v differs:\n got %+v\nwant %+v", addr, ginfo, winfo)
+		}
+	}
+}
+
+// TestSecondLevelDomainEquivalence pins the zero-alloc scan to the
+// old Split/Join implementation.
+func TestSecondLevelDomainEquivalence(t *testing.T) {
+	old := func(host string) string {
+		host = strings.TrimSuffix(strings.ToLower(host), ".")
+		labels := strings.Split(host, ".")
+		if len(labels) <= 2 {
+			return host
+		}
+		return strings.Join(labels[len(labels)-2:], ".")
+	}
+	hosts := []string{
+		"scontent.xx.fbcdn.net", "www.google.com", "r3---sn-hpa7kn7s.googlevideo.com",
+		"netflix.com", "localhost", "", "a.b", "a.b.c.d.e.f",
+		"WWW.Example.COM", "trailing.dot.example.", "a..b", ".", "..",
+	}
+	for _, h := range hosts {
+		if got, want := SecondLevelDomain(h), old(h); got != want {
+			t.Errorf("SecondLevelDomain(%q) = %q, want %q", h, got, want)
+		}
+	}
+}
+
+func TestSecondLevelDomainZeroAlloc(t *testing.T) {
+	if allocs := testing.AllocsPerRun(200, func() {
+		SecondLevelDomain("scontent.xx.fbcdn.net")
+	}); allocs != 0 {
+		t.Errorf("SecondLevelDomain allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// BenchmarkAggregatorDay measures stage one over a full simulated day
+// of records, complementing the single-record BenchmarkAggregatorAdd.
+func BenchmarkAggregatorDay(b *testing.B) {
+	day := time.Date(2016, 5, 10, 0, 0, 0, 0, time.UTC)
+	w := simnet.NewWorld(3, simnet.Scale{ADSL: 24, FTTH: 12})
+	var recs []*flowrec.Record
+	w.EmitDay(day, func(r *flowrec.Record) {
+		c := *r
+		recs = append(recs, &c)
+	})
+	cls := classify.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAggregator(day, cls)
+		for _, r := range recs {
+			a.Add(r)
+		}
+		if a.Result().Flows == 0 {
+			b.Fatal("empty aggregate")
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}

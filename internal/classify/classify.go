@@ -20,6 +20,21 @@ type Service string
 // Unknown is the classification of flows matching no rule.
 const Unknown Service = ""
 
+// P2P is the label of peer-to-peer traffic. It carries no domain — the
+// probe recognises it from payload heuristics — so every classifier
+// interns it even when no tracker-domain rule mentions it.
+const P2P Service = "Peer-To-Peer"
+
+// ServiceID is a dense, classifier-scoped service index assigned at
+// rule-compile time. IDs let the per-record reduce path replace string
+// keys with slice indices; they are stable for a given rule list
+// (assignment follows rule order) but are NOT portable across
+// classifiers — exported data always uses Service names.
+type ServiceID uint16
+
+// UnknownID is the ServiceID of Unknown in every classifier.
+const UnknownID ServiceID = 0
+
 // Rule associates one domain pattern with a service.
 type Rule struct {
 	// Suffix matches the domain itself and any subdomain, e.g.
@@ -36,16 +51,21 @@ type Rule struct {
 // Classifier answers domain → service queries. It is safe for
 // concurrent use after construction.
 type Classifier struct {
-	exact map[string]Service // suffix table keyed by label-sequence
+	exact map[string]ServiceID // suffix table keyed by label-sequence
 	regex []compiledRule
 
+	// The ID table, immutable after New: names[id] is the service of
+	// id, ids its inverse. names[UnknownID] == Unknown always.
+	names []Service
+	ids   map[Service]ServiceID
+
 	mu   sync.RWMutex
-	memo map[string]Service
+	memo map[string]ServiceID
 }
 
 type compiledRule struct {
-	re      *regexp.Regexp
-	service Service
+	re *regexp.Regexp
+	id ServiceID
 }
 
 // memoLimit bounds the domain-lookup cache.
@@ -55,8 +75,10 @@ const memoLimit = 1 << 18
 // (no leading dot); regexp rules must compile.
 func New(rules []Rule) (*Classifier, error) {
 	c := &Classifier{
-		exact: make(map[string]Service, len(rules)),
-		memo:  make(map[string]Service),
+		exact: make(map[string]ServiceID, len(rules)),
+		names: []Service{Unknown},
+		ids:   map[Service]ServiceID{Unknown: UnknownID},
+		memo:  make(map[string]ServiceID),
 	}
 	for i, r := range rules {
 		switch {
@@ -67,49 +89,77 @@ func New(rules []Rule) (*Classifier, error) {
 			if s == "" {
 				return nil, fmt.Errorf("classify: rule %d has empty suffix", i)
 			}
-			c.exact[s] = r.Service
+			c.exact[s] = c.intern(r.Service)
 		case r.Regexp != "":
 			re, err := regexp.Compile(r.Regexp)
 			if err != nil {
 				return nil, fmt.Errorf("classify: rule %d: %w", i, err)
 			}
-			c.regex = append(c.regex, compiledRule{re: re, service: r.Service})
+			c.regex = append(c.regex, compiledRule{re: re, id: c.intern(r.Service)})
 		default:
 			return nil, fmt.Errorf("classify: rule %d is empty", i)
 		}
 	}
+	c.intern(P2P) // always addressable, domain or not
 	return c, nil
+}
+
+// intern assigns (or returns) the dense ID of a service. Only New may
+// call it: the table is immutable once the classifier is shared.
+func (c *Classifier) intern(s Service) ServiceID {
+	if id, ok := c.ids[s]; ok {
+		return id
+	}
+	id := ServiceID(len(c.names))
+	c.names = append(c.names, s)
+	c.ids[s] = id
+	return id
 }
 
 // Lookup classifies a domain. Suffix rules win over regexp rules, and
 // longer suffixes win over shorter ones, so "video.netflix.com" can be
 // carved out of "netflix.com" if ever needed.
 func (c *Classifier) Lookup(domain string) Service {
-	domain = strings.ToLower(strings.Trim(domain, "."))
-	if domain == "" {
-		return Unknown
-	}
-	c.mu.RLock()
-	s, ok := c.memo[domain]
-	c.mu.RUnlock()
-	if ok {
-		return s
-	}
-	s = c.lookupSlow(domain)
-	c.mu.Lock()
-	if len(c.memo) < memoLimit {
-		c.memo[domain] = s
-	}
-	c.mu.Unlock()
-	return s
+	return c.names[c.LookupID(domain)]
 }
 
+// LookupID classifies a domain to its dense service ID — the form the
+// aggregation hot path wants. Already-normalised domains (lowercase,
+// no surrounding dots), which is all a probe ever exports, take a
+// zero-allocation path.
+func (c *Classifier) LookupID(domain string) ServiceID {
+	domain = strings.TrimFunc(domain, isDot)
+	domain = strings.ToLower(domain) // no-op (and no alloc) when already lower
+	if domain == "" {
+		return UnknownID
+	}
+	c.mu.RLock()
+	id, ok := c.memo[domain]
+	c.mu.RUnlock()
+	if ok {
+		return id
+	}
+	id = c.lookupSlowID(domain)
+	c.mu.Lock()
+	if len(c.memo) < memoLimit {
+		c.memo[domain] = id
+	}
+	c.mu.Unlock()
+	return id
+}
+
+func isDot(r rune) bool { return r == '.' }
+
 func (c *Classifier) lookupSlow(domain string) Service {
+	return c.names[c.lookupSlowID(domain)]
+}
+
+func (c *Classifier) lookupSlowID(domain string) ServiceID {
 	// Walk suffixes from most to least specific.
 	d := domain
 	for {
-		if s, ok := c.exact[d]; ok {
-			return s
+		if id, ok := c.exact[d]; ok {
+			return id
 		}
 		i := strings.IndexByte(d, '.')
 		if i < 0 {
@@ -119,20 +169,40 @@ func (c *Classifier) lookupSlow(domain string) Service {
 	}
 	for _, r := range c.regex {
 		if r.re.MatchString(domain) {
-			return r.service
+			return r.id
 		}
 	}
-	return Unknown
+	return UnknownID
 }
+
+// ServiceName returns the service of a dense ID. IDs outside this
+// classifier's table (which only LookupID/IDOf hand out) map to
+// Unknown rather than panicking, so stale IDs degrade gracefully.
+func (c *Classifier) ServiceName(id ServiceID) Service {
+	if int(id) >= len(c.names) {
+		return Unknown
+	}
+	return c.names[id]
+}
+
+// IDOf returns the dense ID of a service, if the classifier knows it.
+func (c *Classifier) IDOf(s Service) (ServiceID, bool) {
+	id, ok := c.ids[s]
+	return id, ok
+}
+
+// NumServices returns the size of the dense ID space, Unknown
+// included: valid IDs are [0, NumServices).
+func (c *Classifier) NumServices() int { return len(c.names) }
 
 // Services returns the distinct service names of the rule set, sorted.
 func (c *Classifier) Services() []Service {
 	set := make(map[Service]bool)
-	for _, s := range c.exact {
-		set[s] = true
+	for _, id := range c.exact {
+		set[c.names[id]] = true
 	}
 	for _, r := range c.regex {
-		set[r.service] = true
+		set[c.names[r.id]] = true
 	}
 	out := make([]Service, 0, len(set))
 	for s := range set {

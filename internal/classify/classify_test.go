@@ -176,3 +176,69 @@ func BenchmarkLookupCold(b *testing.B) {
 		c.lookupSlow("r4---sn-hpa7kn7z.googlevideo.com")
 	}
 }
+
+func TestLookupIDNameRoundTrip(t *testing.T) {
+	c := Default()
+	if c.NumServices() < 3 {
+		t.Fatalf("NumServices = %d", c.NumServices())
+	}
+	if got := c.ServiceName(UnknownID); got != Unknown {
+		t.Errorf("ServiceName(UnknownID) = %q", got)
+	}
+	for _, svc := range c.Services() {
+		id, ok := c.IDOf(svc)
+		if !ok {
+			t.Fatalf("IDOf(%q) missing", svc)
+		}
+		if got := c.ServiceName(id); got != svc {
+			t.Errorf("ServiceName(IDOf(%q)) = %q", svc, got)
+		}
+	}
+	if _, ok := c.IDOf(Service("NoSuchService")); ok {
+		t.Error("IDOf accepted an unknown service")
+	}
+	if got := c.ServiceName(ServiceID(10000)); got != Unknown {
+		t.Errorf("out-of-range ServiceName = %q", got)
+	}
+	// Lookup and LookupID must agree on every path: exact, regexp, miss.
+	for _, name := range []string{"www.netflix.com", "r3---sn-ab12cd34.googlevideo.com", "no-service.example.org", ""} {
+		if got, want := c.ServiceName(c.LookupID(name)), c.Lookup(name); got != want {
+			t.Errorf("LookupID(%q) -> %q, Lookup -> %q", name, got, want)
+		}
+	}
+}
+
+func TestLookupIDMemoWarmZeroAlloc(t *testing.T) {
+	c := Default()
+	names := []string{"www.netflix.com", "r3---sn-ab12cd34.googlevideo.com", "scontent.xx.fbcdn.net"}
+	for _, n := range names {
+		c.LookupID(n) // warm the memo
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, n := range names {
+			c.LookupID(n)
+		}
+	}); allocs != 0 {
+		t.Errorf("memo-warm LookupID allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkClassifyLookup is the stage-one hot path: memo-warm ID
+// lookups across exact-match, regexp and miss inputs.
+func BenchmarkClassifyLookup(b *testing.B) {
+	c := Default()
+	names := []string{
+		"www.netflix.com", "r3---sn-ab12cd34.googlevideo.com",
+		"scontent.xx.fbcdn.net", "no-service.example.org",
+	}
+	for _, n := range names {
+		c.LookupID(n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if id := c.LookupID(names[i&3]); i&3 == 0 && id == UnknownID {
+			b.Fatal("netflix unclassified")
+		}
+	}
+}

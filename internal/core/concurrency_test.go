@@ -56,6 +56,43 @@ func TestAggregateConcurrentCallers(t *testing.T) {
 	}
 }
 
+// TestAggregateConcurrentNoDrop regresses the reservation race: a
+// caller that found a day already claimed by a concurrent Aggregate
+// used to treat the in-flight day as an outage and silently drop it
+// from its own result. Every concurrent call over a fully-available
+// window must return every requested day.
+func TestAggregateConcurrentNoDrop(t *testing.T) {
+	april := MonthDays(2016, time.April)
+	windows := [][]time.Time{
+		april[:4],
+		april[2:6], // overlaps the first window's tail
+		april[:6],
+		april[3:5],
+	}
+	// Several rounds on fresh pipelines: the race needs one caller to
+	// catch another mid-computation, which a single run can miss.
+	for round := 0; round < 3; round++ {
+		p := testPipeline()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				days := windows[g%len(windows)]
+				aggs, err := p.Aggregate(days)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(aggs) != len(days) {
+					t.Errorf("concurrent Aggregate returned %d days, want %d (in-flight days dropped)", len(aggs), len(days))
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
 // TestGenerateStoreBoundedGoroutines regresses the goroutine-per-day
 // spawn: generating many days must not grow the goroutine count
 // beyond the configured worker pool (plus test overhead).

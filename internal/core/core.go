@@ -66,7 +66,21 @@ type Pipeline struct {
 	RIBs  *asn.RIBSet
 
 	mu    sync.Mutex
-	cache map[time.Time]*analytics.DayAgg
+	cache map[time.Time]*aggEntry
+}
+
+// aggEntry is one day's slot in the in-memory aggregate cache. The
+// caller that creates the slot owns computing it; anyone else arriving
+// while done is open blocks on it instead of silently skipping the day
+// (the old reservation scheme dropped in-flight days from concurrent
+// callers' results, as if they were probe outages). After done closes,
+// agg is the day's aggregate — nil meaning a real outage — unless err
+// is set, in which case the owner failed and removed the slot so a
+// later call recomputes.
+type aggEntry struct {
+	done chan struct{}
+	agg  *analytics.DayAgg
+	err  error
 }
 
 // New assembles a pipeline.
@@ -87,7 +101,7 @@ func New(cfg Config) *Pipeline {
 		World: w,
 		Cls:   cls,
 		RIBs:  w.RIBs(),
-		cache: make(map[time.Time]*analytics.DayAgg),
+		cache: make(map[time.Time]*aggEntry),
 	}
 }
 
@@ -108,76 +122,156 @@ func (p *Pipeline) Source() analytics.Source {
 
 // Aggregate runs stage one for the given days, serving repeated days
 // from an in-memory cache so experiments sharing windows (Figures 2,
-// 4 and 10 all want April 2014/2017) pay once.
+// 4 and 10 all want April 2014/2017) pay once. Concurrent callers
+// asking for overlapping windows each compute a disjoint share and
+// wait for the rest — no day is ever computed twice or dropped.
 func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
-	var missing []time.Time
-	p.mu.Lock()
-	for _, d := range days {
-		if _, ok := p.cache[d]; !ok {
-			p.cache[d] = nil // reserve
-			missing = append(missing, d)
-		}
-	}
-	p.mu.Unlock()
-	mMemHits.Add(uint64(len(days) - len(missing)))
-	mMemMisses.Add(uint64(len(missing)))
-
-	// Disk cache: days reduced by an earlier run load directly.
-	if p.cfg.AggCacheDir != "" && len(missing) > 0 {
-		still := missing[:0]
-		for _, d := range missing {
-			if agg := loadAgg(p.cfg.AggCacheDir, d); agg != nil {
-				mDiskHits.Inc()
-				p.mu.Lock()
-				p.cache[d] = agg
-				p.mu.Unlock()
-				continue
+	for {
+		// Claim days nobody holds; collect the entries of the rest.
+		entryOf := make(map[time.Time]*aggEntry, len(days))
+		var owned []time.Time
+		p.mu.Lock()
+		for _, d := range days {
+			if _, ok := entryOf[d]; ok {
+				continue // duplicate day in the request
 			}
-			mDiskMisses.Inc()
-			still = append(still, d)
+			e := p.cache[d]
+			if e == nil {
+				e = &aggEntry{done: make(chan struct{})}
+				p.cache[d] = e
+				owned = append(owned, d)
+			}
+			entryOf[d] = e
 		}
-		missing = still
+		p.mu.Unlock()
+		mMemHits.Add(uint64(len(days) - len(owned)))
+		mMemMisses.Add(uint64(len(owned)))
+
+		if len(owned) > 0 {
+			if err := p.computeDays(owned, entryOf); err != nil {
+				return nil, err
+			}
+		}
+
+		// Wait out days other callers are computing. An owner that
+		// failed marked its entries broken and un-reserved the days, so
+		// loop back and claim them ourselves.
+		retry := false
+		for _, e := range entryOf {
+			<-e.done
+			if e.err != nil {
+				retry = true
+			}
+		}
+		if retry {
+			continue
+		}
+
+		out := make([]*analytics.DayAgg, 0, len(days))
+		for _, d := range days {
+			if a := entryOf[d].agg; a != nil {
+				out = append(out, a)
+			}
+			// nil aggregates are outages (store gaps): skipped, like
+			// the paper's plots skip probe-down periods.
+		}
+		return out, nil
+	}
+}
+
+// computeDays produces the aggregates for the days this caller claimed
+// and resolves their cache entries. On error every owned entry is
+// marked broken and un-reserved, so a retry recomputes the days rather
+// than mistaking them for permanent outages.
+func (p *Pipeline) computeDays(owned []time.Time, entryOf map[time.Time]*aggEntry) (err error) {
+	aggOf := make(map[time.Time]*analytics.DayAgg, len(owned))
+	defer func() {
+		p.mu.Lock()
+		for _, d := range owned {
+			e := entryOf[d]
+			if err != nil {
+				e.err = err
+				delete(p.cache, d)
+			} else {
+				e.agg = aggOf[d]
+			}
+			close(e.done)
+		}
+		p.mu.Unlock()
+	}()
+
+	// Disk cache: days reduced by an earlier run load in parallel —
+	// each load is a gzip+gob decode, and serial loading is what used
+	// to gate warm-cache startup on a ~2k-day span.
+	missing := owned
+	if p.cfg.AggCacheDir != "" {
+		loaded := make([]*analytics.DayAgg, len(owned))
+		p.eachIndex(len(owned), func(i int) {
+			loaded[i] = loadAgg(p.cfg.AggCacheDir, owned[i])
+		})
+		missing = nil
+		for i, d := range owned {
+			if loaded[i] != nil {
+				mDiskHits.Inc()
+				aggOf[d] = loaded[i]
+			} else {
+				mDiskMisses.Inc()
+				missing = append(missing, d)
+			}
+		}
 	}
 
 	if len(missing) > 0 {
-		aggs, err := analytics.Run(p.Source(), missing, p.Cls, p.cfg.Workers)
-		if err != nil {
-			// Un-reserve, or a retry would mistake these days for
-			// permanent outages and silently skip them.
-			p.mu.Lock()
-			for _, d := range missing {
-				if p.cache[d] == nil {
-					delete(p.cache, d)
-				}
-			}
-			p.mu.Unlock()
-			return nil, err
+		aggs, runErr := analytics.Run(p.Source(), missing, p.Cls, p.cfg.Workers)
+		if runErr != nil {
+			return runErr
 		}
-		p.mu.Lock()
 		for _, a := range aggs {
-			p.cache[a.Day] = a
+			aggOf[a.Day] = a
 		}
-		p.mu.Unlock()
 		if p.cfg.AggCacheDir != "" {
-			for _, a := range aggs {
-				if err := saveAgg(p.cfg.AggCacheDir, a); err != nil {
-					return nil, err
+			saveErrs := make([]error, len(aggs))
+			p.eachIndex(len(aggs), func(i int) {
+				saveErrs[i] = saveAgg(p.cfg.AggCacheDir, aggs[i])
+			})
+			for _, serr := range saveErrs {
+				if serr != nil {
+					return serr
 				}
 			}
 		}
 	}
+	return nil
+}
 
-	out := make([]*analytics.DayAgg, 0, len(days))
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, d := range days {
-		if a := p.cache[d]; a != nil {
-			out = append(out, a)
-		}
-		// nil entries are outages (store gaps): skipped, like the
-		// paper's plots skip probe-down periods.
+// eachIndex runs fn(0..n-1) on the pipeline's bounded worker count.
+func (p *Pipeline) eachIndex(n int, fn func(int)) {
+	workers := p.cfg.Workers
+	if workers > n {
+		workers = n
 	}
-	return out, nil
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // GenerateStore materialises the given days of the simulation into an

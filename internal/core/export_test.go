@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -57,6 +58,38 @@ func TestExportData(t *testing.T) {
 	for month, sum := range sums {
 		if sum < 99.9 || sum > 100.1 {
 			t.Errorf("%s: protocol shares sum to %.2f", month, sum)
+		}
+	}
+}
+
+// TestExportByteIdentical guards the interning refactor's contract:
+// two pipelines with the same seed must export byte-for-byte identical
+// figure tables — the ID-indexed aggregator may not perturb ordering
+// or values anywhere in the output.
+func TestExportByteIdentical(t *testing.T) {
+	cfg := Config{Seed: 99, Scale: simnet.Scale{ADSL: 10, FTTH: 5}, Stride: 180, Workers: 4}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := New(cfg).ExportData(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(cfg).ExportData(dirB); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"fig3_monthly.csv", "fig5_popularity.csv", "fig5_byteshare.csv",
+		"fig6_7_services.csv", "fig8_protocols.csv", "active.csv",
+	}
+	for _, name := range names {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between same-seed runs", name)
 		}
 	}
 }

@@ -90,10 +90,17 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+// internCap bounds the decoder's string-intern table. A day file
+// repeats a few hundred distinct server names / ALPN tags / QUIC
+// versions across millions of records; the cap only guards against a
+// pathological stream of unique names.
+const internCap = 4096
+
 // Decoder reads records written by Encoder.
 type Decoder struct {
-	r   *bufio.Reader
-	buf []byte
+	r    *bufio.Reader
+	buf  []byte
+	strs map[string]string // interned ServerName/ALPN/QUICVer values
 }
 
 // NewDecoder validates the stream header and returns a decoder.
@@ -106,7 +113,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if magic != codecMagic {
 		return nil, ErrBadMagic
 	}
-	return &Decoder{r: br}, nil
+	return &Decoder{r: br, strs: make(map[string]string, 256)}, nil
 }
 
 // Decode reads the next record into r. It returns io.EOF cleanly at
@@ -129,10 +136,10 @@ func (d *Decoder) Decode(r *Record) error {
 	if _, err := io.ReadFull(d.r, b); err != nil {
 		return fmt.Errorf("flowrec: reading record body: %w", err)
 	}
-	return decodeBody(b, r)
+	return d.decodeBody(b, r)
 }
 
-func decodeBody(b []byte, r *Record) error {
+func (d *Decoder) decodeBody(b []byte, r *Record) error {
 	if len(b) < 16 {
 		return fmt.Errorf("flowrec: record body %d bytes: %w", len(b), ErrCorrupt)
 	}
@@ -172,7 +179,19 @@ func decodeBody(b []byte, r *Record) error {
 			ok = false
 			return ""
 		}
-		s := string(b[:l])
+		var s string
+		if l > 0 {
+			// The map lookup with a string(bytes) key compiles to a
+			// no-allocation probe; only a miss materialises the string.
+			if hit, found := d.strs[string(b[:l])]; found {
+				s = hit
+			} else {
+				s = string(b[:l])
+				if len(d.strs) < internCap {
+					d.strs[s] = s
+				}
+			}
+		}
 		b = b[l:]
 		return s
 	}

@@ -156,9 +156,10 @@ func TestDecoderRejectsHugeRecord(t *testing.T) {
 }
 
 func TestDecodeBodyNeverPanics(t *testing.T) {
+	d := &Decoder{strs: make(map[string]string)}
 	f := func(data []byte) bool {
 		var r Record
-		decodeBody(data, &r) // must not panic
+		d.decodeBody(data, &r) // must not panic
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
@@ -431,4 +432,59 @@ func BenchmarkDecode(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkCodecDecode decodes a stream with the string variety a real
+// day has — a handful of distinct server names, ALPNs and QUIC
+// versions repeated across many records — so it exercises the
+// decoder's intern table rather than a single cached string.
+func BenchmarkCodecDecode(b *testing.B) {
+	names := []string{
+		"www.netflix.com", "r3---sn-hpa7kn7s.googlevideo.com",
+		"scontent.xx.fbcdn.net", "api.whatsapp.com", "www.bing.com",
+	}
+	alpns := []string{"h2", "http/1.1", "spdy/3.1"}
+	vers := []string{"Q035", "Q039", ""}
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := sampleRecord()
+	const nrec = 1000
+	for i := 0; i < nrec; i++ {
+		rec.ServerName = names[i%len(names)]
+		rec.ALPN = alpns[i%len(alpns)]
+		rec.QUICVer = vers[i%len(vers)]
+		if err := enc.Encode(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r Record
+		n := 0
+		for {
+			if err := dec.Decode(&r); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != nrec {
+			b.Fatalf("decoded %d records", n)
+		}
+	}
+	b.ReportMetric(nrec, "records/op")
 }

@@ -170,9 +170,16 @@ func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
 	cr := &countingReader{r: f}
 	gz, err := gzip.NewReader(cr)
 	if err != nil {
+		mCorruptRecords.Inc()
 		return fmt.Errorf("flowrec: %s: %w", path, err)
 	}
-	defer func() { gz.Close(); nBytes = cr.n }()
+	closed := false
+	defer func() {
+		if !closed {
+			gz.Close()
+		}
+		nBytes = cr.n
+	}()
 	dec, err := NewDecoder(gz)
 	if err != nil {
 		return fmt.Errorf("flowrec: %s: %w", path, err)
@@ -182,9 +189,18 @@ func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
 		rec = Record{}
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
+				// The records decoded cleanly, but a clean stream must
+				// also end with an intact gzip trailer: Close is where
+				// a truncated or checksum-damaged tail surfaces, and
+				// swallowing it would let a corrupt day read as whole.
+				closed = true
+				if cerr := gz.Close(); cerr != nil {
+					mCorruptRecords.Inc()
+					return fmt.Errorf("flowrec: %s: gzip trailer: %w", path, cerr)
+				}
 				return nil
 			}
-			if errors.Is(err, ErrCorrupt) {
+			if errors.Is(err, ErrCorrupt) || isGzipDamage(err) {
 				mCorruptRecords.Inc()
 			}
 			return fmt.Errorf("flowrec: %s: %w", path, err)
@@ -194,6 +210,14 @@ func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
 			return err
 		}
 	}
+}
+
+// isGzipDamage classifies transport-level stream damage — a truncated
+// file or a failed checksum — as corruption, like codec-level damage.
+func isGzipDamage(err error) bool {
+	return errors.Is(err, gzip.ErrChecksum) ||
+		errors.Is(err, gzip.ErrHeader) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // countingReader tracks compressed bytes entering a day read.

@@ -55,6 +55,47 @@ func TestReadDayTruncatedGzip(t *testing.T) {
 	}
 }
 
+// TestReadDayDamagedGzipTail regresses the swallowed gzip.Reader.Close
+// error: a file whose flate stream decodes every record but whose gzip
+// trailer is truncated or checksum-damaged must fail loudly and count
+// as corruption, not read as a clean day.
+func TestReadDayDamagedGzipTail(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func([]byte) []byte
+	}{
+		{"truncated trailer", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"bad checksum", func(b []byte) []byte {
+			b[len(b)-8] ^= 0xFF // first CRC32 byte of the trailer
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			day := time.Date(2015, 2, 3, 0, 0, 0, 0, time.UTC)
+			path := writeOneDay(t, s, day)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.damage(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			before := mCorruptRecords.Load()
+			if err := s.ReadDay(day, func(*Record) error { return nil }); err == nil {
+				t.Fatal("damaged gzip tail read without error")
+			}
+			if after := mCorruptRecords.Load(); after == before {
+				t.Error("store.corrupt_records not incremented for damaged gzip tail")
+			}
+		})
+	}
+}
+
 func TestReadDayGarbageFile(t *testing.T) {
 	s, err := OpenStore(t.TempDir())
 	if err != nil {

@@ -1,0 +1,50 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the binaries, so perf work on the pipeline starts from pprof data
+// instead of guesses.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file
+// paths and returns a stop function to run at exit. The CPU profile
+// streams to its file immediately; the heap profile is an allocation
+// snapshot written at stop time, after a final GC, so it reflects
+// live-heap shape rather than collection timing.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: creating mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: writing mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -62,20 +62,41 @@ func (w *World) applyProbeEpoch(web flowrec.WebProto, start time.Time) flowrec.W
 // ispResolver answers the simulated population's DNS queries.
 var ispResolver = wire.AddrFrom(151, 99, 125, 2)
 
+// dayCtx carries the day-scoped emitter state: the per-service tier
+// schedules (pure functions of the day, so evaluated once per day
+// instead of once per flow), one scratch Record that every emitted
+// flow reuses, and a scratch weights buffer. One dayCtx belongs to one
+// emitDayRaw call, so parallel day generation stays safe.
+type dayCtx struct {
+	tiers   [][]tierChoice
+	rec     flowrec.Record
+	weights []float64
+}
+
+func (w *World) newDayCtx(day time.Time) *dayCtx {
+	ctx := &dayCtx{tiers: make([][]tierChoice, len(w.services))}
+	for i, svc := range w.services {
+		if svc.tiers != nil {
+			ctx.tiers[i] = svc.tiers(day)
+		}
+	}
+	return ctx
+}
+
 // emitSubscriberDay generates the subscriber's whole day.
-func (w *World) emitSubscriberDay(day time.Time, sub subscriber, fn func(*flowrec.Record)) {
+func (w *World) emitSubscriberDay(day time.Time, sub subscriber, ctx *dayCtx, fn func(*flowrec.Record)) {
 	r := w.subRand(day, sub)
 
 	// Every line, active or not, emits gateway chatter: a few DNS
 	// lookups and telemetry beacons. Below the section 3 activity
 	// thresholds by construction.
-	w.emitGatewayNoise(day, sub, r, fn)
+	w.emitGatewayNoise(day, sub, ctx, r, fn)
 
 	if !w.activeToday(day, sub, r) {
 		return
 	}
 
-	for _, svc := range w.services {
+	for si, svc := range w.services {
 		pop := svc.pop(day, sub.tech)
 		if pop <= 0 {
 			continue
@@ -100,7 +121,7 @@ func (w *World) emitSubscriberDay(day time.Time, sub subscriber, fn func(*flowre
 		}
 		down := meanDown * mult
 		up := meanUp * mult
-		w.emitServiceFlows(day, sub, svc, down, up, r, fn)
+		w.emitServiceFlows(day, sub, svc, ctx, ctx.tiers[si], down, up, r, fn)
 	}
 }
 
@@ -139,7 +160,9 @@ func hashService(s classify.Service) uint64 {
 }
 
 // emitServiceFlows splits a day's volume for one service into flows.
-func (w *World) emitServiceFlows(day time.Time, sub subscriber, svc *serviceModel, down, up float64, r *stats.Rand, fn func(*flowrec.Record)) {
+// tiers is the service's day schedule from the dayCtx (nil when the
+// service picks its own endpoints).
+func (w *World) emitServiceFlows(day time.Time, sub subscriber, svc *serviceModel, ctx *dayCtx, tiers []tierChoice, down, up float64, r *stats.Rand, fn func(*flowrec.Record)) {
 	n := 1
 	if svc.meanFlowBytes > 0 {
 		n = r.Poisson(down / svc.meanFlowBytes)
@@ -153,7 +176,10 @@ func (w *World) emitServiceFlows(day time.Time, sub subscriber, svc *serviceMode
 
 	// Flow size weights: lognormal, normalised, so a few flows carry
 	// most bytes — like real sessions.
-	weights := make([]float64, n)
+	if cap(ctx.weights) < n {
+		ctx.weights = make([]float64, 400) // n is capped at 400 above
+	}
+	weights := ctx.weights[:n]
 	var totalW float64
 	for i := range weights {
 		weights[i] = r.LogNormal(0, 0.8)
@@ -165,21 +191,26 @@ func (w *World) emitServiceFlows(day time.Time, sub subscriber, svc *serviceMode
 		frac := weights[i] / totalW
 		fDown := down * frac
 		fUp := up * frac
-		draw := svc.draw(day, r)
+		var sc serverChoice
+		if tiers != nil {
+			sc = pickServer(day, r, tiers)
+		}
+		draw := svc.draw(day, r, sc)
 
 		// One DNS lookup precedes the first named flow of the day.
 		if !dnsEmitted && draw.domain != "" {
-			w.emitDNSFlow(day, sub, svc.profile, r, fn)
+			w.emitDNSFlow(day, sub, svc.profile, ctx, r, fn)
 			dnsEmitted = true
 		}
-		rec := w.buildRecord(day, sub, svc.profile, draw, fDown, fUp, r)
+		rec := w.buildRecord(day, sub, svc.profile, draw, fDown, fUp, ctx, r)
 		fn(rec)
 	}
 }
 
 // buildRecord assembles one flow record the way the probe would have
-// exported it.
-func (w *World) buildRecord(day time.Time, sub subscriber, prof dayProfile, draw flowDraw, down, up float64, r *stats.Rand) *flowrec.Record {
+// exported it, into the dayCtx scratch record: the pointer handed to
+// fn is only valid until the next emitted record.
+func (w *World) buildRecord(day time.Time, sub subscriber, prof dayProfile, draw flowDraw, down, up float64, ctx *dayCtx, r *stats.Rand) *flowrec.Record {
 	start := day.Add(drawTimeOfDay(r, prof))
 	if down < 64 {
 		down = 64
@@ -221,7 +252,9 @@ func (w *World) buildRecord(day time.Time, sub subscriber, prof dayProfile, draw
 	pktsDown := uint32(down/1400) + 1
 	pktsUp := uint32(up/1400) + uint32(down/2800) + 1
 
-	rec := &flowrec.Record{
+	// Whole-struct assignment resets every field of the scratch record,
+	// including the ones only set conditionally below.
+	ctx.rec = flowrec.Record{
 		Client:    sub.addr,
 		Server:    draw.server.addr,
 		CliPort:   uint16(32768 + r.Intn(28000)),
@@ -237,6 +270,7 @@ func (w *World) buildRecord(day time.Time, sub subscriber, prof dayProfile, draw
 		BytesDown: uint64(down),
 		Web:       w.applyProbeEpoch(draw.web, start),
 	}
+	rec := &ctx.rec
 
 	// Server name and its source, per protocol (section 2.1).
 	if draw.domain != "" {
@@ -293,9 +327,9 @@ func quicVersionFor(d time.Time) string {
 }
 
 // emitDNSFlow emits the resolver exchange preceding a named flow.
-func (w *World) emitDNSFlow(day time.Time, sub subscriber, prof dayProfile, r *stats.Rand, fn func(*flowrec.Record)) {
+func (w *World) emitDNSFlow(day time.Time, sub subscriber, prof dayProfile, ctx *dayCtx, r *stats.Rand, fn func(*flowrec.Record)) {
 	start := day.Add(drawTimeOfDay(r, prof))
-	fn(&flowrec.Record{
+	ctx.rec = flowrec.Record{
 		Client:    sub.addr,
 		Server:    ispResolver,
 		CliPort:   uint16(32768 + r.Intn(28000)),
@@ -310,21 +344,22 @@ func (w *World) emitDNSFlow(day time.Time, sub subscriber, prof dayProfile, r *s
 		BytesUp:   uint64(30 + r.Intn(40)),
 		BytesDown: uint64(60 + r.Intn(200)),
 		Web:       flowrec.WebDNS,
-	})
+	}
+	fn(&ctx.rec)
 }
 
 // emitGatewayNoise emits the background chatter of a home gateway:
 // below the activity filter on its own, so lines with no human use
 // stay "inactive" (section 3).
-func (w *World) emitGatewayNoise(day time.Time, sub subscriber, r *stats.Rand, fn func(*flowrec.Record)) {
+func (w *World) emitGatewayNoise(day time.Time, sub subscriber, ctx *dayCtx, r *stats.Rand, fn func(*flowrec.Record)) {
 	n := 2 + r.Intn(4)
 	for i := 0; i < n; i++ {
 		if r.Bool(0.5) {
-			w.emitDNSFlow(day, sub, profNight, r, fn)
+			w.emitDNSFlow(day, sub, profNight, ctx, r, fn)
 			continue
 		}
 		start := day.Add(drawTimeOfDay(r, profNight))
-		fn(&flowrec.Record{
+		ctx.rec = flowrec.Record{
 			Client:    sub.addr,
 			Server:    wire.AddrFrom(185, 60, 1, byte(1+r.Intn(250))),
 			CliPort:   uint16(32768 + r.Intn(28000)),
@@ -339,6 +374,7 @@ func (w *World) emitGatewayNoise(day time.Time, sub subscriber, r *stats.Rand, f
 			BytesUp:   uint64(48 + r.Intn(100)),
 			BytesDown: uint64(48 + r.Intn(400)),
 			Web:       flowrec.WebOther,
-		})
+		}
+		fn(&ctx.rec)
 	}
 }

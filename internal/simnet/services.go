@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/classify"
@@ -57,8 +56,14 @@ type serviceModel struct {
 	// vol is the mean downloaded/uploaded bytes per using subscriber
 	// per day (Figures 5b, 6, 7 bottom plots, Figure 9).
 	vol func(d time.Time, tech flowrec.AccessTech) (down, up float64)
-	// draw picks server, domain and protocol for one flow.
-	draw func(d time.Time, r *stats.Rand) flowDraw
+	// tiers is the day's server-tier schedule. It depends only on the
+	// day, so the emitter evaluates it once per day instead of once per
+	// flow, and hands draw the server already picked. Nil means the
+	// service places its own remote endpoints (P2P).
+	tiers func(d time.Time) []tierChoice
+	// draw picks domain and protocol for one flow, given the server
+	// the emitter picked from tiers (zero when tiers is nil).
+	draw func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw
 }
 
 // buildServices assembles the seventeen figure services plus P2P and
@@ -138,8 +143,8 @@ func googleSearch(ev Events) *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 8 * MB, 1 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, googleTiers(d))
+		tiers: googleTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			web := flowrec.WebTLS
 			if r.Float64() < quicShare(d, ev)*0.5 { // search adopted QUIC more timidly than video
 				web = flowrec.WebQUIC
@@ -164,8 +169,8 @@ func bing() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 1.5 * MB, 0.3 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			return flowDraw{server: sc, domain: "www.bing.com", web: tlsFamily(d, r, 0, 0.4)}
 		},
 	}
@@ -180,8 +185,8 @@ func duckduckgo() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 1 * MB, 0.2 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			return flowDraw{server: sc, domain: "duckduckgo.com", web: tlsFamily(d, r, 0, 0.3)}
 		},
 	}
@@ -202,8 +207,8 @@ func facebook(ev Events) *serviceModel {
 			down := facebookDailyMB(d, ev) * MB
 			return down, down * 0.12
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, facebookTiers(d))
+		tiers: facebookTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			onAkamai := poolAkamai.prefix().Contains(sc.addr)
 			var domain string
 			switch {
@@ -273,8 +278,8 @@ func instagram() *serviceModel {
 			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 15, top) * MB
 			return down, down * 0.15
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, instagramTiers(d))
+		tiers: instagramTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			var domain string
 			switch {
 			case poolInstagram.prefix().Contains(sc.addr):
@@ -303,8 +308,8 @@ func twitter() *serviceModel {
 			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 4, 8) * MB
 			return down, down * 0.1
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "pbs.twimg.com"
 			if r.Bool(0.4) {
 				domain = "twitter.com"
@@ -321,8 +326,8 @@ func linkedin() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 2 * MB, 0.3 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "www.linkedin.com"
 			if r.Bool(0.4) {
 				domain = "static.licdn.com"
@@ -347,8 +352,8 @@ func youtube(ev Events) *serviceModel {
 			down := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 260, 440) * MB
 			return down, down * 0.03
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, youtubeTiers(d))
+		tiers: youtubeTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := youtubeDomain(d, r, sc)
 			// Event A: HTTP video until January 2014, migrating to
 			// encrypted transport over ~9 months.
@@ -373,7 +378,7 @@ func youtube(ev Events) *serviceModel {
 // in 2015.
 func youtubeDomain(d time.Time, r *stats.Rand, sc serverChoice) string {
 	if poolISPCache.prefix().Contains(sc.addr) {
-		return fmt.Sprintf("r%d---sn-hpa7kn7s.googlevideo.com", 1+r.Intn(8))
+		return googlevideoNames[r.Intn(8)]
 	}
 	if d.Before(date(2014, 1, 15)) {
 		return "v12.lscache.c.youtube.com"
@@ -384,7 +389,17 @@ func youtubeDomain(d time.Time, r *stats.Rand, sc serverChoice) string {
 	if r.Bool(0.08) {
 		return "www.youtube.com"
 	}
-	return fmt.Sprintf("r%d---sn-hpa7kn7s.googlevideo.com", 1+r.Intn(8))
+	return googlevideoNames[r.Intn(8)]
+}
+
+// googlevideoNames are the r1–r8 cache hostnames, precomputed so the
+// per-flow draw costs an index, not an fmt.Sprintf. Index k stands in
+// for the old 1+Intn(8) draw of k+1, consuming the same randomness.
+var googlevideoNames = [8]string{
+	"r1---sn-hpa7kn7s.googlevideo.com", "r2---sn-hpa7kn7s.googlevideo.com",
+	"r3---sn-hpa7kn7s.googlevideo.com", "r4---sn-hpa7kn7s.googlevideo.com",
+	"r5---sn-hpa7kn7s.googlevideo.com", "r6---sn-hpa7kn7s.googlevideo.com",
+	"r7---sn-hpa7kn7s.googlevideo.com", "r8---sn-hpa7kn7s.googlevideo.com",
 }
 
 // netflix: launches in Italy on 22 October 2015; by the end of 2017
@@ -416,8 +431,8 @@ func netflix(ev Events) *serviceModel {
 			}
 			return base * MB, base * MB * 0.015
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, netflixTiers(d))
+		tiers: netflixTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "occ-0-769-768.1.nflxvideo.net"
 			if r.Bool(0.15) {
 				domain = "www.netflix.com"
@@ -434,8 +449,8 @@ func adult() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 35 * MB, 1.5 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "cdn.phncdn.com"
 			if r.Bool(0.3) {
 				domain = "www.xvideos.com"
@@ -459,8 +474,8 @@ func spotify() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 25 * MB, 1 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "audio-fa.scdn.co"
 			if r.Bool(0.3) {
 				domain = "api.spotify.com"
@@ -480,8 +495,8 @@ func skype() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 12 * MB, 8 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			return flowDraw{server: sc, domain: "api.skype.com", web: tlsFamily(d, r, 0, 0.3)}
 		},
 	}
@@ -501,8 +516,8 @@ func whatsapp() *serviceModel {
 			down *= holidayBoost(d)
 			return down, down * 0.7 // chat media flows are symmetric-ish
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, whatsappTiers(d))
+		tiers: whatsappTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "mmx-ds.cdn.whatsapp.net"
 			if r.Bool(0.3) {
 				domain = "e1.whatsapp.net"
@@ -535,8 +550,8 @@ func telegram() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 3 * MB, 1.5 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			return flowDraw{server: sc, domain: "venus.web.telegram.org", web: tlsFamily(d, r, 0, 0.3)}
 		},
 	}
@@ -566,8 +581,8 @@ func snapchat() *serviceModel {
 			}
 			return down * MB, down * MB * 0.4
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			return flowDraw{server: sc, domain: "app.snapchat.com", web: tlsFamily(d, r, 0, 0.4)}
 		},
 	}
@@ -582,8 +597,8 @@ func amazon() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 8 * MB, 0.8 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "images-eu.ssl-images-amazon.com"
 			if r.Bool(0.4) {
 				domain = "www.amazon.it"
@@ -602,8 +617,8 @@ func ebay() *serviceModel {
 		vol: func(d time.Time, tech flowrec.AccessTech) (float64, float64) {
 			return 4 * MB, 0.4 * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := "i.ebayimg.com.ebaystatic.com"
 			if r.Bool(0.5) {
 				domain = "www.ebay.it"
@@ -643,7 +658,7 @@ func peerToPeer() *serviceModel {
 			}
 			return down * MB, up * MB
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
+		draw: func(d time.Time, r *stats.Rand, _ serverChoice) flowDraw {
 			// Remote peers are residential addresses all over; RTT is
 			// wide and uninteresting.
 			peerNets := []byte{78, 93, 2, 95, 201, 113}
@@ -667,8 +682,8 @@ func backgroundHuman() *serviceModel {
 			// storage and social networks (section 3.2).
 			return down, down * ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.06, 0.16)
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := genericDomains[r.Intn(len(genericDomains))]
 			httpShare := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.96, 0.72)
 			web := flowrec.WebHTTP
@@ -696,8 +711,8 @@ func backgroundMachine() *serviceModel {
 			down := (8 + 95*f*f) * MB
 			return down, down * 0.05
 		},
-		draw: func(d time.Time, r *stats.Rand) flowDraw {
-			sc := pickServer(d, r, genericTiers(d))
+		tiers: genericTiers,
+		draw: func(d time.Time, r *stats.Rand, sc serverChoice) flowDraw {
 			domain := machineDomains[r.Intn(len(machineDomains))]
 			httpShare := ramp(d, date(2013, 7, 1), date(2017, 12, 31), 0.90, 0.55)
 			web := flowrec.WebHTTP

@@ -144,6 +144,10 @@ func (w *World) SubscriberLookup(a wire.Addr) (probe.SubscriberInfo, bool) {
 // EmitDay generates every flow record of one day, in subscriber order,
 // and passes each to fn. Records carry anonymized client addresses,
 // exactly as the probe would export them.
+//
+// The *Record handed to fn is a per-call scratch buffer, overwritten
+// by the next record — exactly like flowrec.Store's streaming reader.
+// Consumers that retain records must copy them (c := *rec).
 func (w *World) EmitDay(day time.Time, fn func(*flowrec.Record)) {
 	w.emitDayRaw(day, func(rec *flowrec.Record) {
 		rec.Client = w.anon.Anon(rec.Client)
@@ -153,12 +157,15 @@ func (w *World) EmitDay(day time.Time, fn func(*flowrec.Record)) {
 
 // emitDayRaw is EmitDay with real (pre-anonymization) client
 // addresses; the packet path needs them, since anonymizing is the
-// probe's job there.
+// probe's job there. The dayCtx — cached tier schedules plus the
+// scratch record — lives and dies with this call, so concurrent
+// emission of different days never shares state.
 func (w *World) emitDayRaw(day time.Time, fn func(*flowrec.Record)) {
 	y, m, d := day.UTC().Date()
 	day = time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+	ctx := w.newDayCtx(day)
 	for _, sub := range w.population(day) {
-		w.emitSubscriberDay(day, sub, fn)
+		w.emitSubscriberDay(day, sub, ctx, fn)
 	}
 }
 
