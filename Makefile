@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race claims bench benchbuild
+.PHONY: ci vet build test race claims bench benchbuild chaos fuzzsmoke
 
 ## ci: the full gate — what a PR must pass.
-ci: vet build benchbuild race claims
+ci: vet build benchbuild race claims chaos fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,32 @@ claims:
 ## benchbuild: compile the benchmark harness without running it.
 benchbuild:
 	$(GO) test -c -o /dev/null .
+
+## chaos: every figure under every fault class (fault-injection suite).
+chaos:
+	$(GO) test -run '^TestChaos|^TestDegradedTotals' ./internal/core
+
+## fuzzsmoke: a short fuzz pass over every fuzz target. Each target
+## gets -fuzztime seconds of mutation on top of its checked-in corpus;
+## crashes fail the gate.
+FUZZTIME ?= 10s
+FUZZ_TARGETS := \
+	internal/flowrec:FuzzDecodeRecord \
+	internal/wire:FuzzParsePacket \
+	internal/dpi:FuzzTLSClientHello \
+	internal/dpi:FuzzDNSDecode \
+	internal/dpi:FuzzHTTPRequest \
+	internal/dpi:FuzzQUICHeader \
+	internal/dpi:FuzzBitTorrent \
+	internal/dpi:FuzzLayerParser \
+	internal/dpi:FuzzTCPOptions
+
+fuzzsmoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime=$(FUZZTIME) -parallel=4 ./$$pkg >/dev/null || exit 1; \
+	done
 
 ## bench: one benchmark per table/figure, 5 runs each, with a
 ## machine-readable summary in BENCH.json alongside the raw text.

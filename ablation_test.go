@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -26,7 +27,7 @@ func BenchmarkAggregationWorkers(b *testing.B) {
 					Scale:   simnet.Scale{ADSL: 40, FTTH: 20},
 					Workers: workers,
 				})
-				if _, err := p.Aggregate(days); err != nil {
+				if _, err := p.Aggregate(context.Background(), days); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -125,7 +126,7 @@ func BenchmarkWeeklyReach(b *testing.B) {
 	days := core.RangeDays(
 		time.Date(2017, 10, 2, 0, 0, 0, 0, time.UTC),
 		time.Date(2017, 10, 15, 0, 0, 0, 0, time.UTC), 1)
-	aggs, err := p.Aggregate(days)
+	aggs, err := p.Aggregate(context.Background(), days)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -38,7 +39,7 @@ func runExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := benchPipeline()
-		if err := e.Run(p, io.Discard); err != nil {
+		if err := e.Run(context.Background(), p, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +103,7 @@ func BenchmarkEndToEndDay(b *testing.B) {
 		// A fresh pipeline per iteration defeats the day cache, so the
 		// full generate→aggregate path is what gets timed.
 		p := core.New(core.Config{Seed: 1, Workers: 1})
-		if _, err := p.Aggregate(days[i%len(days) : i%len(days)+1]); err != nil {
+		if _, err := p.Aggregate(context.Background(), days[i%len(days) : i%len(days)+1]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
 	"repro/internal/prof"
@@ -35,8 +39,11 @@ func main() {
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faults     = flag.String("faults", "", `fault-injection spec, e.g. "writeday:p=0.1,torn" (see README)`)
 	)
 	flag.Parse()
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
@@ -77,10 +84,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
 		os.Exit(1)
 	}
-	p := core.New(core.Config{Seed: *seed, Scale: simnet.Scale{ADSL: *adsl, FTTH: *ftth}})
+	cfg := core.Config{Seed: *seed, Scale: simnet.Scale{ADSL: *adsl, FTTH: *ftth}}
+	var dst core.Storage = core.NewDiskStorage(store, "")
+	if *faults != "" {
+		plan, perr := faultinject.Parse(*faults)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "edgegen: %v\n", perr)
+			os.Exit(2)
+		}
+		cfg.Faults = plan // emission-side faults (outage, drop)
+		dst = faultinject.Wrap(dst, plan)
+	}
+	p := core.New(cfg)
 
 	t0 := time.Now()
-	n, err := p.GenerateStore(store, days)
+	n, err := p.GenerateStore(ctx, dst, days)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,11 +25,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
 	"repro/internal/pcap"
 	"repro/internal/probe"
 	"repro/internal/prof"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 )
 
@@ -46,6 +49,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faults     = flag.String("faults", "", `fault-injection spec for the output store, e.g. "writeday:p=0.1,transient" (see README)`)
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -88,6 +92,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
 		os.Exit(1)
 	}
+	// The probe writes through the storage interface so the chaos
+	// layer can exercise the capture->store path; a torn or transient
+	// write retries by re-simulating the day (deterministic, and the
+	// rewrite truncates the partial file).
+	var dst core.Storage = core.NewDiskStorage(store, "")
+	var plan *faultinject.Plan
+	if *faults != "" {
+		var perr error
+		if plan, perr = faultinject.Parse(*faults); perr != nil {
+			fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", perr)
+			os.Exit(2)
+		}
+		dst = faultinject.Wrap(dst, plan)
+	}
+	pol := retry.Policy{Attempts: 3, Base: 25 * time.Millisecond, Max: 500 * time.Millisecond, Seed: *seed}
 
 	if *pcapIn != "" {
 		if err := replayPcap(world, store, *pcapIn); err != nil {
@@ -100,59 +119,65 @@ func main() {
 	t0 := time.Now()
 	var totalFlows, totalPkts uint64
 	for _, day := range core.RangeDays(start, end, 1) {
-		w, err := store.CreateDay(day)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
-			os.Exit(1)
+		// An "outage" rule models the capture box being down: the whole
+		// day is skipped, leaving a gap in the lake (nil-safe on plan).
+		if plan.DayOutage(day) {
+			fmt.Printf("%s: probe outage (injected), day skipped\n", day.Format("2006-01-02"))
+			continue
 		}
-		var werr error
-		pr := probe.New(probe.Config{
-			Subscriber:       world.SubscriberLookup,
-			AnonKey:          world.AnonKey(),
-			SPDYVisibleSince: simnet.SPDYVisibleSince(),
-			OnRecord: func(r *flowrec.Record) {
-				// Clamp to the partition day: flows crossing midnight
-				// land in the day they started, as in Tstat logs.
-				if werr == nil && r.Day().Equal(w.Day()) {
-					werr = w.Write(r)
+		var pr *probe.Probe
+		err := pol.Do(context.Background(), uint64(day.Unix()), func() error {
+			_, werr := dst.WriteDay(day, func(write func(*flowrec.Record) error) error {
+				var recErr error
+				pr = probe.New(probe.Config{
+					Subscriber:       world.SubscriberLookup,
+					AnonKey:          world.AnonKey(),
+					SPDYVisibleSince: simnet.SPDYVisibleSince(),
+					OnRecord: func(r *flowrec.Record) {
+						// Clamp to the partition day: flows crossing
+						// midnight land in the day they started, as in
+						// Tstat logs.
+						if recErr == nil && r.Day().Equal(day) {
+							recErr = write(r)
+						}
+					},
+				})
+				feed := pr.Feed
+				var pw *pcap.Writer
+				if *pcapOut != "" {
+					f, err := os.Create(*pcapOut)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
+						os.Exit(1)
+					}
+					defer f.Close()
+					if pw, err = pcap.NewWriter(f, 0); err != nil {
+						fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
+						os.Exit(1)
+					}
+					feed = func(p probe.Packet) {
+						if err := pw.WritePacket(p.TS, p.Data); err != nil {
+							fmt.Fprintf(os.Stderr, "edgeprobe: pcap: %v\n", err)
+							os.Exit(1)
+						}
+						pr.Feed(p)
+					}
+					*pcapOut = "" // one file covers the first day only
 				}
-			},
+				world.EmitDayPackets(day, simnet.PacketOptions{MaxFlowBytes: uint64(*capKiB) << 10}, feed)
+				pr.Flush()
+				if pw != nil {
+					if err := pw.Flush(); err != nil {
+						fmt.Fprintf(os.Stderr, "edgeprobe: pcap: %v\n", err)
+						os.Exit(1)
+					}
+				}
+				return recErr
+			})
+			return werr
 		})
-		feed := pr.Feed
-		var pw *pcap.Writer
-		if *pcapOut != "" {
-			f, err := os.Create(*pcapOut)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			if pw, err = pcap.NewWriter(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
-				os.Exit(1)
-			}
-			feed = func(p probe.Packet) {
-				if err := pw.WritePacket(p.TS, p.Data); err != nil {
-					fmt.Fprintf(os.Stderr, "edgeprobe: pcap: %v\n", err)
-					os.Exit(1)
-				}
-				pr.Feed(p)
-			}
-			*pcapOut = "" // one file covers the first day only
-		}
-		world.EmitDayPackets(day, simnet.PacketOptions{MaxFlowBytes: uint64(*capKiB) << 10}, feed)
-		pr.Flush()
-		if pw != nil {
-			if err := pw.Flush(); err != nil {
-				fmt.Fprintf(os.Stderr, "edgeprobe: pcap: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		if cerr := w.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintf(os.Stderr, "edgeprobe: %s: %v\n", day.Format("2006-01-02"), werr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgeprobe: %s: %v\n", day.Format("2006-01-02"), err)
 			os.Exit(1)
 		}
 		totalFlows += pr.Stats.FlowsExported

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +21,10 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flowrec"
 	"repro/internal/report"
+	"repro/internal/retry"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 		rules    = flag.String("rules", "", "classification rules file (default: built-in list)")
 		csvOut   = flag.String("csv", "", "write matching records as CSV to this file ('-' = stdout)")
 		summary  = flag.Bool("summary", false, "print per-service volume summary")
+		faults   = flag.String("faults", "", `fault-injection spec, e.g. "readday:p=0.2,transient" (see README)`)
 	)
 	flag.Parse()
 	if *storeDir == "" || *from == "" {
@@ -72,6 +76,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var src core.Storage = core.NewDiskStorage(store, "")
+	if *faults != "" {
+		plan, perr := faultinject.Parse(*faults)
+		if perr != nil {
+			fatal(perr)
+		}
+		src = faultinject.Wrap(src, plan)
+	}
+	pol := retry.Policy{Attempts: 3, Base: 25 * time.Millisecond, Max: 500 * time.Millisecond, Seed: 1}
 
 	var cw *flowrec.CSVWriter
 	if *csvOut != "" {
@@ -97,37 +110,65 @@ func main() {
 	var matched, scanned uint64
 
 	for _, day := range core.RangeDays(start.UTC(), end.UTC(), 1) {
-		err := store.ReadDay(day, func(r *flowrec.Record) error {
-			scanned++
-			svc := analytics.ServiceOf(cls, r)
-			if *service != "" && svc != classify.Service(*service) {
-				return nil
-			}
-			if *proto != "" && r.Web.String() != *proto {
-				return nil
-			}
-			if *subID >= 0 && r.SubID != uint32(*subID) {
-				return nil
-			}
-			matched++
-			if cw != nil {
-				if err := cw.Write(r); err != nil {
-					return err
+		// Each attempt accumulates into day-local state, merged only on
+		// success, so a transient fault retried mid-file cannot double
+		// count records or emit duplicate CSV rows.
+		var dayScanned, dayMatched uint64
+		dayBySvc := make(map[classify.Service]*sum)
+		var dayRecs []*flowrec.Record
+		err := pol.Do(context.Background(), uint64(day.Unix()), func() error {
+			dayScanned, dayMatched = 0, 0
+			dayBySvc = make(map[classify.Service]*sum)
+			dayRecs = dayRecs[:0]
+			return src.ReadDay(day, func(r *flowrec.Record) error {
+				dayScanned++
+				svc := analytics.ServiceOf(cls, r)
+				if *service != "" && svc != classify.Service(*service) {
+					return nil
 				}
-			}
+				if *proto != "" && r.Web.String() != *proto {
+					return nil
+				}
+				if *subID >= 0 && r.SubID != uint32(*subID) {
+					return nil
+				}
+				dayMatched++
+				if cw != nil {
+					c := *r // the decoder reuses its record buffer
+					dayRecs = append(dayRecs, &c)
+				}
+				s := dayBySvc[svc]
+				if s == nil {
+					s = &sum{}
+					dayBySvc[svc] = s
+				}
+				s.flows++
+				s.down += r.BytesDown
+				s.up += r.BytesUp
+				return nil
+			})
+		})
+		if err != nil {
+			// Missing days are probe outages: mention and move on.
+			fmt.Fprintf(os.Stderr, "edgequery: %s: %v\n", day.Format("2006-01-02"), err)
+			continue
+		}
+		scanned += dayScanned
+		matched += dayMatched
+		for svc, ds := range dayBySvc {
 			s := bySvc[svc]
 			if s == nil {
 				s = &sum{}
 				bySvc[svc] = s
 			}
-			s.flows++
-			s.down += r.BytesDown
-			s.up += r.BytesUp
-			return nil
-		})
-		if err != nil {
-			// Missing days are probe outages: mention and move on.
-			fmt.Fprintf(os.Stderr, "edgequery: %s: %v\n", day.Format("2006-01-02"), err)
+			s.flows += ds.flows
+			s.down += ds.down
+			s.up += ds.up
+		}
+		for _, r := range dayRecs {
+			if err := cw.Write(r); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if cw != nil {

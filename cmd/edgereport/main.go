@@ -15,13 +15,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
 	"repro/internal/prof"
@@ -42,8 +46,13 @@ func main() {
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faults     = flag.String("faults", "", `fault-injection spec, e.g. "readday:p=0.01,transient" (see README)`)
+		degrade    = flag.Bool("degrade", true, "report failed days and continue instead of aborting the run")
+		dayTimeout = flag.Duration("day-timeout", 0, "deadline per aggregated day, all retries included (0 = none)")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
@@ -68,7 +77,18 @@ func main() {
 		return
 	}
 
-	cfg := core.Config{Seed: *seed, Stride: *stride, Workers: *workers, AggCacheDir: *aggDir}
+	cfg := core.Config{
+		Seed: *seed, Stride: *stride, Workers: *workers, AggCacheDir: *aggDir,
+		Degrade: *degrade, DayTimeout: *dayTimeout,
+	}
+	if *faults != "" {
+		plan, perr := faultinject.Parse(*faults)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "edgereport: %v\n", perr)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
 	switch *scale {
 	case "small":
 		cfg.Scale = simnet.Scale{ADSL: 60, FTTH: 30}
@@ -110,7 +130,7 @@ func main() {
 	p := core.New(cfg)
 
 	if *export != "" {
-		if err := p.ExportData(*export); err != nil {
+		if err := p.ExportData(ctx, *export); err != nil {
 			fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
 			os.Exit(1)
 		}
@@ -132,11 +152,19 @@ func main() {
 			os.Exit(2)
 		}
 		t0 := time.Now()
-		if err := e.Run(p, os.Stdout); err != nil {
+		if err := e.Run(ctx, p, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "edgereport: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	// Degraded runs still produce every healthy day; the failed days
+	// are accounted for here rather than silently missing from plots.
+	if errs := p.DayErrors(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "\nedgereport: %d day(s) failed and were skipped:\n", len(errs))
+		for _, de := range errs {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", de.Day.Format("2006-01-02"), de.Err)
+		}
 	}
 	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,11 +32,11 @@ func main() {
 
 	apr14 := core.MonthDays(2014, time.April)
 	apr17 := core.MonthDays(2017, time.April)
-	a14, err := p.Aggregate(apr14)
+	a14, err := p.Aggregate(context.Background(), apr14)
 	if err != nil {
 		log.Fatal(err)
 	}
-	a17, err := p.Aggregate(apr17)
+	a17, err := p.Aggregate(context.Background(), apr17)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 		time.Date(2016, 11, 21, 0, 0, 0, 0, time.UTC),
 		time.Date(2016, 11, 27, 0, 0, 0, 0, time.UTC), 1)
 
-	aggs, err := p.Aggregate(week)
+	aggs, err := p.Aggregate(context.Background(), week)
 	if err != nil {
 		log.Fatal(err)
 	}

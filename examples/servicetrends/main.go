@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,7 +32,7 @@ func main() {
 		time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC),
 		time.Date(2017, 12, 18, 0, 0, 0, 0, time.UTC), 14)
 
-	aggs, err := p.Aggregate(days)
+	aggs, err := p.Aggregate(context.Background(), days)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package analytics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
+	"repro/internal/retry"
 	"repro/internal/wire"
 )
 
@@ -492,18 +494,71 @@ var (
 	mStage1DayWall   = metrics.GetTimer("stage1.day_wall")
 	mStage1Days      = metrics.GetCounter("stage1.days_done")
 	mStage1Skipped   = metrics.GetCounter("stage1.days_skipped")
+	mStage1Failed    = metrics.GetCounter("stage1.days_failed")
 	mStage1Records   = metrics.GetCounter("stage1.records")
 	mStage1Workers   = metrics.GetGauge("stage1.workers")
 	mStage1Occupancy = metrics.GetGauge("stage1.occupancy_pct")
 )
+
+// DayError pairs one day with the error that kept it out of a result —
+// the per-day error report a degraded run hands back instead of dying.
+type DayError struct {
+	Day time.Time
+	Err error
+}
+
+func (d DayError) Error() string {
+	return fmt.Sprintf("%s: %v", d.Day.Format("2006-01-02"), d.Err)
+}
+
+// Unwrap lets errors.Is/As see through to the cause.
+func (d DayError) Unwrap() error { return d.Err }
+
+// RunConfig parameterises RunReport beyond the day list.
+type RunConfig struct {
+	// Workers bounds pool parallelism; <=0 means 4.
+	Workers int
+	// Retry re-runs a day whose source failed transiently (fresh
+	// aggregator per attempt — a half-fed aggregator is never
+	// reused). The zero policy tries each day exactly once.
+	Retry retry.Policy
+	// DayTimeout caps one day's aggregation (all its attempts
+	// together). Zero means no per-day deadline.
+	DayTimeout time.Duration
+}
 
 // Run aggregates the given days with a bounded pool of workers
 // goroutines (<=0 means 4) pulling from a shared day index — the pool
 // is the only goroutine cost no matter how many days are asked for
 // (a Stride:1 full span is ~1975 of them). Days with no data are
 // silently skipped — exactly how the paper's plots carry gaps across
-// probe outages. The result is sorted by day.
+// probe outages. The result is sorted by day. Any day error fails the
+// whole call; RunReport is the degrading variant.
 func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([]*DayAgg, error) {
+	aggs, dayErrs, err := RunReport(context.Background(), src, days, cls, RunConfig{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if len(dayErrs) > 0 {
+		return nil, dayErrs[0].Err
+	}
+	return aggs, nil
+}
+
+// RunReport is stage one hardened for a five-year unattended run: days
+// aggregate in parallel under ctx, each day retried per cfg.Retry when
+// its source fails transiently and bounded by cfg.DayTimeout. A day
+// that still fails is reported in the second return value while every
+// other day completes — the caller chooses between strict (treat any
+// DayError as fatal) and degraded (partial figures plus the report)
+// semantics. The error return is reserved for ctx itself: when the
+// parent context is cancelled the whole run aborts and no partial
+// result is returned.
+func RunReport(ctx context.Context, src Source, days []time.Time, cls *classify.Classifier, cfg RunConfig) ([]*DayAgg, []DayError, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 4
 	}
@@ -511,7 +566,7 @@ func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([
 		workers = len(days)
 	}
 	if len(days) == 0 {
-		return nil, nil
+		return nil, nil, ctx.Err()
 	}
 	type result struct {
 		agg *DayAgg
@@ -529,14 +584,16 @@ func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return // cancelled: stop pulling days
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(days) {
 					return
 				}
 				day := days[i]
 				t0 := time.Now()
-				a := NewAggregator(day, cls)
-				err := src.Records(day, a.Add)
+				agg, err := runDay(ctx, src, day, cls, cfg)
 				elapsed := time.Since(t0)
 				busy[w] += elapsed
 				mStage1DayWall.ObserveDuration(elapsed)
@@ -545,10 +602,10 @@ func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([
 						mStage1Skipped.Inc() // probe outage: leave the gap
 						continue
 					}
+					mStage1Failed.Inc()
 					results[i] = result{err: fmt.Errorf("analytics: day %s: %w", day.Format("2006-01-02"), err)}
 					continue
 				}
-				agg := a.Result()
 				mStage1Days.Inc()
 				mStage1Records.Add(agg.Flows)
 				results[i] = result{agg: agg}
@@ -567,16 +624,52 @@ func Run(src Source, days []time.Time, cls *classify.Classifier, workers int) ([
 		}
 		mStage1Occupancy.Set(int64(float64(total) / (float64(wall) * float64(workers)) * 100))
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	var out []*DayAgg
-	for _, r := range results {
+	var dayErrs []DayError
+	for i, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			dayErrs = append(dayErrs, DayError{Day: days[i], Err: r.err})
+			continue
 		}
 		if r.agg != nil {
 			out = append(out, r.agg)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Day.Before(out[j].Day) })
-	return out, nil
+	sort.Slice(dayErrs, func(i, j int) bool { return dayErrs[i].Day.Before(dayErrs[j].Day) })
+	return out, dayErrs, nil
+}
+
+// runDay aggregates one day under its deadline and retry policy. Every
+// attempt starts a fresh aggregator: a partially-fed one must never
+// leak half a day into the result.
+func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, cfg RunConfig) (*DayAgg, error) {
+	dctx := ctx
+	if cfg.DayTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, cfg.DayTimeout)
+		defer cancel()
+	}
+	var agg *DayAgg
+	err := cfg.Retry.Do(dctx, uint64(day.Unix()), func() error {
+		a := NewAggregator(day, cls)
+		if rerr := records(dctx, src, day, a.Add); rerr != nil {
+			return rerr
+		}
+		agg = a.Result()
+		return nil
+	})
+	if err != nil {
+		// A blown per-day deadline is this day's failure, not the whole
+		// run's — unless the parent is what actually died.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return agg, nil
 }

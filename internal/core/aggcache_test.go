@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -19,7 +20,7 @@ func TestAggCacheRoundTrip(t *testing.T) {
 	mk := func() *Pipeline {
 		return New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 12, FTTH: 6}, Workers: 2, AggCacheDir: dir})
 	}
-	first, err := mk().Aggregate(days)
+	first, err := mk().Aggregate(context.Background(), days)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestAggCacheRoundTrip(t *testing.T) {
 	// with a different seed. If the cache were ignored, the aggregates
 	// would differ.
 	poisoned := New(Config{Seed: 12345, Scale: simnet.Scale{ADSL: 12, FTTH: 6}, Workers: 2, AggCacheDir: dir})
-	second, err := poisoned.Aggregate(days)
+	second, err := poisoned.Aggregate(context.Background(), days)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestAggCacheIgnoresDamage(t *testing.T) {
 	dir := t.TempDir()
 	day := time.Date(2016, 4, 6, 0, 0, 0, 0, time.UTC)
 	p := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 8, FTTH: 4}, Workers: 2, AggCacheDir: dir})
-	first, err := p.Aggregate([]time.Time{day})
+	first, err := p.Aggregate(context.Background(), []time.Time{day})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestAggCacheIgnoresDamage(t *testing.T) {
 		t.Fatal(err)
 	}
 	p2 := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 8, FTTH: 4}, Workers: 2, AggCacheDir: dir})
-	second, err := p2.Aggregate([]time.Time{day})
+	second, err := p2.Aggregate(context.Background(), []time.Time{day})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -31,7 +32,7 @@ func monthShare(t *testing.T, year int, month time.Month) map[flowrec.WebProto]f
 	for i := 0; i < len(days); i += 3 {
 		sampled = append(sampled, days[i])
 	}
-	aggs, err := claimsPipeline.Aggregate(sampled)
+	aggs, err := claimsPipeline.Aggregate(context.Background(), sampled)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestClaimEventD_QUICOutage(t *testing.T) {
 		t.Errorf("2015-12 QUIC = %.2f%% vs 2015-11 %.2f%%: no visible outage", dec, nov)
 	}
 	// Mid-outage, QUIC is literally gone.
-	aggs, err := claimsPipeline.Aggregate([]time.Time{date(2015, time.December, 20)})
+	aggs, err := claimsPipeline.Aggregate(context.Background(), []time.Time{date(2015, time.December, 20)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestClaimTrafficDoubled(t *testing.T) {
 			date(year, time.April, 5), date(year, time.April, 12),
 			date(year, time.April, 19), date(year, time.April, 26),
 		}
-		aggs, err := claimsPipeline.Aggregate(days)
+		aggs, err := claimsPipeline.Aggregate(context.Background(), days)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func TestClaimTrafficDoubled(t *testing.T) {
 }
 
 func TestClaimSubMillisecondYouTube(t *testing.T) {
-	aggs, err := claimsPipeline.Aggregate([]time.Time{
+	aggs, err := claimsPipeline.Aggregate(context.Background(), []time.Time{
 		date(2017, time.April, 5), date(2017, time.April, 12),
 	})
 	if err != nil {
@@ -176,7 +177,7 @@ func TestClaimSubMillisecondYouTube(t *testing.T) {
 }
 
 func TestClaimWhatsAppCentralised(t *testing.T) {
-	aggs, err := claimsPipeline.Aggregate([]time.Time{date(2017, time.April, 5)})
+	aggs, err := claimsPipeline.Aggregate(context.Background(), []time.Time{date(2017, time.April, 5)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -29,7 +30,7 @@ func TestAggregateConcurrentCallers(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			days := windows[g%len(windows)]
-			if _, err := p.Aggregate(days); err != nil {
+			if _, err := p.Aggregate(context.Background(), days); err != nil {
 				t.Error(err)
 			}
 		}(g)
@@ -38,11 +39,11 @@ func TestAggregateConcurrentCallers(t *testing.T) {
 
 	// Repeat serially: everything is now cached, and a second pass
 	// over the union returns identical pointers.
-	a1, err := p.Aggregate(april[:6])
+	a1, err := p.Aggregate(context.Background(), april[:6])
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := p.Aggregate(april[:6])
+	a2, err := p.Aggregate(context.Background(), april[:6])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestAggregateConcurrentNoDrop(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				days := windows[g%len(windows)]
-				aggs, err := p.Aggregate(days)
+				aggs, err := p.Aggregate(context.Background(), days)
 				if err != nil {
 					t.Error(err)
 					return
@@ -120,7 +121,7 @@ func TestGenerateStoreBoundedGoroutines(t *testing.T) {
 			}
 		}
 	}()
-	n, err := p.GenerateStore(store, days)
+	n, err := p.GenerateStore(context.Background(), NewDiskStorage(store, ""), days)
 	close(quit)
 	peak := <-peakCh
 	if err != nil {

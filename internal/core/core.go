@@ -3,9 +3,19 @@
 // classifier and the analytics into a Pipeline, and exposes the
 // experiment registry — one entry per table and figure of the paper —
 // that cmd/edgereport, the benchmarks and the examples all share.
+//
+// The pipeline is hardened for unattended runs the way the paper's
+// five-year deployment had to be: every experiment takes a
+// context.Context (cancellation and per-day deadlines), transient
+// storage errors retry with capped, deterministically-jittered
+// backoff, and in Degrade mode a damaged day is quarantined and
+// reported per-day (Pipeline.DayErrors) while every healthy day still
+// lands in the figures.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,21 +25,27 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/asn"
 	"repro/internal/classify"
+	"repro/internal/faultinject"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
+	"repro/internal/retry"
 	"repro/internal/simnet"
 )
 
 // Pipeline cache observability: the memory cache serves experiments
 // sharing day windows, the disk cache serves repeated runs. Misses are
-// what stage one actually has to compute.
+// what stage one actually has to compute. store.retries counts
+// re-attempts after transient storage faults; store.quarantined_days
+// (owned by flowrec) counts corrupt days moved out of the read path.
 var (
-	mMemHits    = metrics.GetCounter("aggcache.mem_hits")
-	mMemMisses  = metrics.GetCounter("aggcache.mem_misses")
-	mDiskHits   = metrics.GetCounter("aggcache.disk_hits")
-	mDiskMisses = metrics.GetCounter("aggcache.disk_misses")
-	mGenDayWall = metrics.GetTimer("store_gen.day_wall")
-	mGenRecords = metrics.GetCounter("store_gen.records")
+	mMemHits      = metrics.GetCounter("aggcache.mem_hits")
+	mMemMisses    = metrics.GetCounter("aggcache.mem_misses")
+	mDiskHits     = metrics.GetCounter("aggcache.disk_hits")
+	mDiskMisses   = metrics.GetCounter("aggcache.disk_misses")
+	mGenDayWall   = metrics.GetTimer("store_gen.day_wall")
+	mGenRecords   = metrics.GetCounter("store_gen.records")
+	mStoreRetries = metrics.GetCounter("store.retries")
+	mDegradedDays = metrics.GetCounter("pipeline.degraded_days")
 )
 
 // Config parameterises a Pipeline.
@@ -56,6 +72,28 @@ type Config struct {
 	// + gzip) so later runs skip stage one for days already reduced —
 	// the materialised-aggregate workflow of section 2.2.
 	AggCacheDir string
+
+	// Storage overrides the Store/AggCacheDir wiring with an explicit
+	// storage backend — how tests interpose the fault injector. When
+	// set, flow records are read through it; the aggregate cache is
+	// still gated on AggCacheDir being non-empty.
+	Storage Storage
+	// Degrade switches day-level failures from fatal to partial: the
+	// failed day is reported via DayErrors (and quarantined when the
+	// error is corruption), every other day completes. Off, any day
+	// error fails the whole call — the strict default mirrors the
+	// historical behaviour.
+	Degrade bool
+	// Retry is the backoff discipline for transient storage faults.
+	// The zero value defaults to 3 attempts, 25ms base, 500ms cap.
+	Retry retry.Policy
+	// DayTimeout bounds one day's aggregation (all retry attempts
+	// together). Zero means no per-day deadline.
+	DayTimeout time.Duration
+	// Faults, when set, injects the plan's faults into this
+	// pipeline's storage and simulated emission — the chaos-suite
+	// hook, also exposed as -faults on the binaries.
+	Faults *faultinject.Plan
 }
 
 // Pipeline is the assembled system.
@@ -65,8 +103,18 @@ type Pipeline struct {
 	Cls   *classify.Classifier
 	RIBs  *asn.RIBSet
 
-	mu    sync.Mutex
-	cache map[time.Time]*aggEntry
+	// storage is the wired (possibly fault-wrapped) backend; nil for
+	// a pure simulation pipeline with no aggregate cache. fromStore
+	// records whether flow records come from storage rather than the
+	// world. retry is the composed policy (store.retries counting
+	// included).
+	storage   Storage
+	fromStore bool
+	retry     retry.Policy
+
+	mu      sync.Mutex
+	cache   map[time.Time]*aggEntry
+	dayErrs map[time.Time]error
 }
 
 // aggEntry is one day's slot in the in-memory aggregate cache. The
@@ -74,9 +122,10 @@ type Pipeline struct {
 // while done is open blocks on it instead of silently skipping the day
 // (the old reservation scheme dropped in-flight days from concurrent
 // callers' results, as if they were probe outages). After done closes,
-// agg is the day's aggregate — nil meaning a real outage — unless err
-// is set, in which case the owner failed and removed the slot so a
-// later call recomputes.
+// agg is the day's aggregate — nil meaning a real outage or a
+// degraded-away failure — unless err is set, in which case the owner
+// failed (or was cancelled) and removed the slot so a later call
+// recomputes.
 type aggEntry struct {
 	done chan struct{}
 	agg  *analytics.DayAgg
@@ -96,28 +145,95 @@ func New(cfg Config) *Pipeline {
 	if cls == nil {
 		cls = classify.Default()
 	}
+
+	fromStore := cfg.Storage != nil || cfg.Store != nil
+	storage := cfg.Storage
+	if storage == nil && (cfg.Store != nil || cfg.AggCacheDir != "") {
+		storage = NewDiskStorage(cfg.Store, cfg.AggCacheDir)
+	}
+	if cfg.Faults != nil && storage != nil {
+		storage = faultinject.Wrap(storage, cfg.Faults)
+	}
+
+	pol := cfg.Retry
+	if pol.Attempts <= 0 {
+		pol = retry.Policy{Attempts: 3, Base: 25 * time.Millisecond, Max: 500 * time.Millisecond,
+			Seed: cfg.Seed, Sleep: cfg.Retry.Sleep, OnRetry: cfg.Retry.OnRetry}
+	}
+	user := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error) {
+		mStoreRetries.Inc()
+		if user != nil {
+			user(attempt, err)
+		}
+	}
+
 	return &Pipeline{
-		cfg:   cfg,
-		World: w,
-		Cls:   cls,
-		RIBs:  w.RIBs(),
-		cache: make(map[time.Time]*aggEntry),
+		cfg:       cfg,
+		World:     w,
+		Cls:       cls,
+		RIBs:      w.RIBs(),
+		storage:   storage,
+		fromStore: fromStore,
+		retry:     pol,
+		cache:     make(map[time.Time]*aggEntry),
+		dayErrs:   make(map[time.Time]error),
 	}
 }
 
 // Stride returns the configured day-sampling stride.
 func (p *Pipeline) Stride() int { return p.cfg.Stride }
 
-// Source returns the record source experiments aggregate from: the
-// store when configured, the simulation world otherwise.
-func (p *Pipeline) Source() analytics.Source {
-	if p.cfg.Store != nil {
-		return analytics.StoreSource{Store: p.cfg.Store}
+// Storage returns the wired storage backend (fault wrapper included),
+// or nil for a pure simulation pipeline.
+func (p *Pipeline) Storage() Storage { return p.storage }
+
+// faultPlan returns the configured plan as a simnet.FaultPlan,
+// carefully nil when unset (a typed-nil interface would dodge the
+// call-site nil checks).
+func (p *Pipeline) faultPlan() simnet.FaultPlan {
+	if p.cfg.Faults == nil {
+		return nil
 	}
+	return p.cfg.Faults
+}
+
+// Source returns the record source experiments aggregate from: the
+// storage backend when configured, the simulation world otherwise —
+// either one filtered through the fault plan when chaos is on.
+func (p *Pipeline) Source() analytics.Source {
+	if p.fromStore {
+		return analytics.StoreSource{Store: p.storage}
+	}
+	plan := p.faultPlan()
 	return analytics.FuncSource(func(day time.Time, fn func(*flowrec.Record)) error {
-		p.World.EmitDay(day, fn)
+		if !p.World.EmitDayFaults(day, plan, fn) {
+			return analytics.ErrNoData // injected probe outage
+		}
 		return nil
 	})
+}
+
+// DayErrors returns the per-day error report accumulated by degraded
+// runs, sorted by day. Empty means every requested day either
+// aggregated or was a genuine outage.
+func (p *Pipeline) DayErrors() []analytics.DayError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]analytics.DayError, 0, len(p.dayErrs))
+	for d, err := range p.dayErrs {
+		out = append(out, analytics.DayError{Day: d, Err: err})
+	}
+	sortDayErrors(out)
+	return out
+}
+
+func sortDayErrors(errs []analytics.DayError) {
+	for i := 1; i < len(errs); i++ {
+		for j := i; j > 0 && errs[j].Day.Before(errs[j-1].Day); j-- {
+			errs[j], errs[j-1] = errs[j-1], errs[j]
+		}
+	}
 }
 
 // Aggregate runs stage one for the given days, serving repeated days
@@ -125,8 +241,20 @@ func (p *Pipeline) Source() analytics.Source {
 // 4 and 10 all want April 2014/2017) pay once. Concurrent callers
 // asking for overlapping windows each compute a disjoint share and
 // wait for the rest — no day is ever computed twice or dropped.
-func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
+//
+// Cancelling ctx aborts the computation and releases this caller's
+// day reservations, so a later Aggregate recomputes them instead of
+// inheriting a cancelled result. In Degrade mode, days that fail after
+// retries are reported via DayErrors and return as gaps (like
+// outages); otherwise the first day error fails the call.
+func (p *Pipeline) Aggregate(ctx context.Context, days []time.Time) ([]*analytics.DayAgg, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Claim days nobody holds; collect the entries of the rest.
 		entryOf := make(map[time.Time]*aggEntry, len(days))
 		var owned []time.Time
@@ -148,7 +276,7 @@ func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
 		mMemMisses.Add(uint64(len(owned)))
 
 		if len(owned) > 0 {
-			if err := p.computeDays(owned, entryOf); err != nil {
+			if err := p.computeDays(ctx, owned, entryOf); err != nil {
 				return nil, err
 			}
 		}
@@ -156,14 +284,18 @@ func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
 		// Wait out days other callers are computing. An owner that
 		// failed marked its entries broken and un-reserved the days, so
 		// loop back and claim them ourselves.
-		retry := false
+		retryClaim := false
 		for _, e := range entryOf {
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 			if e.err != nil {
-				retry = true
+				retryClaim = true
 			}
 		}
-		if retry {
+		if retryClaim {
 			continue
 		}
 
@@ -172,19 +304,23 @@ func (p *Pipeline) Aggregate(days []time.Time) ([]*analytics.DayAgg, error) {
 			if a := entryOf[d].agg; a != nil {
 				out = append(out, a)
 			}
-			// nil aggregates are outages (store gaps): skipped, like
-			// the paper's plots skip probe-down periods.
+			// nil aggregates are outages (store gaps) or degraded-away
+			// failures: skipped, like the paper's plots skip
+			// probe-down periods.
 		}
 		return out, nil
 	}
 }
 
 // computeDays produces the aggregates for the days this caller claimed
-// and resolves their cache entries. On error every owned entry is
-// marked broken and un-reserved, so a retry recomputes the days rather
-// than mistaking them for permanent outages.
-func (p *Pipeline) computeDays(owned []time.Time, entryOf map[time.Time]*aggEntry) (err error) {
+// and resolves their cache entries. On error (including cancellation)
+// every owned entry is marked broken and un-reserved, so a retry
+// recomputes the days rather than mistaking them for permanent
+// outages. In Degrade mode per-day failures resolve to nil aggregates
+// (gaps) and land in the DayErrors report instead of failing the call.
+func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf map[time.Time]*aggEntry) (err error) {
 	aggOf := make(map[time.Time]*analytics.DayAgg, len(owned))
+	failed := make(map[time.Time]error)
 	defer func() {
 		p.mu.Lock()
 		for _, d := range owned {
@@ -197,17 +333,26 @@ func (p *Pipeline) computeDays(owned []time.Time, entryOf map[time.Time]*aggEntr
 			}
 			close(e.done)
 		}
+		if err == nil {
+			for d, derr := range failed {
+				p.dayErrs[d] = derr
+			}
+		}
 		p.mu.Unlock()
 	}()
 
 	// Disk cache: days reduced by an earlier run load in parallel —
 	// each load is a gzip+gob decode, and serial loading is what used
-	// to gate warm-cache startup on a ~2k-day span.
+	// to gate warm-cache startup on a ~2k-day span. Load errors (a
+	// faulted or damaged cache) degrade to recomputation, never to
+	// failure: the cache is an optimisation.
 	missing := owned
-	if p.cfg.AggCacheDir != "" {
+	if p.cacheAggs() {
 		loaded := make([]*analytics.DayAgg, len(owned))
 		p.eachIndex(len(owned), func(i int) {
-			loaded[i] = loadAgg(p.cfg.AggCacheDir, owned[i])
+			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil {
+				loaded[i] = agg
+			}
 		})
 		missing = nil
 		for i, d := range owned {
@@ -222,26 +367,59 @@ func (p *Pipeline) computeDays(owned []time.Time, entryOf map[time.Time]*aggEntr
 	}
 
 	if len(missing) > 0 {
-		aggs, runErr := analytics.Run(p.Source(), missing, p.Cls, p.cfg.Workers)
+		aggs, dayErrs, runErr := analytics.RunReport(ctx, p.Source(), missing, p.Cls,
+			analytics.RunConfig{Workers: p.cfg.Workers, Retry: p.retry, DayTimeout: p.cfg.DayTimeout})
 		if runErr != nil {
 			return runErr
+		}
+		if len(dayErrs) > 0 {
+			if !p.cfg.Degrade {
+				return dayErrs[0].Err
+			}
+			for _, de := range dayErrs {
+				failed[de.Day] = de.Err
+				mDegradedDays.Inc()
+				// Corrupt days are quarantined so the next run reads an
+				// outage instead of tripping over the same bytes; the
+				// quarantine failing must not break the degrade path.
+				if p.storage != nil && errorsIsCorrupt(de.Err) {
+					_ = p.storage.QuarantineDay(de.Day)
+				}
+			}
 		}
 		for _, a := range aggs {
 			aggOf[a.Day] = a
 		}
-		if p.cfg.AggCacheDir != "" {
+		if p.cacheAggs() {
 			saveErrs := make([]error, len(aggs))
 			p.eachIndex(len(aggs), func(i int) {
-				saveErrs[i] = saveAgg(p.cfg.AggCacheDir, aggs[i])
+				saveErrs[i] = p.retry.Do(ctx, uint64(aggs[i].Day.Unix()), func() error {
+					return p.storage.SaveAgg(aggs[i])
+				})
 			})
 			for _, serr := range saveErrs {
 				if serr != nil {
+					if p.cfg.Degrade {
+						// The aggregate exists in memory; a cache-save
+						// failure only costs the next run a recompute.
+						continue
+					}
 					return serr
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// cacheAggs reports whether per-day aggregates persist through storage.
+func (p *Pipeline) cacheAggs() bool {
+	return p.storage != nil && p.cfg.AggCacheDir != ""
+}
+
+// errorsIsCorrupt matches data-damage errors (codec or gzip level).
+func errorsIsCorrupt(err error) bool {
+	return errors.Is(err, flowrec.ErrCorrupt)
 }
 
 // eachIndex runs fn(0..n-1) on the pipeline's bounded worker count.
@@ -274,12 +452,41 @@ func (p *Pipeline) eachIndex(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// GenerateStore materialises the given days of the simulation into an
-// on-disk flow store — the "copy logs to long-term storage" step. A
-// bounded pool of Workers goroutines pulls days from a shared index
-// (never one goroutine per day: a Stride:1 span is ~1975 days), and
-// the total record count is reported.
-func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64, error) {
+// runStage1 runs stage one outside the day cache (the counterfactual
+// worlds of the what-if analysis build their own sources), honouring
+// the pipeline's retry, deadline and degrade configuration. Degraded
+// day failures land in the DayErrors report.
+func (p *Pipeline) runStage1(ctx context.Context, src analytics.Source, days []time.Time, workers int) ([]*analytics.DayAgg, error) {
+	aggs, dayErrs, err := analytics.RunReport(ctx, src, days, p.Cls,
+		analytics.RunConfig{Workers: workers, Retry: p.retry, DayTimeout: p.cfg.DayTimeout})
+	if err != nil {
+		return nil, err
+	}
+	if len(dayErrs) > 0 {
+		if !p.cfg.Degrade {
+			return nil, dayErrs[0].Err
+		}
+		p.mu.Lock()
+		for _, de := range dayErrs {
+			p.dayErrs[de.Day] = de.Err
+			mDegradedDays.Inc()
+		}
+		p.mu.Unlock()
+	}
+	return aggs, nil
+}
+
+// GenerateStore materialises the given days of the simulation into dst
+// — the "copy logs to long-term storage" step. A bounded pool of
+// Workers goroutines pulls days from a shared index (never one
+// goroutine per day: a Stride:1 span is ~1975 days), transient write
+// faults retry with backoff, and the total record count is reported.
+// Fault-plan outage days are skipped entirely (they become store
+// gaps); cancellation stops the pool between days.
+func (p *Pipeline) GenerateStore(ctx context.Context, dst Storage, days []time.Time) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := p.cfg.Workers
 	if workers > len(days) {
 		workers = len(days)
@@ -287,6 +494,7 @@ func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64
 	if len(days) == 0 {
 		return 0, nil
 	}
+	plan := p.faultPlan()
 	var total atomic.Uint64
 	errs := make([]error, len(days))
 	var next atomic.Int64
@@ -296,30 +504,39 @@ func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(days) {
 					return
 				}
 				day := days[i]
 				t0 := time.Now()
-				w, err := store.CreateDay(day)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				var werr error
-				p.World.EmitDay(day, func(r *flowrec.Record) {
-					if werr == nil {
-						werr = w.Write(r)
-					}
+				var n uint64
+				err := p.retry.Do(ctx, uint64(day.Unix()), func() error {
+					var wn uint64
+					wn, werr := dst.WriteDay(day, func(write func(*flowrec.Record) error) error {
+						var emitErr error
+						emitted := p.World.EmitDayFaults(day, plan, func(r *flowrec.Record) {
+							if emitErr == nil {
+								emitErr = write(r)
+							}
+						})
+						if !emitted {
+							return errSkipDay
+						}
+						return emitErr
+					})
+					n = wn
+					return werr
 				})
-				n := w.Count()
-				if cerr := w.Close(); werr == nil {
-					werr = cerr
-				}
 				mGenDayWall.ObserveSince(t0)
-				if werr != nil {
-					errs[i] = fmt.Errorf("core: generating %s: %w", day.Format("2006-01-02"), werr)
+				if err != nil {
+					if errors.Is(err, errSkipDay) {
+						continue // injected outage: leave a store gap
+					}
+					errs[i] = fmt.Errorf("core: generating %s: %w", day.Format("2006-01-02"), err)
 					continue
 				}
 				total.Add(n)
@@ -328,6 +545,9 @@ func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return total.Load(), err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return total.Load(), err
@@ -335,6 +555,9 @@ func (p *Pipeline) GenerateStore(store *flowrec.Store, days []time.Time) (uint64
 	}
 	return total.Load(), nil
 }
+
+// errSkipDay aborts a WriteDay whose day an injected outage suppressed.
+var errSkipDay = fmt.Errorf("core: day suppressed by fault plan")
 
 // SpanDays returns the experiment's full-span sample under the
 // configured stride.

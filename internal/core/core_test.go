@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -41,11 +42,11 @@ func TestExperimentRegistry(t *testing.T) {
 func TestAggregateCaching(t *testing.T) {
 	p := testPipeline()
 	days := MonthDays(2016, time.April)[:3]
-	a1, err := p.Aggregate(days)
+	a1, err := p.Aggregate(context.Background(), days)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := p.Aggregate(days)
+	a2, err := p.Aggregate(context.Background(), days)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestRunAllExperimentsSmoke(t *testing.T) {
 	p := testPipeline()
 	for _, e := range Experiments() {
 		var buf bytes.Buffer
-		if err := e.Run(p, &buf); err != nil {
+		if err := e.Run(context.Background(), p, &buf); err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
 		if buf.Len() == 0 {
@@ -78,7 +79,7 @@ func TestRunAllExperimentsSmoke(t *testing.T) {
 func TestTable1Output(t *testing.T) {
 	p := testPipeline()
 	var buf bytes.Buffer
-	if err := Lookup0("table1").Run(p, &buf); err != nil {
+	if err := Lookup0("table1").Run(context.Background(), p, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -99,7 +100,7 @@ func TestGenerateStoreAndReadBack(t *testing.T) {
 		time.Date(2016, 4, 4, 0, 0, 0, 0, time.UTC),
 		time.Date(2016, 4, 5, 0, 0, 0, 0, time.UTC),
 	}
-	n, err := p.GenerateStore(store, days)
+	n, err := p.GenerateStore(context.Background(), NewDiskStorage(store, ""), days)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestGenerateStoreAndReadBack(t *testing.T) {
 	// A store-backed pipeline must reproduce the same aggregate as the
 	// generating pipeline (bit-identical dataset on disk).
 	ps := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 16, FTTH: 8}, Store: store, Workers: 2})
-	fromStore, err := ps.Aggregate(days)
+	fromStore, err := ps.Aggregate(context.Background(), days)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := p.Aggregate(days)
+	direct, err := p.Aggregate(context.Background(), days)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestGenerateStoreAndReadBack(t *testing.T) {
 	}
 	// Store gaps behave like probe outages.
 	missing := append(days, time.Date(2016, 4, 20, 0, 0, 0, 0, time.UTC))
-	withGap, err := ps.Aggregate(missing)
+	withGap, err := ps.Aggregate(context.Background(), missing)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFig4PointsShape(t *testing.T) {
 		t.Skip("two full months of aggregation")
 	}
 	p := testPipeline()
-	pts, err := Fig4Points(p, flowrec.TechADSL, 30)
+	pts, err := Fig4Points(context.Background(), p, flowrec.TechADSL, 30)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -25,8 +26,8 @@ type Experiment struct {
 	// given stride.
 	Days func(stride int) []time.Time
 	// Run aggregates (through the pipeline cache) and writes the
-	// rendered result.
-	Run func(p *Pipeline, w io.Writer) error
+	// rendered result. Cancelling ctx aborts mid-aggregation.
+	Run func(ctx context.Context, p *Pipeline, w io.Writer) error
 }
 
 // Experiments returns the registry in paper order.
@@ -157,7 +158,7 @@ func splitAprils(aggs []*analytics.DayAgg) (a14, a17 []*analytics.DayAgg) {
 
 // --- Table 1 ---------------------------------------------------------------
 
-func runTable1(p *Pipeline, w io.Writer) error {
+func runTable1(ctx context.Context, p *Pipeline, w io.Writer) error {
 	if err := report.Section(w, "Table 1: examples of domain-to-service associations"); err != nil {
 		return err
 	}
@@ -184,8 +185,8 @@ func orDash(s string) string {
 
 // --- Section 3: active share ------------------------------------------------
 
-func runActive(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(Lookup0("active").Days(p.Stride()))
+func runActive(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,Lookup0("active").Days(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -218,8 +219,8 @@ func Lookup0(id string) Experiment {
 
 // --- Figure 2 ----------------------------------------------------------------
 
-func runFig2(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(aprilDays(0))
+func runFig2(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,aprilDays(0))
 	if err != nil {
 		return err
 	}
@@ -271,8 +272,8 @@ func runFig2(p *Pipeline, w io.Writer) error {
 
 // --- Figure 3 ----------------------------------------------------------------
 
-func runFig3(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runFig3(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -309,8 +310,8 @@ func runFig3(p *Pipeline, w io.Writer) error {
 
 // --- Figure 4 ----------------------------------------------------------------
 
-func runFig4(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(aprilDays(0))
+func runFig4(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,aprilDays(0))
 	if err != nil {
 		return err
 	}
@@ -334,8 +335,8 @@ func runFig4(p *Pipeline, w io.Writer) error {
 
 // --- Figure 5 ----------------------------------------------------------------
 
-func runFig5(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runFig5(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -495,8 +496,8 @@ func halfYear(d time.Time) time.Time {
 	return time.Date(d.Year(), m, 1, 0, 0, 0, 0, time.UTC)
 }
 
-func runFig6(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runFig6(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -511,8 +512,8 @@ func runFig6(p *Pipeline, w io.Writer) error {
 	return nil
 }
 
-func runFig7(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runFig7(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -527,9 +528,9 @@ func runFig7(p *Pipeline, w io.Writer) error {
 	return nil
 }
 
-func runFig9(p *Pipeline, w io.Writer) error {
+func runFig9(ctx context.Context, p *Pipeline, w io.Writer) error {
 	days := Lookup0("fig9").Days(p.Stride())
-	aggs, err := p.Aggregate(days)
+	aggs, err := p.Aggregate(ctx,days)
 	if err != nil {
 		return err
 	}
@@ -567,8 +568,8 @@ func runFig9(p *Pipeline, w io.Writer) error {
 
 // --- Figure 8 ----------------------------------------------------------------
 
-func runFig8(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runFig8(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -611,8 +612,8 @@ func runFig8(p *Pipeline, w io.Writer) error {
 
 // --- Figure 10 -----------------------------------------------------------------
 
-func runFig10(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(aprilDays(0))
+func runFig10(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,aprilDays(0))
 	if err != nil {
 		return err
 	}
@@ -653,8 +654,8 @@ func runFig10(p *Pipeline, w io.Writer) error {
 
 // --- Figure 11 -----------------------------------------------------------------
 
-func runFig11(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runFig11(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -769,8 +770,8 @@ func fig11Service(p *Pipeline, w io.Writer, aggs []*analytics.DayAgg, svc classi
 }
 
 // Fig4Points exposes the smoothed fig4 curves for tests and examples.
-func Fig4Points(p *Pipeline, tech flowrec.AccessTech, points int) ([]stats.Point, error) {
-	aggs, err := p.Aggregate(aprilDays(0))
+func Fig4Points(ctx context.Context, p *Pipeline, tech flowrec.AccessTech, points int) ([]stats.Point, error) {
+	aggs, err := p.Aggregate(ctx,aprilDays(0))
 	if err != nil {
 		return nil, err
 	}

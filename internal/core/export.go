@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -25,11 +26,11 @@ import (
 //	fig6_7_services.csv   day, service, tech, pop_pct, bytes_per_user
 //	fig8_protocols.csv    month, protocol, share_pct
 //	active.csv            day, active, observed, active_pct
-func (p *Pipeline) ExportData(dir string) error {
+func (p *Pipeline) ExportData(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: export: %w", err)
 	}
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+	aggs, err := p.Aggregate(ctx, spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}

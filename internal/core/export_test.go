@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"encoding/csv"
 	"os"
@@ -14,7 +15,7 @@ import (
 func TestExportData(t *testing.T) {
 	dir := t.TempDir()
 	p := New(Config{Seed: 99, Scale: simnet.Scale{ADSL: 10, FTTH: 5}, Stride: 180, Workers: 4})
-	if err := p.ExportData(dir); err != nil {
+	if err := p.ExportData(context.Background(), dir); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{
@@ -69,10 +70,10 @@ func TestExportData(t *testing.T) {
 func TestExportByteIdentical(t *testing.T) {
 	cfg := Config{Seed: 99, Scale: simnet.Scale{ADSL: 10, FTTH: 5}, Stride: 180, Workers: 4}
 	dirA, dirB := t.TempDir(), t.TempDir()
-	if err := New(cfg).ExportData(dirA); err != nil {
+	if err := New(cfg).ExportData(context.Background(), dirA); err != nil {
 		t.Fatal(err)
 	}
-	if err := New(cfg).ExportData(dirB); err != nil {
+	if err := New(cfg).ExportData(context.Background(), dirB); err != nil {
 		t.Fatal(err)
 	}
 	names := []string{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -49,7 +50,7 @@ func extensionExperiments() []Experiment {
 // undone: Zero's ~8%% returns to the TLS family). It quantifies, per
 // episode, how much of the traffic mix one company's unilateral
 // deployment moved — the section 5 argument in numbers.
-func runWhatIf(p *Pipeline, w io.Writer) error {
+func runWhatIf(ctx context.Context, p *Pipeline, w io.Writer) error {
 	if err := report.Section(w, "Counterfactual protocol mixes, December 2016 (monthly mean, % of web bytes)"); err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func runWhatIf(p *Pipeline, w io.Writer) error {
 			world.EmitDay(day, fn)
 			return nil
 		})
-		aggs, err := analytics.Run(src, days, p.Cls, 4)
+		aggs, err := p.runStage1(ctx, src, days, 4)
 		if err != nil {
 			return nil, err
 		}
@@ -110,8 +111,8 @@ func runWhatIf(p *Pipeline, w io.Writer) error {
 	return err
 }
 
-func runWeekly(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(Lookup0("weekly").Days(p.Stride()))
+func runWeekly(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,Lookup0("weekly").Days(p.Stride()))
 	if err != nil {
 		return err
 	}
@@ -145,8 +146,8 @@ func runWeekly(p *Pipeline, w io.Writer) error {
 	return err
 }
 
-func runQUICVersions(p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(spanDays(p.Stride()))
+func runQUICVersions(ctx context.Context, p *Pipeline, w io.Writer) error {
+	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
 	if err != nil {
 		return err
 	}

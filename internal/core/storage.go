@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/flowrec"
+)
+
+// Storage is the single surface the pipeline reads and writes through:
+// the flow lake (day logs) and the per-day aggregate cache behind one
+// interface, so a fault injector — or any alternative backend — can
+// sit in front of everything at once. It is method-for-method
+// identical to faultinject.Storage; a fault-wrapped Storage satisfies
+// this interface structurally, which is what lets faultinject avoid
+// importing core.
+type Storage interface {
+	// ReadDay streams one day's flow records; fn errors abort the
+	// read and are returned. A missing day is flowrec.ErrNoDay.
+	ReadDay(day time.Time, fn func(*flowrec.Record) error) error
+	// WriteDay (re)creates one day's log: emit receives the write
+	// callback and runs to completion before the log is sealed. The
+	// record count is returned. A failed WriteDay may leave a partial
+	// file behind (a torn write); re-running it truncates and
+	// rewrites, which is why retries are safe.
+	WriteDay(day time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error)
+	// HasDay reports whether a day's log exists.
+	HasDay(day time.Time) bool
+	// Days lists stored days ascending, quarantined days excluded.
+	Days() ([]time.Time, error)
+	// QuarantineDay moves a damaged day's log out of the read path so
+	// later reads see an outage instead of the same corruption.
+	QuarantineDay(day time.Time) error
+	// LoadAgg returns a cached per-day aggregate, (nil, nil) on a
+	// cache miss (including "no cache configured").
+	LoadAgg(day time.Time) (*analytics.DayAgg, error)
+	// SaveAgg persists one day's aggregate; a no-op without a cache.
+	SaveAgg(agg *analytics.DayAgg) error
+}
+
+// DiskStorage is the production Storage: a flowrec day-partitioned
+// store plus an optional on-disk aggregate cache directory. Either
+// half may be absent — a simulation-fed pipeline with an agg cache
+// has no store, edgegen's output store has no agg cache.
+type DiskStorage struct {
+	store  *flowrec.Store
+	aggDir string
+}
+
+// NewDiskStorage wires a DiskStorage; store may be nil (no flow lake)
+// and aggDir may be empty (no aggregate cache).
+func NewDiskStorage(store *flowrec.Store, aggDir string) *DiskStorage {
+	return &DiskStorage{store: store, aggDir: aggDir}
+}
+
+// ReadDay implements Storage.
+func (d *DiskStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) error {
+	if d.store == nil {
+		return fmt.Errorf("%w: %s", flowrec.ErrNoDay, day.UTC().Format("2006-01-02"))
+	}
+	return d.store.ReadDay(day, fn)
+}
+
+// WriteDay implements Storage.
+func (d *DiskStorage) WriteDay(day time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error) {
+	if d.store == nil {
+		return 0, fmt.Errorf("core: storage has no flow store to write %s", day.UTC().Format("2006-01-02"))
+	}
+	w, err := d.store.CreateDay(day)
+	if err != nil {
+		return 0, err
+	}
+	werr := emit(w.Write)
+	n := w.Count()
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	return n, werr
+}
+
+// HasDay implements Storage.
+func (d *DiskStorage) HasDay(day time.Time) bool {
+	return d.store != nil && d.store.HasDay(day)
+}
+
+// Days implements Storage.
+func (d *DiskStorage) Days() ([]time.Time, error) {
+	if d.store == nil {
+		return nil, nil
+	}
+	return d.store.Days()
+}
+
+// QuarantineDay implements Storage.
+func (d *DiskStorage) QuarantineDay(day time.Time) error {
+	if d.store == nil {
+		return nil
+	}
+	return d.store.QuarantineDay(day)
+}
+
+// LoadAgg implements Storage. Damaged or version-mismatched cache
+// files read as misses, exactly like the pre-interface loadAgg.
+func (d *DiskStorage) LoadAgg(day time.Time) (*analytics.DayAgg, error) {
+	if d.aggDir == "" {
+		return nil, nil
+	}
+	return loadAgg(d.aggDir, day), nil
+}
+
+// SaveAgg implements Storage.
+func (d *DiskStorage) SaveAgg(agg *analytics.DayAgg) error {
+	if d.aggDir == "" {
+		return nil
+	}
+	return saveAgg(d.aggDir, agg)
+}

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/flowrec"
+)
+
+// Storage is the pipeline's storage surface, redeclared here so the
+// wrapper can sit in front of any implementation without importing
+// core (core imports simnet, which reuses this package's Plan — the
+// structural interface breaks the cycle). It is method-for-method
+// identical to core.Storage, so a *FaultyStorage satisfies both.
+type Storage interface {
+	// ReadDay streams one day's flow records; fn errors abort the read.
+	ReadDay(day time.Time, fn func(*flowrec.Record) error) error
+	// WriteDay materialises one day: emit receives a write callback
+	// and the record count is returned.
+	WriteDay(day time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error)
+	// HasDay reports whether a day's log exists.
+	HasDay(day time.Time) bool
+	// Days lists stored days ascending.
+	Days() ([]time.Time, error)
+	// QuarantineDay moves a damaged day out of the read path.
+	QuarantineDay(day time.Time) error
+	// LoadAgg and SaveAgg access the per-day aggregate cache.
+	LoadAgg(day time.Time) (*analytics.DayAgg, error)
+	SaveAgg(agg *analytics.DayAgg) error
+}
+
+// FaultyStorage injects the plan's faults in front of an inner
+// Storage. A nil plan passes everything through untouched.
+type FaultyStorage struct {
+	inner Storage
+	plan  *Plan
+}
+
+// Wrap builds a FaultyStorage over inner.
+func Wrap(inner Storage, plan *Plan) *FaultyStorage {
+	return &FaultyStorage{inner: inner, plan: plan}
+}
+
+// ReadDay injects read faults: transient/permanent I/O errors fail the
+// call upfront; bitflip and truncate deliver a deterministic prefix of
+// the day's records and then fail like a damaged gzip (wrapping
+// flowrec.ErrCorrupt).
+func (s *FaultyStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) error {
+	attempt := s.plan.next(OpReadDay, day)
+	f := s.plan.fault(OpReadDay, day, attempt)
+	if f == nil {
+		return s.inner.ReadDay(day, fn)
+	}
+	if !f.IsCorruption() {
+		return f
+	}
+	// Corruption: the stream decodes up to the damage point, then the
+	// decoder surfaces the fault — exactly how a flipped bit or a
+	// truncated tail reads back.
+	limit := s.plan.truncPoint(day)
+	n := 0
+	var ferr error = f
+	err := s.inner.ReadDay(day, func(r *flowrec.Record) error {
+		if n >= limit {
+			return ferr
+		}
+		n++
+		return fn(r)
+	})
+	if err == nil {
+		// Fewer records than the damage point: the fault lands on the
+		// trailer instead.
+		return f
+	}
+	return err
+}
+
+// WriteDay injects write faults: transient/permanent errors fail the
+// call before any byte lands; torn writes cut the stream after a
+// deterministic number of records, leaving a short day behind.
+func (s *FaultyStorage) WriteDay(day time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error) {
+	attempt := s.plan.next(OpWriteDay, day)
+	f := s.plan.fault(OpWriteDay, day, attempt)
+	if f == nil {
+		return s.inner.WriteDay(day, emit)
+	}
+	if f.Kind != "torn write" {
+		return 0, f
+	}
+	limit := s.plan.truncPoint(day)
+	return s.inner.WriteDay(day, func(write func(*flowrec.Record) error) error {
+		n := 0
+		return emit(func(r *flowrec.Record) error {
+			if n >= limit {
+				return f
+			}
+			n++
+			return write(r)
+		})
+	})
+}
+
+// HasDay passes through.
+func (s *FaultyStorage) HasDay(day time.Time) bool { return s.inner.HasDay(day) }
+
+// Days passes through.
+func (s *FaultyStorage) Days() ([]time.Time, error) { return s.inner.Days() }
+
+// QuarantineDay passes through: quarantine is the recovery path and
+// must stay reliable for the degradation story to hold.
+func (s *FaultyStorage) QuarantineDay(day time.Time) error { return s.inner.QuarantineDay(day) }
+
+// LoadAgg injects cache-load faults.
+func (s *FaultyStorage) LoadAgg(day time.Time) (*analytics.DayAgg, error) {
+	attempt := s.plan.next(OpLoadAgg, day)
+	if f := s.plan.fault(OpLoadAgg, day, attempt); f != nil {
+		return nil, f
+	}
+	return s.inner.LoadAgg(day)
+}
+
+// SaveAgg injects cache-save faults.
+func (s *FaultyStorage) SaveAgg(agg *analytics.DayAgg) error {
+	attempt := s.plan.next(OpSaveAgg, agg.Day)
+	if f := s.plan.fault(OpSaveAgg, agg.Day, attempt); f != nil {
+		return f
+	}
+	return s.inner.SaveAgg(agg)
+}
+
+// IsCorruption reports whether the fault damages data (bitflip or
+// truncation) rather than failing the operation outright.
+func (f *Fault) IsCorruption() bool {
+	return f.Kind == "bitflip" || f.Kind == "truncate"
+}

@@ -26,6 +26,7 @@ var (
 	mDaysWritten    = metrics.GetCounter("store.days_written")
 	mDaysRead       = metrics.GetCounter("store.days_read")
 	mDaysMissing    = metrics.GetCounter("store.days_missing")
+	mQuarantined    = metrics.GetCounter("store.quarantined_days")
 )
 
 // countingWriter tracks compressed bytes leaving a DayWriter.
@@ -232,12 +233,48 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Days lists every day with a log, sorted ascending.
+// quarantineDirName is where QuarantineDay parks damaged day logs,
+// directly under the store root. Days() skips it, so a quarantined day
+// reads as a probe outage (ErrNoDay) instead of a recurring failure.
+const quarantineDirName = ".quarantine"
+
+// QuarantineDay moves a damaged day's log into <root>/.quarantine/,
+// taking it out of the read path: later reads see ErrNoDay (an
+// outage), not the same corrupt bytes again. The evidence is kept for
+// offline inspection rather than deleted. Quarantining a day with no
+// log is a no-op.
+func (s *Store) QuarantineDay(day time.Time) error {
+	src := s.dayPath(day)
+	if _, err := os.Stat(src); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("flowrec: quarantining day: %w", err)
+	}
+	qdir := filepath.Join(s.root, quarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("flowrec: quarantining day: %w", err)
+	}
+	if err := os.Rename(src, filepath.Join(qdir, filepath.Base(src))); err != nil {
+		return fmt.Errorf("flowrec: quarantining day: %w", err)
+	}
+	mQuarantined.Inc()
+	return nil
+}
+
+// Days lists every day with a log, sorted ascending. Quarantined logs
+// are not listed.
 func (s *Store) Days() ([]time.Time, error) {
 	var days []time.Time
 	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
+		if err != nil {
 			return err
+		}
+		if d.IsDir() {
+			if d.Name() == quarantineDirName {
+				return filepath.SkipDir
+			}
+			return nil
 		}
 		var y, m, dd int
 		base := filepath.Base(path)

@@ -2,6 +2,7 @@ package flowrec
 
 import (
 	"compress/gzip"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -153,5 +154,51 @@ func TestDaysIgnoresStrayFiles(t *testing.T) {
 	}
 	if len(days) != 1 || !days[0].Equal(day) {
 		t.Errorf("Days = %v, want just %v", days, day)
+	}
+}
+
+// TestQuarantineDay: a damaged day moved to quarantine reads back as a
+// missing day (an outage), disappears from Days(), and bumps the
+// store.quarantined_days counter.
+func TestQuarantineDay(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2016, 4, 9, 0, 0, 0, 0, time.UTC)
+	other := time.Date(2016, 4, 10, 0, 0, 0, 0, time.UTC)
+	path := writeOneDay(t, s, day)
+	writeOneDay(t, s, other)
+
+	before := mQuarantined.Load()
+	if err := s.QuarantineDay(day); err != nil {
+		t.Fatal(err)
+	}
+	if got := mQuarantined.Load() - before; got != 1 {
+		t.Errorf("store.quarantined_days moved by %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("day file still present after quarantine: %v", err)
+	}
+	moved := filepath.Join(s.Root(), ".quarantine", filepath.Base(path))
+	if _, err := os.Stat(moved); err != nil {
+		t.Errorf("quarantined copy missing: %v", err)
+	}
+	if err := s.ReadDay(day, func(*Record) error { return nil }); !errors.Is(err, ErrNoDay) {
+		t.Errorf("quarantined day reads as %v, want ErrNoDay", err)
+	}
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 1 || !days[0].Equal(other) {
+		t.Errorf("Days() = %v, want just %s", days, other.Format("2006-01-02"))
+	}
+	if s.HasDay(day) {
+		t.Error("HasDay still true after quarantine")
+	}
+	// Quarantining a missing day is a no-op, not an error.
+	if err := s.QuarantineDay(time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Errorf("quarantining a missing day: %v", err)
 	}
 }

@@ -20,6 +20,7 @@ package probe
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/anonymize"
@@ -262,28 +263,76 @@ func (p *Probe) newFlow(ts time.Time, key wire.FlowKey, proto flowrec.Proto, src
 
 // sweep exports flows idle past their timeout.
 func (p *Probe) sweep() {
+	// Collect first, export in deterministic order: ranging over
+	// p.flows directly made the export order (and thus the record
+	// order in day logs) vary run to run with Go's map iteration —
+	// identical input traces produced differently-ordered output.
+	var expired []*flowState
 	for key, f := range p.flows {
 		timeout := p.cfg.TCPIdleTimeout
 		if f.proto == flowrec.ProtoUDP {
 			timeout = p.cfg.UDPIdleTimeout
 		}
 		if p.now.Sub(f.last) >= timeout {
-			p.Stats.FlowsIdleExpired++
-			p.export(f)
+			expired = append(expired, f)
 			delete(p.flows, key)
 		}
 	}
+	sortFlows(expired)
+	for _, f := range expired {
+		p.Stats.FlowsIdleExpired++
+		p.export(f)
+	}
 }
 
-// Flush exports every open flow and publishes counter deltas to the
-// metrics registry; call at end of trace (or day).
+// Flush exports every open flow (in deterministic order, see sweep)
+// and publishes counter deltas to the metrics registry; call at end of
+// trace (or day).
 func (p *Probe) Flush() {
+	open := make([]*flowState, 0, len(p.flows))
 	for key, f := range p.flows {
-		p.Stats.FlowsFlushed++
-		p.export(f)
+		open = append(open, f)
 		delete(p.flows, key)
 	}
+	sortFlows(open)
+	for _, f := range open {
+		p.Stats.FlowsFlushed++
+		p.export(f)
+	}
 	p.publishMetrics()
+}
+
+// sortFlows orders flows by last activity, then start, then flow key —
+// a total order, so equal-timestamp flows still export identically
+// every run.
+func sortFlows(flows []*flowState) {
+	sort.Slice(flows, func(i, j int) bool {
+		a, b := flows[i], flows[j]
+		if !a.last.Equal(b.last) {
+			return a.last.Before(b.last)
+		}
+		if !a.start.Equal(b.start) {
+			return a.start.Before(b.start)
+		}
+		return keyLess(a.key, b.key)
+	})
+}
+
+// keyLess is a total order on flow keys.
+func keyLess(a, b wire.FlowKey) bool {
+	if a.Lo.Addr != b.Lo.Addr {
+		return a.Lo.Addr.Uint32() < b.Lo.Addr.Uint32()
+	}
+	if a.Lo.Port != b.Lo.Port {
+		return a.Lo.Port < b.Lo.Port
+	}
+	if a.Hi.Addr != b.Hi.Addr {
+		return a.Hi.Addr.Uint32() < b.Hi.Addr.Uint32()
+	}
+	if a.Hi.Port != b.Hi.Port {
+		return a.Hi.Port < b.Hi.Port
+	}
+	return a.Proto < b.Proto
 }
 
 // export converts flow state to a record and hands it out.

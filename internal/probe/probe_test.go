@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -467,5 +468,83 @@ func TestIPv6CountedAsNonIP(t *testing.T) {
 	}
 	if p.Stats.NonIP != 1 {
 		t.Errorf("NonIP = %d, want 1", p.Stats.NonIP)
+	}
+}
+
+// feedUDPFlow feeds one single-packet UDP flow from the given client
+// port at the given timestamp.
+func feedUDPFlow(t *testing.T, p *Probe, b *wire.Builder, port uint16, ts time.Time) {
+	t.Helper()
+	ip := wire.IPv4{Src: testClient, Dst: testServer}
+	udp := wire.UDP{SrcPort: port, DstPort: 9999}
+	raw, err := b.UDPPacket(&ip, &udp, []byte("payload"))
+	if err != nil {
+		t.Fatalf("building packet: %v", err)
+	}
+	data := make([]byte, len(raw))
+	copy(data, raw)
+	p.Feed(Packet{TS: ts, Data: data})
+}
+
+// TestSweepExportDeterministic is the regression test for the
+// map-iteration export order: idle expiry used to range over the flow
+// map, so identical input produced differently-ordered day logs run to
+// run. Exports must come out ordered by last activity (ties broken by
+// start, then flow key) and be byte-identical across runs.
+func TestSweepExportDeterministic(t *testing.T) {
+	run := func() []string {
+		p, records := newTestProbe(t)
+		var b wire.Builder
+		// 40 flows; timestamps cycle so several flows share a last-seen
+		// instant, and the port sequence is decorrelated from time so a
+		// map-order bug cannot accidentally look sorted.
+		for i := 0; i < 40; i++ {
+			port := uint16(20000 + (i*17)%40)
+			ts := testT0.Add(time.Duration(i%7) * time.Second)
+			feedUDPFlow(t, p, &b, port, ts)
+		}
+		// Ten minutes later a packet triggers the idle sweep; every
+		// earlier flow is far past the UDP idle timeout.
+		feedUDPFlow(t, p, &b, 30000, testT0.Add(10*time.Minute))
+		if p.Stats.FlowsIdleExpired != 40 {
+			t.Fatalf("FlowsIdleExpired = %d, want 40", p.Stats.FlowsIdleExpired)
+		}
+		p.Flush()
+		if len(*records) != 41 {
+			t.Fatalf("%d records, want 41", len(*records))
+		}
+		out := make([]string, 0, len(*records))
+		for _, r := range *records {
+			out = append(out, fmt.Sprintf("%d@%s", r.CliPort, r.Start.Format(time.RFC3339)))
+		}
+		return out
+	}
+
+	first := run()
+	// Expired flows (the first 40) must be ordered by last activity,
+	// then flow key — here each flow is one packet, so last == start
+	// and ties sort by client port.
+	prev := first[0]
+	for i := 1; i < 40; i++ {
+		var p1, p2 int
+		var t1, t2 string
+		if _, err := fmt.Sscanf(prev, "%d@%s", &p1, &t1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(first[i], "%d@%s", &p2, &t2); err != nil {
+			t.Fatal(err)
+		}
+		if t2 < t1 || (t2 == t1 && p2 <= p1) {
+			t.Fatalf("export %d out of order: %s then %s", i, prev, first[i])
+		}
+		prev = first[i]
+	}
+	for round := 0; round < 3; round++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("round %d: export %d differs: %s vs %s", round, i, first[i], again[i])
+			}
+		}
 	}
 }

@@ -1,0 +1,162 @@
+// Package retry implements the pipeline's shared retry helper: capped
+// exponential backoff with deterministic jitter, applied only to
+// errors classified as transient. The paper's pipeline ran unattended
+// for five years against flaky storage; transient read failures must
+// be absorbed by backing off and re-reading, while permanent damage
+// (a corrupt gzip, a bad day file) must surface immediately so the
+// caller can quarantine and degrade instead of spinning.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+// Policy describes one retry discipline. The zero value performs a
+// single attempt with no backoff — retrying is always opt-in.
+type Policy struct {
+	// Attempts is the total number of tries, including the first.
+	// Values below 1 mean exactly one attempt.
+	Attempts int
+	// Base is the delay before the first re-attempt; each further
+	// re-attempt doubles it, capped at Max.
+	Base time.Duration
+	// Max caps the backoff delay. Zero means no cap.
+	Max time.Duration
+	// Seed drives the deterministic jitter so the same (seed, key,
+	// attempt) always backs off the same amount — reproducible runs
+	// stay reproducible under retries.
+	Seed uint64
+	// Sleep, when set, replaces the context-aware wait between
+	// attempts (tests use a no-op to avoid real delays).
+	Sleep func(time.Duration)
+	// OnRetry, when set, observes each re-attempt before its backoff
+	// wait (metrics hooks).
+	OnRetry func(attempt int, err error)
+}
+
+// Do runs op until it succeeds, returns a non-transient error, the
+// attempts are exhausted, or ctx is done. key distinguishes call sites
+// working on different items (e.g. a day's Unix timestamp) so their
+// jittered delays do not synchronise into a thundering herd.
+func (p Policy) Do(ctx context.Context, key uint64, op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if p.OnRetry != nil {
+				p.OnRetry(attempt, err)
+			}
+			if werr := p.wait(ctx, p.Backoff(key, attempt-1)); werr != nil {
+				return werr
+			}
+		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if err = op(); err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Backoff returns the jittered delay before re-attempt n (n >= 1):
+// Base·2^(n-1) capped at Max, scaled into [50%, 100%] by the
+// deterministic jitter.
+func (p Policy) Backoff(key uint64, n int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			d = p.Max
+			break
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	// Jitter in [0.5, 1.0): half the spread keeps the exponential
+	// shape visible while de-synchronising concurrent retriers.
+	frac := float64(mix(p.Seed^key^uint64(n)))/float64(1<<64-1)*0.5 + 0.5
+	return time.Duration(float64(d) * frac)
+}
+
+// wait blocks for d or until ctx is done, whichever comes first.
+func (p Policy) wait(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return nil
+	}
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Transient reports whether err is marked retryable anywhere in its
+// chain, via the conventional interface{ Transient() bool }.
+func Transient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok {
+			return t.Transient()
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() error }:
+			err = u.Unwrap()
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				if Transient(e) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// mix is SplitMix64's output function: a statistically solid 64-bit
+// scramble, cheap enough for per-decision use.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// errTransient adapts any error to a transient one (test injectors).
+type errTransient struct{ err error }
+
+func (e errTransient) Error() string   { return e.err.Error() }
+func (e errTransient) Unwrap() error   { return e.err }
+func (e errTransient) Transient() bool { return true }
+
+// MarkTransient wraps err so Transient reports true for it.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errTransient{err}
+}

@@ -1,0 +1,138 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDoStopsOnSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{Attempts: 5, Sleep: func(time.Duration) {}}
+	err := p.Do(context.Background(), 1, func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("blip"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoDoesNotRetryPermanent(t *testing.T) {
+	calls := 0
+	p := Policy{Attempts: 5, Sleep: func(time.Duration) {}}
+	boom := errors.New("disk on fire")
+	err := p.Do(context.Background(), 1, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("permanent error retried: %d calls", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls, retries := 0, 0
+	p := Policy{
+		Attempts: 4,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(int, error) { retries++ },
+	}
+	err := p.Do(context.Background(), 1, func() error {
+		calls++
+		return MarkTransient(errors.New("still down"))
+	})
+	if err == nil || !Transient(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 || retries != 3 {
+		t.Errorf("calls = %d retries = %d, want 4 and 3", calls, retries)
+	}
+}
+
+func TestDoRespectsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	p := Policy{Attempts: 3, Sleep: func(time.Duration) {}}
+	err := p.Do(ctx, 1, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("op ran under a canceled context")
+	}
+}
+
+func TestDoCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 3, Base: time.Hour}
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Do(ctx, 1, func() error {
+		return MarkTransient(errors.New("blip"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("backoff ignored cancellation: waited %v", elapsed)
+	}
+}
+
+func TestBackoffDeterministicCappedGrowing(t *testing.T) {
+	p := Policy{Attempts: 10, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Seed: 7}
+	var prev time.Duration
+	for n := 1; n <= 8; n++ {
+		d1 := p.Backoff(42, n)
+		d2 := p.Backoff(42, n)
+		if d1 != d2 {
+			t.Fatalf("jitter not deterministic at n=%d: %v vs %v", n, d1, d2)
+		}
+		if d1 > p.Max {
+			t.Errorf("n=%d: backoff %v above cap %v", n, d1, p.Max)
+		}
+		if d1 < p.Base/2 {
+			t.Errorf("n=%d: backoff %v below half the base", n, d1)
+		}
+		if n <= 3 && d1 < prev/2 {
+			t.Errorf("n=%d: backoff %v not growing (prev %v)", n, d1, prev)
+		}
+		prev = d1
+	}
+	if p.Backoff(1, 1) == p.Backoff(2, 1) {
+		t.Error("different keys produced identical jitter (herd risk)")
+	}
+}
+
+func TestTransientChainWalk(t *testing.T) {
+	base := MarkTransient(errors.New("flaky"))
+	wrapped := fmt.Errorf("day 2016-04-09: %w", base)
+	if !Transient(wrapped) {
+		t.Error("wrapped transient not detected")
+	}
+	joined := errors.Join(errors.New("other"), wrapped)
+	if !Transient(joined) {
+		t.Error("joined transient not detected")
+	}
+	if Transient(errors.New("plain")) {
+		t.Error("plain error reported transient")
+	}
+	if Transient(nil) {
+		t.Error("nil reported transient")
+	}
+}

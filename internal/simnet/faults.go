@@ -1,0 +1,43 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// FaultPlan is the slice of the fault injector the world consults at
+// emission time. It is declared here (rather than importing
+// faultinject) so the dependency points the right way: faultinject's
+// *Plan satisfies this interface structurally.
+type FaultPlan interface {
+	// DayOutage suppresses a whole day — the probe outages of the
+	// paper's section 2.3, reproduced on demand.
+	DayOutage(day time.Time) bool
+	// DropRecord drops the idx-th record of a day — the partial loss
+	// of an overloaded capture box.
+	DropRecord(day time.Time, idx uint64) bool
+}
+
+// EmitDayFaults is EmitDay filtered through a fault plan: it returns
+// false without emitting anything when the plan declares the day an
+// outage, and otherwise emits the day's records minus the ones the
+// plan drops. A nil plan emits everything (and returns true), so call
+// sites need no branching.
+func (w *World) EmitDayFaults(day time.Time, plan FaultPlan, fn func(*flowrec.Record)) bool {
+	if plan == nil {
+		w.EmitDay(day, fn)
+		return true
+	}
+	if plan.DayOutage(day) {
+		return false
+	}
+	var idx uint64
+	w.EmitDay(day, func(r *flowrec.Record) {
+		if !plan.DropRecord(day, idx) {
+			fn(r)
+		}
+		idx++
+	})
+	return true
+}

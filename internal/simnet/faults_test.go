@@ -1,0 +1,58 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// fakePlan is a hand-rolled FaultPlan for exercising EmitDayFaults
+// without importing faultinject (whose *Plan satisfies the same
+// interface structurally).
+type fakePlan struct {
+	outage bool
+	drop   func(idx uint64) bool
+}
+
+func (f fakePlan) DayOutage(time.Time) bool { return f.outage }
+
+func (f fakePlan) DropRecord(_ time.Time, idx uint64) bool {
+	return f.drop != nil && f.drop(idx)
+}
+
+func TestEmitDayFaults(t *testing.T) {
+	w := NewWorld(5, Scale{ADSL: 8, FTTH: 4})
+	day := time.Date(2016, 4, 12, 0, 0, 0, 0, time.UTC)
+
+	var all int
+	if ok := w.EmitDayFaults(day, nil, func(*flowrec.Record) { all++ }); !ok {
+		t.Fatal("nil plan reported an outage")
+	}
+	if all == 0 {
+		t.Fatal("baseline day emitted nothing")
+	}
+
+	// An outage suppresses the whole day and emits nothing.
+	n := 0
+	if ok := w.EmitDayFaults(day, fakePlan{outage: true}, func(*flowrec.Record) { n++ }); ok || n != 0 {
+		t.Fatalf("outage: ok=%v n=%d, want false, 0", ok, n)
+	}
+
+	// Dropping every other record halves the stream.
+	n = 0
+	plan := fakePlan{drop: func(idx uint64) bool { return idx%2 == 1 }}
+	if ok := w.EmitDayFaults(day, plan, func(*flowrec.Record) { n++ }); !ok {
+		t.Fatal("drop plan reported an outage")
+	}
+	want := (all + 1) / 2
+	if n != want {
+		t.Errorf("emitted %d records with odd indices dropped, want %d of %d", n, want, all)
+	}
+
+	// A plan that drops nothing is byte-identical to no plan.
+	n = 0
+	if ok := w.EmitDayFaults(day, fakePlan{}, func(*flowrec.Record) { n++ }); !ok || n != all {
+		t.Errorf("no-op plan: ok=%v n=%d, want true, %d", ok, n, all)
+	}
+}
