@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race claims bench benchbuild chaos fuzzsmoke
+.PHONY: ci vet build test race claims bench benchbuild chaos fuzzsmoke golden cover
 
 ## ci: the full gate — what a PR must pass.
-ci: vet build benchbuild race claims chaos fuzzsmoke
+ci: vet build benchbuild race claims chaos fuzzsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -15,9 +15,14 @@ build:
 test:
 	$(GO) test ./...
 
-## race: full suite under the race detector.
+## race: full suite under the race detector, with test order shuffled
+## so inter-test state dependence fails loudly rather than by luck.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+## cover: per-package coverage summary (part of ci).
+cover:
+	$(GO) test -cover ./...
 
 ## claims: the paper-claims regression suite alone.
 claims:
@@ -52,6 +57,13 @@ fuzzsmoke:
 		echo "fuzz $$pkg $$fn"; \
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime=$(FUZZTIME) -parallel=4 ./$$pkg >/dev/null || exit 1; \
 	done
+
+## golden: regenerate the golden-figure corpus (testdata/golden) from
+## the current code. Review the diff before committing — every change
+## here is a deliberate change to a published figure.
+golden:
+	$(GO) test ./internal/core -run '^TestGoldenFigures$$' -update-golden -count=1
+	@echo "regenerated internal/core/testdata/golden"
 
 ## bench: one benchmark per table/figure, 5 runs each, with a
 ## machine-readable summary in BENCH.json alongside the raw text.

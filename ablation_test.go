@@ -35,6 +35,31 @@ func BenchmarkAggregationWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkAggregationShards measures stage-one scaling across
+// shards-per-day — the within-day axis of parallelism, orthogonal to
+// workers. Workers is pinned to 1 so each day's fold runs alone and
+// the shard fan-out is the only variable; on a single-core box the
+// interesting number is the s1 overhead (should be ~zero: s1 takes
+// the serial-fold path, no channels).
+func BenchmarkAggregationShards(b *testing.B) {
+	days := core.MonthDays(2016, time.March)[:8]
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "s1", 2: "s2", 4: "s4", 8: "s8"}[shards], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := core.New(core.Config{
+					Seed:         3,
+					Scale:        simnet.Scale{ADSL: 40, FTTH: 20},
+					Workers:      1,
+					ShardsPerDay: shards,
+				})
+				if _, err := p.Aggregate(context.Background(), days); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFlowFastPath measures record generation without packets.
 func BenchmarkFlowFastPath(b *testing.B) {
 	w := simnet.NewWorld(1, simnet.Scale{ADSL: 40, FTTH: 20})

@@ -36,6 +36,8 @@ func main() {
 		adsl       = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
 		ftth       = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
 		csv        = flag.String("csv", "", "also dump the first generated day as CSV to this file")
+		aggDir     = flag.String("agg", "", "after generating, prewarm a per-day aggregate cache in this directory")
+		shards     = flag.Int("shards", 0, "per-day shard aggregators for the -agg prewarm (0 = auto, 1 = serial fold)")
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -112,6 +114,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("CSV dump of %s written to %s\n", days[0].Format("2006-01-02"), *csv)
+	}
+
+	// Prewarm: run stage one over the freshly written lake so the first
+	// edgereport against it starts from cached aggregates (sharded runs
+	// cache mergeable partials). The generation pipeline carries no
+	// store wiring, so a second pipeline reads what the first wrote.
+	if *aggDir != "" {
+		t1 := time.Now()
+		warmCfg := cfg
+		warmCfg.Store = store
+		warmCfg.AggCacheDir = *aggDir
+		warmCfg.ShardsPerDay = *shards
+		warmCfg.Faults = nil // chaos is a generation-side concern; the prewarm reads clean
+		warm := core.New(warmCfg)
+		aggs, err := warm.Aggregate(ctx, days)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgegen: agg prewarm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prewarmed %d day aggregates into %s in %v\n",
+			len(aggs), *aggDir, time.Since(t1).Round(time.Millisecond))
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +45,7 @@ func main() {
 		adsl       = flag.Int("adsl", 12, "ADSL subscriber count")
 		ftth       = flag.Int("ftth", 6, "FTTH subscriber count")
 		capKiB     = flag.Int("flowcap", 96, "materialised payload cap per flow direction (KiB)")
+		shards     = flag.Int("shards", 1, "parallel probe workers per day (flow-hash packet fan-out); record order in the store varies with the count, record content does not")
 		pcapIn     = flag.String("pcap-in", "", "replay packets from this pcap file instead of simulating")
 		pcapOut    = flag.String("pcap-out", "", "also dump the simulated packet stream to this pcap file")
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
@@ -125,11 +127,15 @@ func main() {
 			fmt.Printf("%s: probe outage (injected), day skipped\n", day.Format("2006-01-02"))
 			continue
 		}
-		var pr *probe.Probe
+		var dayStats probe.Stats
 		err := pol.Do(context.Background(), uint64(day.Unix()), func() error {
 			_, werr := dst.WriteDay(day, func(write func(*flowrec.Record) error) error {
+				// With -shards > 1 records arrive concurrently from the
+				// shard workers, but the day writer is single-lane: the
+				// mutex funnels them back into one stream.
+				var mu sync.Mutex
 				var recErr error
-				pr = probe.New(probe.Config{
+				cfg := probe.Config{
 					Subscriber:       world.SubscriberLookup,
 					AnonKey:          world.AnonKey(),
 					SPDYVisibleSince: simnet.SPDYVisibleSince(),
@@ -137,12 +143,27 @@ func main() {
 						// Clamp to the partition day: flows crossing
 						// midnight land in the day they started, as in
 						// Tstat logs.
+						mu.Lock()
 						if recErr == nil && r.Day().Equal(day) {
 							recErr = write(r)
 						}
+						mu.Unlock()
 					},
-				})
-				feed := pr.Feed
+				}
+				var feed func(probe.Packet)
+				var finish func()
+				if *shards > 1 {
+					// Flow-hash packet fan-out across independent probes,
+					// the deployment's DPDK-queue layout. Safe here: the
+					// simulator hands every packet its own buffer.
+					sp := probe.NewSharded(*shards, cfg)
+					feed = sp.Feed
+					finish = func() { sp.Close(); dayStats = sp.Stats() }
+				} else {
+					pr := probe.New(cfg)
+					feed = pr.Feed
+					finish = func() { pr.Flush(); dayStats = pr.Stats }
+				}
 				var pw *pcap.Writer
 				if *pcapOut != "" {
 					f, err := os.Create(*pcapOut)
@@ -155,17 +176,18 @@ func main() {
 						fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
 						os.Exit(1)
 					}
+					inner := feed
 					feed = func(p probe.Packet) {
 						if err := pw.WritePacket(p.TS, p.Data); err != nil {
 							fmt.Fprintf(os.Stderr, "edgeprobe: pcap: %v\n", err)
 							os.Exit(1)
 						}
-						pr.Feed(p)
+						inner(p)
 					}
 					*pcapOut = "" // one file covers the first day only
 				}
 				world.EmitDayPackets(day, simnet.PacketOptions{MaxFlowBytes: uint64(*capKiB) << 10}, feed)
-				pr.Flush()
+				finish()
 				if pw != nil {
 					if err := pw.Flush(); err != nil {
 						fmt.Fprintf(os.Stderr, "edgeprobe: pcap: %v\n", err)
@@ -180,9 +202,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "edgeprobe: %s: %v\n", day.Format("2006-01-02"), err)
 			os.Exit(1)
 		}
-		totalFlows += pr.Stats.FlowsExported
-		totalPkts += pr.Stats.Packets
-		fmt.Printf("%s: %s\n", day.Format("2006-01-02"), pr.Stats)
+		totalFlows += dayStats.FlowsExported
+		totalPkts += dayStats.Packets
+		fmt.Printf("%s: %s\n", day.Format("2006-01-02"), dayStats)
 	}
 	fmt.Printf("probe path done: %d packets -> %d flows in %v\n",
 		totalPkts, totalFlows, time.Since(t0).Round(time.Millisecond))

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/analytics"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/flowrec"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/retry"
 )
@@ -38,9 +40,17 @@ func main() {
 		rules    = flag.String("rules", "", "classification rules file (default: built-in list)")
 		csvOut   = flag.String("csv", "", "write matching records as CSV to this file ('-' = stdout)")
 		summary  = flag.Bool("summary", false, "print per-service volume summary")
+		shards   = flag.Int("shards", 1, "parallel scan shards per day; CSV output forces 1 (record order must be preserved)")
+		stats    = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		faults   = flag.String("faults", "", `fault-injection spec, e.g. "readday:p=0.2,transient" (see README)`)
 	)
 	flag.Parse()
+	if *stats {
+		defer func() {
+			fmt.Println("\n== pipeline metrics ==")
+			metrics.WriteText(os.Stdout)
+		}()
+	}
 	if *storeDir == "" || *from == "" {
 		fmt.Fprintln(os.Stderr, "edgequery: -store and -from are required")
 		os.Exit(2)
@@ -102,10 +112,25 @@ func main() {
 		}
 	}
 
-	type sum struct {
-		flows    uint64
-		down, up uint64
+	match := func(svc classify.Service, r *flowrec.Record) bool {
+		if *service != "" && svc != classify.Service(*service) {
+			return false
+		}
+		if *proto != "" && r.Web.String() != *proto {
+			return false
+		}
+		if *subID >= 0 && r.SubID != uint32(*subID) {
+			return false
+		}
+		return true
 	}
+	// CSV rows must come out in store order, so the parallel scan only
+	// serves the summary path.
+	scanShards := *shards
+	if cw != nil || scanShards < 1 {
+		scanShards = 1
+	}
+
 	bySvc := make(map[classify.Service]*sum)
 	var matched, scanned uint64
 
@@ -120,16 +145,13 @@ func main() {
 			dayScanned, dayMatched = 0, 0
 			dayBySvc = make(map[classify.Service]*sum)
 			dayRecs = dayRecs[:0]
+			if scanShards > 1 {
+				return scanSharded(src, cls, day, scanShards, match, &dayScanned, &dayMatched, dayBySvc)
+			}
 			return src.ReadDay(day, func(r *flowrec.Record) error {
 				dayScanned++
 				svc := analytics.ServiceOf(cls, r)
-				if *service != "" && svc != classify.Service(*service) {
-					return nil
-				}
-				if *proto != "" && r.Web.String() != *proto {
-					return nil
-				}
-				if *subID >= 0 && r.SubID != uint32(*subID) {
+				if !match(svc, r) {
 					return nil
 				}
 				dayMatched++
@@ -205,6 +227,99 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// sum is a per-service volume tally.
+type sum struct {
+	flows    uint64
+	down, up uint64
+}
+
+// scanSharded fans one day's records out over k shard workers (hash of
+// the anonymized client address, like the stage-one shard aggregators)
+// and merges the per-shard summaries. Tallies are order-independent,
+// so the result matches the serial scan exactly for any k.
+func scanSharded(src core.Storage, cls *classify.Classifier, day time.Time, k int,
+	match func(classify.Service, *flowrec.Record) bool,
+	scanned, matched *uint64, bySvc map[classify.Service]*sum) error {
+	type state struct {
+		scanned, matched uint64
+		bySvc            map[classify.Service]*sum
+	}
+	states := make([]*state, k)
+	chans := make([]chan []flowrec.Record, k)
+	var wg sync.WaitGroup
+	for i := range states {
+		states[i] = &state{bySvc: make(map[classify.Service]*sum)}
+		chans[i] = make(chan []flowrec.Record, 4)
+		wg.Add(1)
+		go func(st *state, in <-chan []flowrec.Record) {
+			defer wg.Done()
+			for batch := range in {
+				for j := range batch {
+					r := &batch[j]
+					st.scanned++
+					svc := analytics.ServiceOf(cls, r)
+					if !match(svc, r) {
+						continue
+					}
+					st.matched++
+					s := st.bySvc[svc]
+					if s == nil {
+						s = &sum{}
+						st.bySvc[svc] = s
+					}
+					s.flows++
+					s.down += r.BytesDown
+					s.up += r.BytesUp
+				}
+			}
+		}(states[i], chans[i])
+	}
+	const batchLen = 512
+	bufs := make([][]flowrec.Record, k)
+	flush := func(i int) {
+		if len(bufs[i]) == 0 {
+			return
+		}
+		chans[i] <- bufs[i]
+		bufs[i] = nil
+	}
+	err := src.ReadDay(day, func(r *flowrec.Record) error {
+		i := r.Shard(k)
+		if bufs[i] == nil {
+			bufs[i] = make([]flowrec.Record, 0, batchLen)
+		}
+		bufs[i] = append(bufs[i], *r) // the decoder reuses its record buffer
+		if len(bufs[i]) == batchLen {
+			flush(i)
+		}
+		return nil
+	})
+	// Always drain and join, even on a read error.
+	for i := range chans {
+		flush(i)
+		close(chans[i])
+	}
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	for _, st := range states {
+		*scanned += st.scanned
+		*matched += st.matched
+		for svc, s := range st.bySvc {
+			d := bySvc[svc]
+			if d == nil {
+				d = &sum{}
+				bySvc[svc] = d
+			}
+			d.flows += s.flows
+			d.down += s.down
+			d.up += s.up
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

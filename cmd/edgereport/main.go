@@ -38,6 +38,7 @@ func main() {
 		stride     = flag.Int("stride", 7, "day sampling stride for full-span experiments")
 		scale      = flag.String("scale", "default", "population scale: small, default, large")
 		workers    = flag.Int("workers", 0, "parallel aggregation workers (0 = NumCPU)")
+		shards     = flag.Int("shards", 0, "per-day shard aggregators; results are byte-identical for any value (0 = auto, 1 = serial fold)")
 		store      = flag.String("store", "", "read records from this flow store instead of simulating")
 		rules      = flag.String("rules", "", "classification rules file (default: built-in list)")
 		aggDir     = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
@@ -78,8 +79,8 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Seed: *seed, Stride: *stride, Workers: *workers, AggCacheDir: *aggDir,
-		Degrade: *degrade, DayTimeout: *dayTimeout,
+		Seed: *seed, Stride: *stride, Workers: *workers, ShardsPerDay: *shards,
+		AggCacheDir: *aggDir, Degrade: *degrade, DayTimeout: *dayTimeout,
 	}
 	if *faults != "" {
 		plan, perr := faultinject.Parse(*faults)

@@ -12,7 +12,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -320,106 +319,14 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 // sets map-based accumulation produced, so figures, the gob agg-cache
 // and CSV export see an unchanged schema. RTT reservoirs materialise
 // in canonical (hash) order, so equal record sets yield byte-identical
-// aggregates whatever the order they arrived in.
+// aggregates whatever the order they arrived in. Result is the
+// 1-shard special case of the mergeable form: Partial().Finish()
+// (see merge.go).
 func (a *Aggregator) Result() *DayAgg {
 	if a.finished {
 		return a.agg
 	}
-	a.finished = true
-	agg := a.agg
-
-	// Subscriptions: batch-allocate the SubDay and SvcUse backing
-	// arrays, then size each PerSvc map to its exact touched count.
-	agg.Subs = make(map[uint32]*SubDay, len(a.subs))
-	subDays := make([]SubDay, len(a.subs))
-	nUse := 0
-	for _, sa := range a.subs {
-		for id := range sa.perSvc {
-			if sa.perSvc[id].touched {
-				nUse++
-			}
-		}
-	}
-	uses := make([]SvcUse, nUse)
-	si, ui := 0, 0
-	for subID, sa := range a.subs {
-		sd := &subDays[si]
-		si++
-		sd.Tech = sa.tech
-		sd.Flows = sa.flows
-		sd.Down = sa.down
-		sd.Up = sa.up
-		n := 0
-		for id := range sa.perSvc {
-			if sa.perSvc[id].touched {
-				n++
-			}
-		}
-		sd.PerSvc = make(map[classify.Service]*SvcUse, n)
-		for id := range sa.perSvc {
-			if u := &sa.perSvc[id]; u.touched {
-				use := &uses[ui]
-				ui++
-				use.Down = u.down
-				use.Up = u.up
-				sd.PerSvc[a.cls.ServiceName(classify.ServiceID(id))] = use
-			}
-		}
-		agg.Subs[subID] = sd
-	}
-	a.subs = nil
-
-	// Per-service byte totals: every service any record classified to,
-	// Unknown included.
-	agg.ServiceBytes = make(map[classify.Service]uint64, a.nsvc)
-	for id, touched := range a.svcTouched {
-		if touched {
-			agg.ServiceBytes[a.cls.ServiceName(classify.ServiceID(id))] = a.svcBytes[id]
-		}
-	}
-
-	// Server inventory: expand each address's service bitset.
-	agg.ServerIPs = make(map[wire.Addr]*IPInfo, len(a.ips))
-	infos := make([]IPInfo, len(a.ips))
-	ii := 0
-	for addr, acc := range a.ips {
-		info := &infos[ii]
-		ii++
-		info.Bytes = acc.bytes
-		info.Services = make(map[classify.Service]bool, bits.OnesCount64(acc.svcs)+len(acc.over))
-		for set := acc.svcs; set != 0; set &= set - 1 {
-			id := classify.ServiceID(bits.TrailingZeros64(set))
-			info.Services[a.cls.ServiceName(id)] = true
-		}
-		for id := range acc.over {
-			info.Services[a.cls.ServiceName(id)] = true
-		}
-		agg.ServerIPs[addr] = info
-	}
-	a.ips = nil
-
-	// Domain drill-down: the internal per-ID maps become the exported
-	// inner maps directly — no copying.
-	agg.DomainBytes = make(map[classify.Service]map[string]uint64, 8)
-	for id, m := range a.domainBytes {
-		if m != nil {
-			agg.DomainBytes[a.cls.ServiceName(classify.ServiceID(id))] = m
-		}
-	}
-	a.domainBytes = nil
-
-	agg.RTTMinMs = make(map[classify.Service][]float64, 6)
-	for id, res := range a.rtt {
-		if res != nil {
-			agg.RTTMinMs[a.cls.ServiceName(classify.ServiceID(id))] = res.values()
-		}
-	}
-	a.rtt = nil
-
-	if agg.QUICVersions == nil {
-		agg.QUICVersions = make(map[string]uint64)
-	}
-	return agg
+	return a.Partial().Finish()
 }
 
 // timeBin maps a timestamp to its 10-minute bin.
@@ -518,6 +425,14 @@ func (d DayError) Unwrap() error { return d.Err }
 type RunConfig struct {
 	// Workers bounds pool parallelism; <=0 means 4.
 	Workers int
+	// ShardsPerDay splits each day's records across this many
+	// concurrent shard aggregators (hash of the anonymized client
+	// address) and merges the partials — the within-day parallelism
+	// the paper gets from its Hadoop reduction. The merged result is
+	// byte-identical to the 1-shard fold for any value. 0 auto-sizes
+	// from GOMAXPROCS and the worker count (ResolveShards); 1 keeps
+	// the serial fold.
+	ShardsPerDay int
 	// Retry re-runs a day whose source failed transiently (fresh
 	// aggregator per attempt — a half-fed aggregator is never
 	// reused). The zero policy tries each day exactly once.
@@ -525,6 +440,12 @@ type RunConfig struct {
 	// DayTimeout caps one day's aggregation (all its attempts
 	// together). Zero means no per-day deadline.
 	DayTimeout time.Duration
+	// OnDayPartials, when set and a day was sharded, receives each
+	// day's shard partials after aggregation succeeds and before they
+	// merge — the agg cache hook. The callback must not mutate the
+	// partials (the merge never does) and may run concurrently from
+	// several day workers.
+	OnDayPartials func(day time.Time, parts []*Partial)
 }
 
 // Run aggregates the given days with a bounded pool of workers
@@ -568,6 +489,7 @@ func RunReport(ctx context.Context, src Source, days []time.Time, cls *classify.
 	if len(days) == 0 {
 		return nil, nil, ctx.Err()
 	}
+	shards := ResolveShards(cfg.ShardsPerDay, workers)
 	type result struct {
 		agg *DayAgg
 		err error
@@ -593,7 +515,7 @@ func RunReport(ctx context.Context, src Source, days []time.Time, cls *classify.
 				}
 				day := days[i]
 				t0 := time.Now()
-				agg, err := runDay(ctx, src, day, cls, cfg)
+				agg, err := runDay(ctx, src, day, cls, cfg, shards)
 				elapsed := time.Since(t0)
 				busy[w] += elapsed
 				mStage1DayWall.ObserveDuration(elapsed)
@@ -645,9 +567,9 @@ func RunReport(ctx context.Context, src Source, days []time.Time, cls *classify.
 }
 
 // runDay aggregates one day under its deadline and retry policy. Every
-// attempt starts a fresh aggregator: a partially-fed one must never
+// attempt starts fresh aggregators: a partially-fed one must never
 // leak half a day into the result.
-func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, cfg RunConfig) (*DayAgg, error) {
+func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, cfg RunConfig, shards int) (*DayAgg, error) {
 	dctx := ctx
 	if cfg.DayTimeout > 0 {
 		var cancel context.CancelFunc
@@ -656,6 +578,14 @@ func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classi
 	}
 	var agg *DayAgg
 	err := cfg.Retry.Do(dctx, uint64(day.Unix()), func() error {
+		if shards > 1 {
+			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials)
+			if rerr != nil {
+				return rerr
+			}
+			agg = a
+			return nil
+		}
 		a := NewAggregator(day, cls)
 		if rerr := records(dctx, src, day, a.Add); rerr != nil {
 			return rerr

@@ -115,8 +115,13 @@ func MonthlySeries(aggs []*DayAgg) []MonthlyMean {
 // HourlyRatio computes, per 10-minute bin, the ratio of mean
 // per-subscriber downloaded bytes between two periods (numerator over
 // denominator), Bézier-smoothed like the paper's plot. Bins where the
-// denominator is empty carry a ratio of 0.
+// denominator is empty carry a ratio of 0. With no aggregates in
+// either period there is no curve at all: the result is empty, never
+// a smoothed row of NaN or zero points masquerading as data.
 func HourlyRatio(num, den []*DayAgg, tech flowrec.AccessTech, smooth int) []stats.Point {
+	if len(num) == 0 && len(den) == 0 {
+		return nil
+	}
 	perBin := func(aggs []*DayAgg) [TimeBinCount]float64 {
 		var bins [TimeBinCount]float64
 		var subDays float64

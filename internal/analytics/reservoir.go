@@ -102,6 +102,24 @@ func (r *rttReservoir) values() []float64 {
 	return out
 }
 
+// partial exports the reservoir as its mergeable form: parallel
+// (hash, ms) arrays in canonical (hash, ms) order, plus cap and the
+// offered-sample count. The heap is consumed, like values.
+func (r *rttReservoir) partial() *RTTPartial {
+	sort.Slice(r.heap, func(i, j int) bool { return r.heap[i].less(r.heap[j]) })
+	p := &RTTPartial{
+		Cap:  r.cap,
+		Seen: r.seen,
+		Hash: make([]uint64, len(r.heap)),
+		Ms:   make([]float64, len(r.heap)),
+	}
+	for i, s := range r.heap {
+		p.Hash[i] = s.hash
+		p.Ms[i] = s.ms
+	}
+	return p
+}
+
 // flowSampleHash derives the seed-free sampling hash from a record's
 // flow identity, packed into three words with a murmur-style
 // finalizer round between each. Every field is part of what makes a

@@ -56,6 +56,82 @@ func loadAgg(dir string, day time.Time) *analytics.DayAgg {
 	return env.Agg
 }
 
+// Shard-partial cache files. A sharded run persists each day's
+// unmerged shard partials instead of the final aggregate, so an
+// incremental re-run — possibly with a different worker or shard
+// count — merges the cached shards (cheap) instead of re-reading the
+// day's records (expensive). The merge is the same monoid the live
+// path uses, so replayed days stay byte-identical.
+
+// partialCacheVersion invalidates old partial files when the partial
+// schema changes, independently of the final-aggregate envelope.
+const partialCacheVersion = 1
+
+// cachedPartials is the on-disk envelope for one day's shards.
+type cachedPartials struct {
+	Version int
+	Day     time.Time
+	Parts   []*analytics.Partial
+}
+
+// partialCachePath names the shard-partial file for a day.
+func partialCachePath(dir string, day time.Time) string {
+	return filepath.Join(dir, fmt.Sprintf("parts-%s-v%d.gob.gz", day.Format("20060102"), partialCacheVersion))
+}
+
+// loadPartials reads a day's cached shard partials, nil when absent or
+// unusable — same trust model as loadAgg.
+func loadPartials(dir string, day time.Time) []*analytics.Partial {
+	f, err := os.Open(partialCachePath(dir, day))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil
+	}
+	defer gz.Close()
+	var env cachedPartials
+	if err := gob.NewDecoder(gz).Decode(&env); err != nil {
+		return nil
+	}
+	if env.Version != partialCacheVersion || len(env.Parts) == 0 || !env.Day.Equal(day) {
+		return nil
+	}
+	return env.Parts
+}
+
+// savePartials writes a day's shard partials, atomically like saveAgg.
+func savePartials(dir string, day time.Time, parts []*analytics.Partial) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: partial cache: %w", err)
+	}
+	path := partialCachePath(dir, day)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: partial cache: %w", err)
+	}
+	gz := gzip.NewWriter(f)
+	err = gob.NewEncoder(gz).Encode(cachedPartials{Version: partialCacheVersion, Day: day, Parts: parts})
+	if cerr := gz.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: partial cache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: partial cache: %w", err)
+	}
+	return nil
+}
+
 // saveAgg writes an aggregate to the cache. Failures are returned so
 // callers can surface them; a full disk should not pass silently.
 func saveAgg(dir string, agg *analytics.DayAgg) error {

@@ -42,6 +42,7 @@ var (
 	mMemMisses    = metrics.GetCounter("aggcache.mem_misses")
 	mDiskHits     = metrics.GetCounter("aggcache.disk_hits")
 	mDiskMisses   = metrics.GetCounter("aggcache.disk_misses")
+	mPartialHits  = metrics.GetCounter("aggcache.partial_hits")
 	mGenDayWall   = metrics.GetTimer("store_gen.day_wall")
 	mGenRecords   = metrics.GetCounter("store_gen.records")
 	mStoreRetries = metrics.GetCounter("store.retries")
@@ -60,6 +61,14 @@ type Config struct {
 	Stride int
 	// Workers bounds stage-one parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// ShardsPerDay splits each day's records across this many
+	// concurrent shard aggregators and merges the partials — within-
+	// day parallelism on top of the across-day worker pool, with
+	// byte-identical results for any value (the analytics merge
+	// monoid guarantees it). 0 auto-sizes from GOMAXPROCS and
+	// Workers; 1 forces the serial per-day fold. Exposed as -shards
+	// on the binaries.
+	ShardsPerDay int
 	// Store, when set, reads flow records from an on-disk lake
 	// instead of generating them on the fly. Days missing from the
 	// store are treated as probe outages.
@@ -350,8 +359,19 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 	if p.cacheAggs() {
 		loaded := make([]*analytics.DayAgg, len(owned))
 		p.eachIndex(len(owned), func(i int) {
-			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil {
+			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil && agg != nil {
 				loaded[i] = agg
+				return
+			}
+			// Final-aggregate miss: a sharded run may have cached the
+			// day as unmerged shard partials instead — merging them is
+			// the same reduce step the live path runs, minus reading
+			// the records.
+			if parts, lerr := p.storage.LoadPartials(owned[i]); lerr == nil && len(parts) > 0 {
+				if agg, merr := analytics.MergePartials(owned[i], parts); merr == nil {
+					loaded[i] = agg
+					mPartialHits.Inc()
+				}
 			}
 		})
 		missing = nil
@@ -367,8 +387,28 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 	}
 
 	if len(missing) > 0 {
-		aggs, dayErrs, runErr := analytics.RunReport(ctx, p.Source(), missing, p.Cls,
-			analytics.RunConfig{Workers: p.cfg.Workers, Retry: p.retry, DayTimeout: p.cfg.DayTimeout})
+		runCfg := analytics.RunConfig{
+			Workers:      p.cfg.Workers,
+			ShardsPerDay: p.cfg.ShardsPerDay,
+			Retry:        p.retry,
+			DayTimeout:   p.cfg.DayTimeout,
+		}
+		// When a day aggregates sharded, cache its unmerged partials;
+		// the final SaveAgg below is skipped for those days. Save
+		// failures degrade to the SaveAgg fallback, never to a lost
+		// aggregate.
+		var partialsSaved sync.Map
+		if p.cacheAggs() {
+			runCfg.OnDayPartials = func(day time.Time, parts []*analytics.Partial) {
+				serr := p.retry.Do(ctx, uint64(day.Unix()), func() error {
+					return p.storage.SavePartials(day, parts)
+				})
+				if serr == nil {
+					partialsSaved.Store(day, true)
+				}
+			}
+		}
+		aggs, dayErrs, runErr := analytics.RunReport(ctx, p.Source(), missing, p.Cls, runCfg)
 		if runErr != nil {
 			return runErr
 		}
@@ -393,6 +433,9 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 		if p.cacheAggs() {
 			saveErrs := make([]error, len(aggs))
 			p.eachIndex(len(aggs), func(i int) {
+				if _, ok := partialsSaved.Load(aggs[i].Day); ok {
+					return // cached as shard partials already
+				}
 				saveErrs[i] = p.retry.Do(ctx, uint64(aggs[i].Day.Unix()), func() error {
 					return p.storage.SaveAgg(aggs[i])
 				})
@@ -458,7 +501,8 @@ func (p *Pipeline) eachIndex(n int, fn func(int)) {
 // day failures land in the DayErrors report.
 func (p *Pipeline) runStage1(ctx context.Context, src analytics.Source, days []time.Time, workers int) ([]*analytics.DayAgg, error) {
 	aggs, dayErrs, err := analytics.RunReport(ctx, src, days, p.Cls,
-		analytics.RunConfig{Workers: workers, Retry: p.retry, DayTimeout: p.cfg.DayTimeout})
+		analytics.RunConfig{Workers: workers, ShardsPerDay: p.cfg.ShardsPerDay,
+			Retry: p.retry, DayTimeout: p.cfg.DayTimeout})
 	if err != nil {
 		return nil, err
 	}

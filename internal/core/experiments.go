@@ -322,6 +322,12 @@ func runFig4(ctx context.Context, p *Pipeline, w io.Writer) error {
 	const points = 25
 	adsl := analytics.HourlyRatio(a17, a14, flowrec.TechADSL, points)
 	ftth := analytics.HourlyRatio(a17, a14, flowrec.TechFTTH, points)
+	// A fully degraded run can lose both April windows; an empty curve
+	// is a report note, not an index panic.
+	if len(adsl) < points || len(ftth) < points {
+		_, err := fmt.Fprintln(w, "(no data: both comparison periods are empty)")
+		return err
+	}
 	rows := make([][]string, 0, points)
 	for i := 0; i < points; i++ {
 		rows = append(rows, []string{

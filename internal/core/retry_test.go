@@ -134,11 +134,13 @@ func (f *cancelStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) e
 func (f *cancelStorage) WriteDay(time.Time, func(write func(*flowrec.Record) error) error) (uint64, error) {
 	return 0, errors.New("not writable")
 }
-func (f *cancelStorage) HasDay(time.Time) bool                       { return true }
-func (f *cancelStorage) Days() ([]time.Time, error)                  { return nil, nil }
-func (f *cancelStorage) QuarantineDay(time.Time) error               { return nil }
-func (f *cancelStorage) LoadAgg(time.Time) (*analytics.DayAgg, error) { return nil, nil }
-func (f *cancelStorage) SaveAgg(*analytics.DayAgg) error             { return nil }
+func (f *cancelStorage) HasDay(time.Time) bool                                { return true }
+func (f *cancelStorage) Days() ([]time.Time, error)                           { return nil, nil }
+func (f *cancelStorage) QuarantineDay(time.Time) error                        { return nil }
+func (f *cancelStorage) LoadAgg(time.Time) (*analytics.DayAgg, error)         { return nil, nil }
+func (f *cancelStorage) SaveAgg(*analytics.DayAgg) error                      { return nil }
+func (f *cancelStorage) LoadPartials(time.Time) ([]*analytics.Partial, error) { return nil, nil }
+func (f *cancelStorage) SavePartials(time.Time, []*analytics.Partial) error   { return nil }
 
 // TestAggregatePreCancelled: a context cancelled before the call must
 // fail fast without reserving (and thus without poisoning) any day.

@@ -37,6 +37,13 @@ type Storage interface {
 	LoadAgg(day time.Time) (*analytics.DayAgg, error)
 	// SaveAgg persists one day's aggregate; a no-op without a cache.
 	SaveAgg(agg *analytics.DayAgg) error
+	// LoadPartials returns a day's cached shard partials, (nil, nil)
+	// on a miss. A sharded incremental re-run merges these instead of
+	// re-reading the day's records.
+	LoadPartials(day time.Time) ([]*analytics.Partial, error)
+	// SavePartials persists a day's shard partials; a no-op without a
+	// cache.
+	SavePartials(day time.Time, parts []*analytics.Partial) error
 }
 
 // DiskStorage is the production Storage: a flowrec day-partitioned
@@ -115,4 +122,21 @@ func (d *DiskStorage) SaveAgg(agg *analytics.DayAgg) error {
 		return nil
 	}
 	return saveAgg(d.aggDir, agg)
+}
+
+// LoadPartials implements Storage. Like LoadAgg, anything short of a
+// healthy, version-matched file reads as a miss.
+func (d *DiskStorage) LoadPartials(day time.Time) ([]*analytics.Partial, error) {
+	if d.aggDir == "" {
+		return nil, nil
+	}
+	return loadPartials(d.aggDir, day), nil
+}
+
+// SavePartials implements Storage.
+func (d *DiskStorage) SavePartials(day time.Time, parts []*analytics.Partial) error {
+	if d.aggDir == "" {
+		return nil
+	}
+	return savePartials(d.aggDir, day, parts)
 }

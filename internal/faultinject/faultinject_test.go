@@ -241,6 +241,10 @@ func (m *memStorage) LoadAgg(d time.Time) (*analytics.DayAgg, error) { return m.
 
 func (m *memStorage) SaveAgg(a *analytics.DayAgg) error { m.aggs[a.Day] = a; return nil }
 
+func (m *memStorage) LoadPartials(time.Time) ([]*analytics.Partial, error) { return nil, nil }
+
+func (m *memStorage) SavePartials(time.Time, []*analytics.Partial) error { return nil }
+
 func fillDay(m *memStorage, d time.Time, n int) {
 	for i := 0; i < n; i++ {
 		m.days[d] = append(m.days[d], &flowrec.Record{

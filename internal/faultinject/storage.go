@@ -27,6 +27,11 @@ type Storage interface {
 	// LoadAgg and SaveAgg access the per-day aggregate cache.
 	LoadAgg(day time.Time) (*analytics.DayAgg, error)
 	SaveAgg(agg *analytics.DayAgg) error
+	// LoadPartials and SavePartials access the shard-partial side of
+	// the aggregate cache (sharded stage-one runs persist unmerged
+	// shard partials; incremental re-runs merge them back).
+	LoadPartials(day time.Time) ([]*analytics.Partial, error)
+	SavePartials(day time.Time, parts []*analytics.Partial) error
 }
 
 // FaultyStorage injects the plan's faults in front of an inner
@@ -126,6 +131,26 @@ func (s *FaultyStorage) SaveAgg(agg *analytics.DayAgg) error {
 		return f
 	}
 	return s.inner.SaveAgg(agg)
+}
+
+// LoadPartials injects cache-load faults: the partial cache is the
+// same failure domain as the final-aggregate cache, so loadagg rules
+// cover both.
+func (s *FaultyStorage) LoadPartials(day time.Time) ([]*analytics.Partial, error) {
+	attempt := s.plan.next(OpLoadAgg, day)
+	if f := s.plan.fault(OpLoadAgg, day, attempt); f != nil {
+		return nil, f
+	}
+	return s.inner.LoadPartials(day)
+}
+
+// SavePartials injects cache-save faults, under the saveagg rules.
+func (s *FaultyStorage) SavePartials(day time.Time, parts []*analytics.Partial) error {
+	attempt := s.plan.next(OpSaveAgg, day)
+	if f := s.plan.fault(OpSaveAgg, day, attempt); f != nil {
+		return f
+	}
+	return s.inner.SavePartials(day, parts)
 }
 
 // IsCorruption reports whether the fault damages data (bitflip or

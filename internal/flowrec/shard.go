@@ -1,0 +1,33 @@
+package flowrec
+
+// Shard-key derivation for parallel stage-one aggregation. A day's
+// records split across K shard aggregators by a hash of the anonymized
+// client address, so every record of a subscription lands on the same
+// shard — per-subscription accumulators never straddle shards, and the
+// sharded reduction merges back into exactly the single-fold result.
+// The hash must be seed-free and stable across runs, machines and
+// worker counts: the shard assignment is part of what makes a sharded
+// run reproducible.
+
+// ShardKey returns the record's stable shard-assignment hash, derived
+// from the anonymized client address only. Records of one subscriber
+// always share a key; the key is uniform over subscribers and
+// independent of everything the aggregates measure.
+func (r *Record) ShardKey() uint64 {
+	cli := uint64(r.Client[0])<<24 | uint64(r.Client[1])<<16 |
+		uint64(r.Client[2])<<8 | uint64(r.Client[3])
+	// splitmix64-style finalizer: full avalanche from the 32 address
+	// bits so taking the key modulo small K stays balanced.
+	h := cli + 0x9e3779b97f4a7c15
+	h = (h ^ h>>30) * 0xbf58476d1ce4e5b9
+	h = (h ^ h>>27) * 0x94d049bb133111eb
+	return h ^ h>>31
+}
+
+// Shard maps the record onto one of k shards. k must be >= 1.
+func (r *Record) Shard(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	return int(r.ShardKey() % uint64(k))
+}

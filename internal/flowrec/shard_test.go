@@ -1,0 +1,66 @@
+package flowrec
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestShardKeyStable pins the shard hash: it is part of the sharded
+// run's reproducibility contract, so a change here is a breaking
+// change to every cached shard partial.
+func TestShardKeyStable(t *testing.T) {
+	r := sampleRecord()
+	k1 := r.ShardKey()
+	if k2 := r.ShardKey(); k2 != k1 {
+		t.Fatalf("ShardKey not deterministic: %x vs %x", k1, k2)
+	}
+	// Same client, completely different flow → same key.
+	q := sampleRecord()
+	q.Server = wire.AddrFrom(8, 8, 8, 8)
+	q.SrvPort = 53
+	q.Web = WebDNS
+	q.BytesDown = 1
+	if q.ShardKey() != k1 {
+		t.Fatal("ShardKey depends on non-client fields")
+	}
+	// Different client → (overwhelmingly) different key.
+	o := sampleRecord()
+	o.Client = wire.AddrFrom(10, 55, 2, 4)
+	if o.ShardKey() == k1 {
+		t.Fatal("adjacent clients collide on the full 64-bit key")
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	r := sampleRecord()
+	for _, k := range []int{-3, 0, 1} {
+		if s := r.Shard(k); s != 0 {
+			t.Errorf("Shard(%d) = %d, want 0", k, s)
+		}
+	}
+	for _, k := range []int{2, 3, 8, 17} {
+		if s := r.Shard(k); s < 0 || s >= k {
+			t.Errorf("Shard(%d) = %d out of range", k, s)
+		}
+	}
+}
+
+// TestShardBalance: sequential client addresses (how simnet allocates
+// subscribers) must spread close to uniformly — the finalizer has to
+// break the low-bit structure of adjacent addresses.
+func TestShardBalance(t *testing.T) {
+	const clients, k = 4096, 8
+	counts := make([]int, k)
+	r := sampleRecord()
+	for i := 0; i < clients; i++ {
+		r.Client = wire.AddrFromUint32(0x0a000000 + uint32(i))
+		counts[r.Shard(k)]++
+	}
+	mean := clients / k
+	for s, c := range counts {
+		if c < mean*7/10 || c > mean*13/10 {
+			t.Errorf("shard %d holds %d of %d clients (mean %d): imbalance >30%%", s, c, clients, mean)
+		}
+	}
+}

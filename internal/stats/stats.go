@@ -55,10 +55,11 @@ func (e *ECDF) P(v float64) float64 {
 func (e *ECDF) CCDF(v float64) float64 { return 1 - e.P(v) }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank
-// method, or NaN for an empty distribution.
+// method. An empty distribution reports 0 — a zero-active-days figure
+// renders as an empty/zero row, never as NaN cells in the tables.
 func (e *ECDF) Quantile(q float64) float64 {
 	if len(e.samples) == 0 {
-		return math.NaN()
+		return 0
 	}
 	e.sort()
 	if q <= 0 {
@@ -77,10 +78,10 @@ func (e *ECDF) Quantile(q float64) float64 {
 // Median is Quantile(0.5).
 func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
 
-// Mean returns the arithmetic mean, or NaN when empty.
+// Mean returns the arithmetic mean, or 0 when empty (see Quantile).
 func (e *ECDF) Mean() float64 {
 	if len(e.samples) == 0 {
-		return math.NaN()
+		return 0
 	}
 	var s float64
 	for _, v := range e.samples {

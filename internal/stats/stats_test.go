@@ -12,8 +12,8 @@ func TestECDFBasics(t *testing.T) {
 	if e.P(5) != 0 || e.CCDF(5) != 1 {
 		t.Error("empty ECDF should be 0/1")
 	}
-	if !math.IsNaN(e.Quantile(0.5)) || !math.IsNaN(e.Mean()) {
-		t.Error("empty ECDF quantile/mean should be NaN")
+	if e.Quantile(0.5) != 0 || e.Mean() != 0 {
+		t.Error("empty ECDF quantile/mean should be 0, never NaN")
 	}
 	e.AddAll([]float64{1, 2, 3, 4})
 	if e.N() != 4 {
