@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: ci vet build test race claims bench benchbuild chaos fuzzsmoke golden cover
+.PHONY: ci vet fmt build test race claims bench benchbuild chaos fuzzsmoke golden cover
 
 ## ci: the full gate — what a PR must pass.
-ci: vet build benchbuild race claims chaos fuzzsmoke cover
+ci: fmt vet build benchbuild race claims chaos fuzzsmoke cover
 
 vet:
 	$(GO) vet ./...
+
+## fmt: fail if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

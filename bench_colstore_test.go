@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/flowrec"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// BenchmarkReadDayV1vsV2 compares the two day-file formats on the
+// access pattern the columnar store exists for: a narrow experiment
+// (Figure 3 reads only the subscriber columns) scanning a full day.
+// The v1 row codec must decode every byte of every record; v2 decodes
+// just the requested column streams and skips whole blocks on stats.
+// Besides ns/op, each sub-benchmark reports decoded_B/op — the bytes
+// the codec actually materialised — which is where the formats
+// separate; EXPERIMENTS.md records the measured gap.
+func BenchmarkReadDayV1vsV2(b *testing.B) {
+	day := time.Date(2016, 11, 12, 0, 0, 0, 0, time.UTC)
+	world := simnet.NewWorld(1, simnet.Scale{ADSL: 24, FTTH: 12})
+	write := func(dir string, format flowrec.Format) *flowrec.Store {
+		store, err := flowrec.OpenStoreFormat(dir, format)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := store.CreateDay(day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		world.EmitDay(day, func(r *flowrec.Record) {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return store
+	}
+	stores := map[string]*flowrec.Store{
+		"v1": write(b.TempDir(), flowrec.FormatV1),
+		"v2": write(b.TempDir(), flowrec.FormatV2),
+	}
+
+	// The Figure 3 contract: subscriber columns only, no predicate.
+	sc := flowrec.ColScan{Cols: analytics.ColsSubscribers}
+	decoded := metrics.GetCounter("store.decoded_bytes")
+	for _, name := range []string{"v1", "v2"} {
+		store := stores[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := decoded.Load()
+			var rows int
+			for i := 0; i < b.N; i++ {
+				rows = 0
+				err := store.ReadDayCols(day, sc, func(r *flowrec.Record) error {
+					rows++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows == 0 {
+					b.Fatal("day scan returned no records")
+				}
+			}
+			b.ReportMetric(float64(decoded.Load()-start)/float64(b.N), "decoded_B/op")
+			b.ReportMetric(float64(rows), "rows/op")
+		})
+	}
+}

@@ -103,7 +103,7 @@ func BenchmarkEndToEndDay(b *testing.B) {
 		// A fresh pipeline per iteration defeats the day cache, so the
 		// full generate→aggregate path is what gets timed.
 		p := core.New(core.Config{Seed: 1, Workers: 1})
-		if _, err := p.Aggregate(context.Background(), days[i%len(days) : i%len(days)+1]); err != nil {
+		if _, err := p.Aggregate(context.Background(), days[i%len(days):i%len(days)+1]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,6 +36,7 @@ func main() {
 		adsl       = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
 		ftth       = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
 		csv        = flag.String("csv", "", "also dump the first generated day as CSV to this file")
+		format     = flag.String("format", "v1", "day-file format: v1 (row codec) or v2 (columnar); readers auto-detect")
 		aggDir     = flag.String("agg", "", "after generating, prewarm a per-day aggregate cache in this directory")
 		shards     = flag.Int("shards", 0, "per-day shard aggregators for the -agg prewarm (0 = auto, 1 = serial fold)")
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
@@ -81,7 +82,12 @@ func main() {
 	end := parse(*to, simnet.SpanEnd)
 	days := core.RangeDays(start, end, *stride)
 
-	store, err := flowrec.OpenStore(*out)
+	sf, err := flowrec.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
+		os.Exit(2)
+	}
+	store, err := flowrec.OpenStoreFormat(*out, sf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
 		os.Exit(1)

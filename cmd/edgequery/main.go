@@ -37,6 +37,8 @@ func main() {
 		service  = flag.String("service", "", "only flows of this service (e.g. Netflix)")
 		proto    = flag.String("proto", "", "only flows with this protocol label (e.g. QUIC, FB-ZERO)")
 		subID    = flag.Int64("sub", -1, "only this subscription id")
+		tech     = flag.String("tech", "", "only this access technology (adsl or ftth); pushed down into the scan")
+		srvPort  = flag.String("srvport", "", "only this server port or inclusive range lo-hi (e.g. 443 or 6881-6999); pushed down into the scan")
 		rules    = flag.String("rules", "", "classification rules file (default: built-in list)")
 		csvOut   = flag.String("csv", "", "write matching records as CSV to this file ('-' = stdout)")
 		summary  = flag.Bool("summary", false, "print per-service volume summary")
@@ -112,6 +114,15 @@ func main() {
 		}
 	}
 
+	// -tech and -srvport compile into a predicate the store evaluates
+	// during the scan: a v2 (columnar) store skips whole blocks whose
+	// min/max stats cannot match, a v1 store filters after decode —
+	// either way only matching records reach this process's tallies.
+	pred, err := buildPred(*tech, *srvPort)
+	if err != nil {
+		fatal(err)
+	}
+
 	match := func(svc classify.Service, r *flowrec.Record) bool {
 		if *service != "" && svc != classify.Service(*service) {
 			return false
@@ -146,9 +157,15 @@ func main() {
 			dayBySvc = make(map[classify.Service]*sum)
 			dayRecs = dayRecs[:0]
 			if scanShards > 1 {
-				return scanSharded(src, cls, day, scanShards, match, &dayScanned, &dayMatched, dayBySvc)
+				return scanSharded(src, cls, day, scanShards, pred, match, &dayScanned, &dayMatched, dayBySvc)
 			}
-			return src.ReadDay(day, func(r *flowrec.Record) error {
+			// The summary only reads the tally columns; CSV output needs
+			// every field, so it scans full-width (Cols zero = all).
+			sc := flowrec.ColScan{Pred: pred}
+			if cw == nil {
+				sc.Cols = summaryCols
+			}
+			return src.ReadDayCols(day, sc, func(r *flowrec.Record) error {
 				dayScanned++
 				svc := analytics.ServiceOf(cls, r)
 				if !match(svc, r) {
@@ -235,12 +252,53 @@ type sum struct {
 	down, up uint64
 }
 
+// summaryCols is the projection the summary path needs: service
+// classification (Web, ServerName), the filter fields (SubID), shard
+// routing (Client) and the tallied volumes. The predicate's own
+// columns are added by the reader automatically.
+var summaryCols = flowrec.Cols(
+	flowrec.ColClient, flowrec.ColWeb, flowrec.ColServerName,
+	flowrec.ColSubID, flowrec.ColBytesDown, flowrec.ColBytesUp,
+)
+
+// buildPred compiles the -tech and -srvport flags into a pushdown
+// predicate, nil when neither is set.
+func buildPred(tech, srvPort string) (*flowrec.Pred, error) {
+	var p flowrec.Pred
+	switch tech {
+	case "":
+	case "adsl":
+		p.HasTech, p.Tech = true, flowrec.TechADSL
+	case "ftth":
+		p.HasTech, p.Tech = true, flowrec.TechFTTH
+	default:
+		return nil, fmt.Errorf("bad -tech %q (want adsl or ftth)", tech)
+	}
+	if srvPort != "" {
+		var lo, hi uint16
+		if n, _ := fmt.Sscanf(srvPort, "%d-%d", &lo, &hi); n == 2 {
+		} else if n, _ := fmt.Sscanf(srvPort, "%d", &lo); n == 1 {
+			hi = lo
+		} else {
+			return nil, fmt.Errorf("bad -srvport %q (want port or lo-hi)", srvPort)
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("bad -srvport %q: empty range", srvPort)
+		}
+		p.HasSrvPort, p.SrvPortLo, p.SrvPortHi = true, lo, hi
+	}
+	if !p.HasTech && !p.HasSrvPort {
+		return nil, nil
+	}
+	return &p, nil
+}
+
 // scanSharded fans one day's records out over k shard workers (hash of
 // the anonymized client address, like the stage-one shard aggregators)
 // and merges the per-shard summaries. Tallies are order-independent,
 // so the result matches the serial scan exactly for any k.
 func scanSharded(src core.Storage, cls *classify.Classifier, day time.Time, k int,
-	match func(classify.Service, *flowrec.Record) bool,
+	pred *flowrec.Pred, match func(classify.Service, *flowrec.Record) bool,
 	scanned, matched *uint64, bySvc map[classify.Service]*sum) error {
 	type state struct {
 		scanned, matched uint64
@@ -285,7 +343,9 @@ func scanSharded(src core.Storage, cls *classify.Classifier, day time.Time, k in
 		chans[i] <- bufs[i]
 		bufs[i] = nil
 	}
-	err := src.ReadDay(day, func(r *flowrec.Record) error {
+	// The sharded path is summary-only, so it scans the summary
+	// projection; a v2 store also reuses k as its block-decode width.
+	err := src.ReadDayCols(day, flowrec.ColScan{Cols: summaryCols, Pred: pred, Workers: k}, func(r *flowrec.Record) error {
 		i := r.Shard(k)
 		if bufs[i] == nil {
 			bufs[i] = make([]flowrec.Record, 0, batchLen)

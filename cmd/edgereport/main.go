@@ -39,7 +39,7 @@ func main() {
 		scale      = flag.String("scale", "default", "population scale: small, default, large")
 		workers    = flag.Int("workers", 0, "parallel aggregation workers (0 = NumCPU)")
 		shards     = flag.Int("shards", 0, "per-day shard aggregators; results are byte-identical for any value (0 = auto, 1 = serial fold)")
-		store      = flag.String("store", "", "read records from this flow store instead of simulating")
+		store      = flag.String("store", "", "read records from this flow store instead of simulating (v1 and v2 day files auto-detected, experiments decode only the columns they declare)")
 		rules      = flag.String("rules", "", "classification rules file (default: built-in list)")
 		aggDir     = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
 		export     = flag.String("export", "", "write the figure data tables (CSV) to this directory and exit")

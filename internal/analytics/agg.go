@@ -107,6 +107,13 @@ type DayAgg struct {
 	// TotalDown/TotalUp are whole-day byte sums.
 	TotalDown, TotalUp uint64
 	Flows              uint64
+
+	// Cols records the column set this aggregate was built from (zero
+	// means all columns — aggregates predating column gating). A cached
+	// aggregate satisfies a request only when its Cols cover the
+	// requested set; see core's aggregate cache. Cols is bookkeeping,
+	// not data: CanonicalBytes deliberately excludes it.
+	Cols flowrec.ColumnSet
 }
 
 // rttServices are the Figure 10 subjects.
@@ -170,11 +177,29 @@ type Aggregator struct {
 	rtt      []*rttReservoir
 	rttWant  []bool
 	finished bool
+
+	// cols is the column contract this aggregator was built for;
+	// accumulators whose input columns are outside it stay off (see
+	// the want* gates). Always normalised: never zero.
+	cols flowrec.ColumnSet
+	// Per-accumulator gates, derived from cols once at construction so
+	// Add pays plain bool tests, not bit arithmetic.
+	wantSubs, wantBins, wantRTT, wantIPs, wantQUIC bool
 }
 
 // NewAggregator starts an aggregation for day using classifier cls
-// (nil means classify.Default()).
+// (nil means classify.Default()), with every accumulator on.
 func NewAggregator(day time.Time, cls *classify.Classifier) *Aggregator {
+	return NewAggregatorCols(day, cls, 0)
+}
+
+// NewAggregatorCols starts an aggregation that only feeds the
+// accumulators whose input columns are inside cols (zero means all
+// columns). Gating is the column-pruning contract's other half: a
+// record decoded from a pruned v2 scan carries zero values in the
+// unrequested fields, and a v1 record carries real ones — gating off
+// the accumulators that would read them makes the two byte-identical.
+func NewAggregatorCols(day time.Time, cls *classify.Classifier, cols flowrec.ColumnSet) *Aggregator {
 	if cls == nil {
 		cls = classify.Default()
 	}
@@ -201,6 +226,12 @@ func NewAggregator(day time.Time, cls *classify.Classifier) *Aggregator {
 			a.rttWant[id] = true
 		}
 	}
+	a.cols = NormalizeCols(cols)
+	a.wantSubs = a.cols.Has(flowrec.ColSubID)
+	a.wantBins = a.cols.Has(flowrec.ColStart)
+	a.wantRTT = a.cols.Covers(ColsRTT)
+	a.wantIPs = a.cols.Has(flowrec.ColServer)
+	a.wantQUIC = a.cols.Has(flowrec.ColQUICVer)
 	return a
 }
 
@@ -231,25 +262,30 @@ func (a *Aggregator) serviceIDOf(rec *flowrec.Record) classify.ServiceID {
 	return id
 }
 
-// Add accumulates one record.
+// Add accumulates one record. Accumulators whose input columns are
+// outside the aggregator's column contract are skipped — their inputs
+// may be pruned-away zero values, and half-real accumulation would be
+// silently wrong rather than obviously absent.
 func (a *Aggregator) Add(rec *flowrec.Record) {
 	agg := a.agg
 	id := a.serviceIDOf(rec)
 
-	sa := a.subs[rec.SubID]
-	if sa == nil {
-		sa = &subAcc{tech: rec.Tech}
-		sa.perSvc = make([]svcUse, a.nsvc)
-		a.subs[rec.SubID] = sa
-	}
-	sa.flows++
-	sa.down += rec.BytesDown
-	sa.up += rec.BytesUp
-	if id != classify.UnknownID {
-		use := &sa.perSvc[id]
-		use.touched = true
-		use.down += rec.BytesDown
-		use.up += rec.BytesUp
+	if a.wantSubs {
+		sa := a.subs[rec.SubID]
+		if sa == nil {
+			sa = &subAcc{tech: rec.Tech}
+			sa.perSvc = make([]svcUse, a.nsvc)
+			a.subs[rec.SubID] = sa
+		}
+		sa.flows++
+		sa.down += rec.BytesDown
+		sa.up += rec.BytesUp
+		if id != classify.UnknownID {
+			use := &sa.perSvc[id]
+			use.touched = true
+			use.down += rec.BytesDown
+			use.up += rec.BytesUp
+		}
 	}
 
 	agg.TotalDown += rec.BytesDown
@@ -259,21 +295,23 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 	a.svcBytes[id] += rec.BytesDown
 	a.svcTouched[id] = true
 
-	if rec.Web == flowrec.WebQUIC && rec.QUICVer != "" {
+	if a.wantQUIC && rec.Web == flowrec.WebQUIC && rec.QUICVer != "" {
 		if agg.QUICVersions == nil {
 			agg.QUICVersions = make(map[string]uint64)
 		}
 		agg.QUICVersions[rec.QUICVer]++
 	}
 
-	bin := timeBin(rec.Start)
-	tech := 0
-	if rec.Tech == flowrec.TechFTTH {
-		tech = 1
+	if a.wantBins {
+		bin := timeBin(rec.Start)
+		tech := 0
+		if rec.Tech == flowrec.TechFTTH {
+			tech = 1
+		}
+		agg.DownBins[tech][bin] += rec.BytesDown
 	}
-	agg.DownBins[tech][bin] += rec.BytesDown
 
-	if rec.RTTSamples > 0 && a.rttWant[id] {
+	if a.wantRTT && rec.RTTSamples > 0 && a.rttWant[id] {
 		res := a.rtt[id]
 		if res == nil {
 			res = newRTTReservoir(rttCap)
@@ -288,7 +326,7 @@ func (a *Aggregator) Add(rec *flowrec.Record) {
 	// Server inventory: only classified, non-P2P services are worth
 	// tracking (P2P "servers" are other households), but unknown
 	// services still mark addresses as shared.
-	if id != a.p2pID && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
+	if a.wantIPs && id != a.p2pID && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
 		acc := a.ips[rec.Server]
 		if id < 64 {
 			acc.svcs |= 1 << id
@@ -446,6 +484,12 @@ type RunConfig struct {
 	// partials (the merge never does) and may run concurrently from
 	// several day workers.
 	OnDayPartials func(day time.Time, parts []*Partial)
+	// Cols is the column contract for the run: sources that support
+	// column projection (a columnar store) decode only these columns,
+	// and the aggregator gates its accumulators to match, so results
+	// are byte-identical whether or not the source actually prunes.
+	// Zero means all columns.
+	Cols flowrec.ColumnSet
 }
 
 // Run aggregates the given days with a bounded pool of workers
@@ -579,15 +623,15 @@ func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classi
 	var agg *DayAgg
 	err := cfg.Retry.Do(dctx, uint64(day.Unix()), func() error {
 		if shards > 1 {
-			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials)
+			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials, cfg.Cols)
 			if rerr != nil {
 				return rerr
 			}
 			agg = a
 			return nil
 		}
-		a := NewAggregator(day, cls)
-		if rerr := records(dctx, src, day, a.Add); rerr != nil {
+		a := NewAggregatorCols(day, cls, cfg.Cols)
+		if rerr := recordsCols(dctx, src, day, scanFor(cfg.Cols, 1), a.Add); rerr != nil {
 			return rerr
 		}
 		agg = a.Result()

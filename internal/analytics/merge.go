@@ -190,6 +190,7 @@ func (a *Aggregator) Partial() *Partial {
 	}
 	a.domainBytes = nil
 
+	agg.Cols = a.cols
 	p := &Partial{Agg: agg}
 	for id, res := range a.rtt {
 		if res != nil {
@@ -312,6 +313,9 @@ func (p *Partial) Merge(q *Partial) error {
 	a.TotalDown += b.TotalDown
 	a.TotalUp += b.TotalUp
 	a.Flows += b.Flows
+	// The merged aggregate is only as wide as its narrowest input
+	// (zero means all columns — the identity partial narrows nothing).
+	a.Cols = a.Cols.Norm() & b.Cols.Norm()
 
 	for svc, rq := range q.RTT {
 		if p.RTT == nil {

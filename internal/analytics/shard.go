@@ -64,8 +64,11 @@ const shardBatch = 512
 
 // shardDay aggregates one day across shards concurrent aggregators
 // and merges the partials. onPartials, when non-nil, sees the
-// unmerged partials first (the cache hook).
-func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, shards int, onPartials func(time.Time, []*Partial)) (*DayAgg, error) {
+// unmerged partials first (the cache hook). cols is the run's column
+// contract: the source scan projects to it, and the v2 store's block
+// decode reuses the shard workers' parallelism budget (the fan-out
+// consumer is otherwise the serial bottleneck).
+func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, shards int, onPartials func(time.Time, []*Partial), cols flowrec.ColumnSet) (*DayAgg, error) {
 	if cls == nil {
 		cls = classify.Default()
 	}
@@ -73,7 +76,7 @@ func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Clas
 	chans := make([]chan []flowrec.Record, shards)
 	var wg sync.WaitGroup
 	for i := range aggs {
-		aggs[i] = NewAggregator(day, cls)
+		aggs[i] = NewAggregatorCols(day, cls, cols)
 		chans[i] = make(chan []flowrec.Record, 4)
 		wg.Add(1)
 		go func(a *Aggregator, in <-chan []flowrec.Record) {
@@ -95,7 +98,7 @@ func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Clas
 		chans[k] <- bufs[k]
 		bufs[k] = nil
 	}
-	err := records(ctx, src, day, func(r *flowrec.Record) {
+	err := recordsCols(ctx, src, day, scanFor(cols, shards), func(r *flowrec.Record) {
 		k := r.Shard(shards)
 		counts[k]++
 		if bufs[k] == nil {

@@ -75,10 +75,88 @@ type ContextSource interface {
 	RecordsContext(ctx context.Context, day time.Time, fn func(*flowrec.Record)) error
 }
 
+// ColumnSource is the optional column-projection extension of Source:
+// a source that can decode just the requested columns (and push the
+// predicate down) implements it, and stage one routes scans through
+// it. Records delivered must match sc.Pred and populate at least
+// sc.Cols; delivering more columns is fine — pruning is an
+// optimisation, the aggregator's column gating is the correctness
+// boundary.
+type ColumnSource interface {
+	RecordsCols(ctx context.Context, day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record)) error
+}
+
+// colsDayReader is the projected-read surface a store may offer;
+// *flowrec.Store does, and so do core.Storage wrappers (including the
+// fault injector).
+type colsDayReader interface {
+	ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error
+}
+
+// RecordsCols implements ColumnSource. When the underlying store can
+// project columns, the scan is pushed all the way down; otherwise the
+// day is read in full and only the predicate is applied here, so
+// callers observe identical records either way.
+func (s StoreSource) RecordsCols(ctx context.Context, day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record)) error {
+	cr, ok := s.Store.(colsDayReader)
+	if !ok {
+		pred := sc.Pred
+		return s.RecordsContext(ctx, day, func(r *flowrec.Record) {
+			if pred.Match(r) {
+				fn(r)
+			}
+		})
+	}
+	n := 0
+	checkCtx := ctx != nil && ctx.Done() != nil
+	err := cr.ReadDayCols(day, sc, func(r *flowrec.Record) error {
+		if checkCtx && n&4095 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		n++
+		fn(r)
+		return nil
+	})
+	if errors.Is(err, flowrec.ErrNoDay) {
+		return ErrNoData
+	}
+	return err
+}
+
 // records reads one day through the most capable interface src offers.
 func records(ctx context.Context, src Source, day time.Time, fn func(*flowrec.Record)) error {
 	if cs, ok := src.(ContextSource); ok {
 		return cs.RecordsContext(ctx, day, fn)
 	}
 	return src.Records(day, fn)
+}
+
+// scanFor builds the ColScan for a run's column contract: zero cols
+// means no projection at all (a plain full read), anything else is
+// normalised and decoded with the given block-decode parallelism.
+func scanFor(cols flowrec.ColumnSet, workers int) flowrec.ColScan {
+	if cols == 0 {
+		return flowrec.ColScan{}
+	}
+	return flowrec.ColScan{Cols: NormalizeCols(cols), Workers: workers}
+}
+
+// recordsCols is records with a column projection: sources that
+// support projection get the scan pushed down; everything else falls
+// back to a full read with the predicate applied locally.
+func recordsCols(ctx context.Context, src Source, day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record)) error {
+	if sc.Cols == 0 && sc.Pred == nil {
+		return records(ctx, src, day, fn)
+	}
+	if cs, ok := src.(ColumnSource); ok {
+		return cs.RecordsCols(ctx, day, sc, fn)
+	}
+	pred := sc.Pred
+	return records(ctx, src, day, func(r *flowrec.Record) {
+		if pred.Match(r) {
+			fn(r)
+		}
+	})
 }

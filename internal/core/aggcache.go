@@ -20,7 +20,7 @@ import (
 
 // aggCacheVersion invalidates old cache files when the aggregate
 // schema changes.
-const aggCacheVersion = 2
+const aggCacheVersion = 3
 
 // cachedAgg is the on-disk envelope.
 type cachedAgg struct {
@@ -65,7 +65,7 @@ func loadAgg(dir string, day time.Time) *analytics.DayAgg {
 
 // partialCacheVersion invalidates old partial files when the partial
 // schema changes, independently of the final-aggregate envelope.
-const partialCacheVersion = 1
+const partialCacheVersion = 2
 
 // cachedPartials is the on-disk envelope for one day's shards.
 type cachedPartials struct {

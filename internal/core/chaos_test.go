@@ -46,10 +46,12 @@ func chaosDays(stride int) []time.Time {
 	return out
 }
 
-// buildChaosStore materialises the chaos day set once into dir.
-func buildChaosStore(t *testing.T, dir string, days []time.Time) {
+// buildChaosStore materialises the chaos day set once into dir, in the
+// given day-file format — the suite runs the full fault matrix against
+// both, since v2's block structure fails differently under damage.
+func buildChaosStore(t *testing.T, dir string, format flowrec.Format, days []time.Time) {
 	t.Helper()
-	store, err := flowrec.OpenStore(dir)
+	store, err := flowrec.OpenStoreFormat(dir, format)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +101,18 @@ func chaosPolicy() retry.Policy {
 }
 
 func TestChaosSuite(t *testing.T) {
+	for _, format := range []flowrec.Format{flowrec.FormatV1, flowrec.FormatV2} {
+		t.Run(format.String(), func(t *testing.T) {
+			chaosSuite(t, format)
+		})
+	}
+}
+
+func chaosSuite(t *testing.T, format flowrec.Format) {
 	const stride = 120
 	days := chaosDays(stride)
 	base := t.TempDir()
-	buildChaosStore(t, base, days)
+	buildChaosStore(t, base, format, days)
 
 	mRetries := metrics.GetCounter("store.retries")
 	mQuarantined := metrics.GetCounter("store.quarantined_days")
@@ -189,7 +199,9 @@ func TestChaosSuite(t *testing.T) {
 func TestChaosQuarantineClearsOnRerun(t *testing.T) {
 	days := MonthDays(2016, time.April)
 	dir := t.TempDir()
-	buildChaosStore(t, dir, days)
+	// v2 here: quarantine-on-corruption must work for columnar days too
+	// (the suite above covers v1).
+	buildChaosStore(t, dir, flowrec.FormatV2, days)
 	store, err := flowrec.OpenStore(dir)
 	if err != nil {
 		t.Fatal(err)

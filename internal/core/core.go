@@ -139,6 +139,26 @@ type aggEntry struct {
 	done chan struct{}
 	agg  *analytics.DayAgg
 	err  error
+	// cols is the column contract the aggregate is (being) computed
+	// under — zero meaning all columns. A cached entry only serves a
+	// request whose column set it covers; a narrower resolved entry is
+	// evicted and recomputed at the union of both sets.
+	cols flowrec.ColumnSet
+}
+
+// covers reports whether the entry's aggregate satisfies a request for
+// the given column set (zero ≡ all on both sides).
+func (e *aggEntry) covers(cols flowrec.ColumnSet) bool { return e.cols.Covers(cols) }
+
+// resolved reports whether the entry's computation has finished. Only
+// meaningful under p.mu for deciding eviction; waiters use e.done.
+func (e *aggEntry) resolved() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // New assembles a pipeline.
@@ -257,24 +277,54 @@ func sortDayErrors(errs []analytics.DayError) {
 // retries are reported via DayErrors and return as gaps (like
 // outages); otherwise the first day error fails the call.
 func (p *Pipeline) Aggregate(ctx context.Context, days []time.Time) ([]*analytics.DayAgg, error) {
+	return p.AggregateCols(ctx, days, 0)
+}
+
+// AggregateCols is Aggregate with a column contract: the aggregates
+// only need the accumulators derivable from cols (zero means all), so
+// a columnar store decodes just those columns and the rest of the day
+// file is skipped. The in-memory and disk caches answer a request only
+// when the cached aggregate's column set covers it; a narrower cached
+// day is recomputed at the union of the old and new sets, so repeated
+// mixed-experiment runs converge instead of thrashing. Simulation-fed
+// pipelines ignore cols — the world emits full records anyway and the
+// full-width aggregate serves every experiment.
+func (p *Pipeline) AggregateCols(ctx context.Context, days []time.Time, cols flowrec.ColumnSet) ([]*analytics.DayAgg, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	eff := flowrec.ColumnSet(0)
+	if p.fromStore {
+		eff = analytics.NormalizeCols(cols)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		// Claim days nobody holds; collect the entries of the rest.
+		// A resolved entry that does not cover eff is evicted here and
+		// recomputed — at the union of its set and ours, so whoever
+		// needed the old columns still hits on the replacement.
 		entryOf := make(map[time.Time]*aggEntry, len(days))
 		var owned []time.Time
 		p.mu.Lock()
+		runEff := eff
+		for _, d := range days {
+			if e := p.cache[d]; e != nil && !e.covers(eff) && e.resolved() {
+				runEff = runEff.Norm() | e.cols.Norm()
+			}
+		}
 		for _, d := range days {
 			if _, ok := entryOf[d]; ok {
 				continue // duplicate day in the request
 			}
 			e := p.cache[d]
+			if e != nil && !e.covers(eff) && e.resolved() {
+				delete(p.cache, d)
+				e = nil
+			}
 			if e == nil {
-				e = &aggEntry{done: make(chan struct{})}
+				e = &aggEntry{done: make(chan struct{}), cols: runEff}
 				p.cache[d] = e
 				owned = append(owned, d)
 			}
@@ -285,14 +335,15 @@ func (p *Pipeline) Aggregate(ctx context.Context, days []time.Time) ([]*analytic
 		mMemMisses.Add(uint64(len(owned)))
 
 		if len(owned) > 0 {
-			if err := p.computeDays(ctx, owned, entryOf); err != nil {
+			if err := p.computeDays(ctx, owned, entryOf, runEff); err != nil {
 				return nil, err
 			}
 		}
 
 		// Wait out days other callers are computing. An owner that
 		// failed marked its entries broken and un-reserved the days, so
-		// loop back and claim them ourselves.
+		// loop back and claim them ourselves — likewise an in-flight
+		// owner whose column set turns out not to cover ours.
 		retryClaim := false
 		for _, e := range entryOf {
 			select {
@@ -300,7 +351,7 @@ func (p *Pipeline) Aggregate(ctx context.Context, days []time.Time) ([]*analytic
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
-			if e.err != nil {
+			if e.err != nil || !e.covers(eff) {
 				retryClaim = true
 			}
 		}
@@ -327,7 +378,7 @@ func (p *Pipeline) Aggregate(ctx context.Context, days []time.Time) ([]*analytic
 // recomputes the days rather than mistaking them for permanent
 // outages. In Degrade mode per-day failures resolve to nil aggregates
 // (gaps) and land in the DayErrors report instead of failing the call.
-func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf map[time.Time]*aggEntry) (err error) {
+func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf map[time.Time]*aggEntry, cols flowrec.ColumnSet) (err error) {
 	aggOf := make(map[time.Time]*analytics.DayAgg, len(owned))
 	failed := make(map[time.Time]error)
 	defer func() {
@@ -359,7 +410,10 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 	if p.cacheAggs() {
 		loaded := make([]*analytics.DayAgg, len(owned))
 		p.eachIndex(len(owned), func(i int) {
-			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil && agg != nil {
+			// A cached aggregate only counts when its column contract
+			// covers this run's: a narrower one (cached by a pruned
+			// experiment) reads as a miss and the day recomputes wide.
+			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil && agg != nil && agg.Cols.Covers(cols) {
 				loaded[i] = agg
 				return
 			}
@@ -368,7 +422,7 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 			// the same reduce step the live path runs, minus reading
 			// the records.
 			if parts, lerr := p.storage.LoadPartials(owned[i]); lerr == nil && len(parts) > 0 {
-				if agg, merr := analytics.MergePartials(owned[i], parts); merr == nil {
+				if agg, merr := analytics.MergePartials(owned[i], parts); merr == nil && agg.Cols.Covers(cols) {
 					loaded[i] = agg
 					mPartialHits.Inc()
 				}
@@ -392,6 +446,7 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 			ShardsPerDay: p.cfg.ShardsPerDay,
 			Retry:        p.retry,
 			DayTimeout:   p.cfg.DayTimeout,
+			Cols:         cols,
 		}
 		// When a day aggregates sharded, cache its unmerged partials;
 		// the final SaveAgg below is skipped for those days. Save

@@ -22,6 +22,7 @@ func extensionExperiments() []Experiment {
 	return []Experiment{
 		{
 			ID:    "weekly",
+			Cols:  analytics.ColsSubscribers,
 			Title: "Section 4.3 extension: daily vs weekly service reach (Netflix gap)",
 			Days: func(int) []time.Time {
 				return RangeDays(date(2017, 10, 2), date(2017, 10, 29), 1)
@@ -30,6 +31,7 @@ func extensionExperiments() []Experiment {
 		},
 		{
 			ID:    "quicver",
+			Cols:  analytics.ColsQUIC,
 			Title: "Per-protocol drill-down: gQUIC version mix by year",
 			Days:  spanDays,
 			Run:   runQUICVersions,
@@ -112,7 +114,7 @@ func runWhatIf(ctx context.Context, p *Pipeline, w io.Writer) error {
 }
 
 func runWeekly(ctx context.Context, p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(ctx,Lookup0("weekly").Days(p.Stride()))
+	aggs, err := p.AggregateCols(ctx, Lookup0("weekly").Days(p.Stride()), analytics.ColsSubscribers)
 	if err != nil {
 		return err
 	}
@@ -147,7 +149,7 @@ func runWeekly(ctx context.Context, p *Pipeline, w io.Writer) error {
 }
 
 func runQUICVersions(ctx context.Context, p *Pipeline, w io.Writer) error {
-	aggs, err := p.Aggregate(ctx,spanDays(p.Stride()))
+	aggs, err := p.AggregateCols(ctx, spanDays(p.Stride()), analytics.ColsQUIC)
 	if err != nil {
 		return err
 	}

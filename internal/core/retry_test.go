@@ -131,6 +131,15 @@ func (f *cancelStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) e
 	return nil
 }
 
+func (f *cancelStorage) ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error {
+	return f.ReadDay(day, func(r *flowrec.Record) error {
+		if !sc.Pred.Match(r) {
+			return nil
+		}
+		return fn(r)
+	})
+}
+
 func (f *cancelStorage) WriteDay(time.Time, func(write func(*flowrec.Record) error) error) (uint64, error) {
 	return 0, errors.New("not writable")
 }

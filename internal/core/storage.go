@@ -19,6 +19,11 @@ type Storage interface {
 	// ReadDay streams one day's flow records; fn errors abort the
 	// read and are returned. A missing day is flowrec.ErrNoDay.
 	ReadDay(day time.Time, fn func(*flowrec.Record) error) error
+	// ReadDayCols is ReadDay with a column projection and predicate
+	// pushdown: a v2 store decodes only the requested columns and
+	// skips blocks the predicate rules out; a v1 store delivers full
+	// records filtered by the predicate. A zero ColScan is ReadDay.
+	ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error
 	// WriteDay (re)creates one day's log: emit receives the write
 	// callback and runs to completion before the log is sealed. The
 	// record count is returned. A failed WriteDay may leave a partial
@@ -67,6 +72,14 @@ func (d *DiskStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) err
 		return fmt.Errorf("%w: %s", flowrec.ErrNoDay, day.UTC().Format("2006-01-02"))
 	}
 	return d.store.ReadDay(day, fn)
+}
+
+// ReadDayCols implements Storage.
+func (d *DiskStorage) ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error {
+	if d.store == nil {
+		return fmt.Errorf("%w: %s", flowrec.ErrNoDay, day.UTC().Format("2006-01-02"))
+	}
+	return d.store.ReadDayCols(day, sc, fn)
 }
 
 // WriteDay implements Storage.

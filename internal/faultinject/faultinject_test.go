@@ -202,6 +202,15 @@ func (m *memStorage) ReadDay(d time.Time, fn func(*flowrec.Record) error) error 
 	return nil
 }
 
+func (m *memStorage) ReadDayCols(d time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error {
+	return m.ReadDay(d, func(r *flowrec.Record) error {
+		if !sc.Pred.Match(r) {
+			return nil
+		}
+		return fn(r)
+	})
+}
+
 func (m *memStorage) WriteDay(d time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error) {
 	if m.writeErr != nil {
 		return 0, m.writeErr

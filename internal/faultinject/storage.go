@@ -15,6 +15,9 @@ import (
 type Storage interface {
 	// ReadDay streams one day's flow records; fn errors abort the read.
 	ReadDay(day time.Time, fn func(*flowrec.Record) error) error
+	// ReadDayCols is ReadDay with a column projection and predicate
+	// pushdown (see core.Storage).
+	ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error
 	// WriteDay materialises one day: emit receives a write callback
 	// and the record count is returned.
 	WriteDay(day time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error)
@@ -75,6 +78,35 @@ func (s *FaultyStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) e
 	if err == nil {
 		// Fewer records than the damage point: the fault lands on the
 		// trailer instead.
+		return f
+	}
+	return err
+}
+
+// ReadDayCols injects the same read faults as ReadDay — a projected
+// read of a day is the same physical operation as a full read, so it
+// draws from the same fault schedule (OpReadDay) and corruption
+// delivers the same deterministic record prefix before failing.
+func (s *FaultyStorage) ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error {
+	attempt := s.plan.next(OpReadDay, day)
+	f := s.plan.fault(OpReadDay, day, attempt)
+	if f == nil {
+		return s.inner.ReadDayCols(day, sc, fn)
+	}
+	if !f.IsCorruption() {
+		return f
+	}
+	limit := s.plan.truncPoint(day)
+	n := 0
+	var ferr error = f
+	err := s.inner.ReadDayCols(day, sc, func(r *flowrec.Record) error {
+		if n >= limit {
+			return ferr
+		}
+		n++
+		return fn(r)
+	})
+	if err == nil {
 		return f
 	}
 	return err

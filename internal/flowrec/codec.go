@@ -21,6 +21,11 @@ var codecMagic = [4]byte{'e', 'f', 'l', '1'}
 var (
 	ErrBadMagic = errors.New("flowrec: not a flow log (bad magic)")
 	ErrCorrupt  = errors.New("flowrec: corrupt record")
+	// ErrOversize rejects a record at encode time whose wire size
+	// exceeds what any decoder would accept. Writers must fail fast:
+	// an oversized record that reached disk would make the whole day
+	// read as corrupt and get quarantined.
+	ErrOversize = errors.New("flowrec: record exceeds max encoded size")
 )
 
 // maxEncodedRecord bounds a single record's wire size; anything larger
@@ -70,6 +75,15 @@ func (e *Encoder) Encode(r *Record) error {
 	b = binary.AppendUvarint(b, uint64(r.RTTSamples))
 	e.buf = b
 
+	// Enforce the decoder's bound at write time: an oversized record
+	// (a hostile or fuzzed server name) must error here, not write a
+	// day log the reader will reject wholesale as corrupt.
+	if len(b) > maxEncodedRecord {
+		mOversizeRecords.Inc()
+		return fmt.Errorf("flowrec: encoded record of %d bytes (max %d): %w",
+			len(b), maxEncodedRecord, ErrOversize)
+	}
+
 	var lenBuf [binary.MaxVarintLen32]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(b)))
 	if _, err := e.w.Write(lenBuf[:n]); err != nil {
@@ -101,6 +115,10 @@ type Decoder struct {
 	r    *bufio.Reader
 	buf  []byte
 	strs map[string]string // interned ServerName/ALPN/QUICVer values
+
+	// lastSize is the body size of the most recent record, for the
+	// store's decoded-byte accounting.
+	lastSize uint64
 }
 
 // NewDecoder validates the stream header and returns a decoder.
@@ -129,6 +147,7 @@ func (d *Decoder) Decode(r *Record) error {
 	if size > maxEncodedRecord {
 		return fmt.Errorf("flowrec: record size %d: %w", size, ErrCorrupt)
 	}
+	d.lastSize = size
 	if cap(d.buf) < int(size) {
 		d.buf = make([]byte, size)
 	}

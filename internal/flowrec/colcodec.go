@@ -1,0 +1,549 @@
+package flowrec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The v2 columnar codec. A day file is gzip(magic "eflc" | block*),
+// each block ~colBlockRows records transposed into per-column streams:
+//
+//	block := rowCount uvarint            (1..maxBlockRows)
+//	         stats                       (min/max footer, see blockStats)
+//	         colCount uvarint            (= NumColumns)
+//	         colCount × (len uvarint, payload)
+//
+// Columns appear in Column ID order. Fixed-width columns (addresses,
+// ports, enum bytes) are raw row-major arrays; counters are plain
+// uvarints; Start is a zigzag delta varint chain (records arrive in
+// near-sorted time order, so deltas are tiny); ServerName/ALPN/QUICVer
+// are per-block dictionaries (uvarint entry count, length-prefixed
+// entries, one uvarint index per row). The stats lead the block so a
+// reader can skip the entire payload — every column — when a pushed-
+// down predicate cannot match, and skip any column the projection
+// does not ask for.
+
+// colMagic identifies a v2 stream (v1 uses "efl1"); readers
+// auto-detect by peeking these four bytes after the gzip header.
+var colMagic = [4]byte{'e', 'f', 'l', 'c'}
+
+const (
+	// colBlockRows is the writer's rows-per-block target.
+	colBlockRows = 8192
+	// maxBlockRows bounds a decoded block; larger row counts are
+	// corruption, not data.
+	maxBlockRows = 1 << 20
+	// maxColumnBytes bounds one column payload (the writer stays far
+	// below: 8k rows × ~10 bytes).
+	maxColumnBytes = 1 << 26
+	// maxDictEntryLen bounds one dictionary string, mirroring the v1
+	// per-record bound: a hostile server name must fail at write time,
+	// not poison the day for readers.
+	maxDictEntryLen = 1 << 15
+)
+
+// blockStats is the per-block min/max footer for the predicate
+// columns. Start bounds are signed (UnixMilli) varints; the rest are
+// uvarints.
+type blockStats struct {
+	startMin, startMax     int64 // UnixMilli
+	srvPortMin, srvPortMax uint64
+	protoMin, protoMax     uint64
+	techMin, techMax       uint64
+}
+
+func (st *blockStats) observe(r *Record) {
+	ms := r.Start.UnixMilli()
+	if ms < st.startMin {
+		st.startMin = ms
+	}
+	if ms > st.startMax {
+		st.startMax = ms
+	}
+	if v := uint64(r.SrvPort); v < st.srvPortMin {
+		st.srvPortMin = v
+	}
+	if v := uint64(r.SrvPort); v > st.srvPortMax {
+		st.srvPortMax = v
+	}
+	if v := uint64(r.Proto); v < st.protoMin {
+		st.protoMin = v
+	}
+	if v := uint64(r.Proto); v > st.protoMax {
+		st.protoMax = v
+	}
+	if v := uint64(r.Tech); v < st.techMin {
+		st.techMin = v
+	}
+	if v := uint64(r.Tech); v > st.techMax {
+		st.techMax = v
+	}
+}
+
+// reset prepares the stats for a fresh block.
+func (st *blockStats) reset() {
+	*st = blockStats{
+		startMin: 1<<63 - 1, startMax: -(1 << 63),
+		srvPortMin: 1<<64 - 1,
+		protoMin:   1<<64 - 1,
+		techMin:    1<<64 - 1,
+	}
+}
+
+func (st *blockStats) append(b []byte) []byte {
+	b = binary.AppendVarint(b, st.startMin)
+	b = binary.AppendVarint(b, st.startMax)
+	b = binary.AppendUvarint(b, st.srvPortMin)
+	b = binary.AppendUvarint(b, st.srvPortMax)
+	b = binary.AppendUvarint(b, st.protoMin)
+	b = binary.AppendUvarint(b, st.protoMax)
+	b = binary.AppendUvarint(b, st.techMin)
+	b = binary.AppendUvarint(b, st.techMax)
+	return b
+}
+
+func (st *blockStats) read(br *bufio.Reader) error {
+	var err error
+	read := func(dst *uint64) {
+		if err != nil {
+			return
+		}
+		*dst, err = binary.ReadUvarint(br)
+	}
+	readS := func(dst *int64) {
+		if err != nil {
+			return
+		}
+		*dst, err = binary.ReadVarint(br)
+	}
+	readS(&st.startMin)
+	readS(&st.startMax)
+	read(&st.srvPortMin)
+	read(&st.srvPortMax)
+	read(&st.protoMin)
+	read(&st.protoMax)
+	read(&st.techMin)
+	read(&st.techMax)
+	return err
+}
+
+// dictCols maps the dictionary-encoded columns to their slot in the
+// encoder's dictionary state.
+func dictSlot(c Column) int {
+	switch c {
+	case ColServerName:
+		return 0
+	case ColALPN:
+		return 1
+	case ColQUICVer:
+		return 2
+	}
+	return -1
+}
+
+// colEncoder writes the v2 columnar stream. It satisfies the same
+// surface DayWriter needs from the v1 Encoder.
+type colEncoder struct {
+	w     *bufio.Writer
+	count uint64
+	rows  int
+
+	cols      [NumColumns][]byte // per-column row streams
+	dicts     [3]map[string]uint64
+	dictEnts  [3][]byte // length-prefixed entry stream, insertion order
+	dictN     [3]uint64
+	prevStart int64
+	stats     blockStats
+}
+
+// newColEncoder writes the v2 stream header and returns an encoder.
+func newColEncoder(w io.Writer) (*colEncoder, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(colMagic[:]); err != nil {
+		return nil, fmt.Errorf("flowrec: writing magic: %w", err)
+	}
+	e := &colEncoder{w: bw}
+	e.resetBlock()
+	return e, nil
+}
+
+func (e *colEncoder) resetBlock() {
+	e.rows = 0
+	e.prevStart = 0
+	e.stats.reset()
+	for i := range e.cols {
+		e.cols[i] = e.cols[i][:0]
+	}
+	for i := range e.dicts {
+		e.dicts[i] = nil
+		e.dictEnts[i] = e.dictEnts[i][:0]
+		e.dictN[i] = 0
+	}
+}
+
+// Count reports how many records were encoded.
+func (e *colEncoder) Count() uint64 { return e.count }
+
+// dictIndex interns s in dictionary slot j and returns its index.
+func (e *colEncoder) dictIndex(j int, s string) uint64 {
+	if e.dicts[j] == nil {
+		e.dicts[j] = make(map[string]uint64, 64)
+	}
+	if idx, ok := e.dicts[j][s]; ok {
+		return idx
+	}
+	idx := e.dictN[j]
+	e.dicts[j][s] = idx
+	e.dictN[j] = idx + 1
+	e.dictEnts[j] = binary.AppendUvarint(e.dictEnts[j], uint64(len(s)))
+	e.dictEnts[j] = append(e.dictEnts[j], s...)
+	return idx
+}
+
+// Encode appends one record to the current block, flushing the block
+// when it reaches colBlockRows. Oversized strings are rejected at
+// write time (ErrOversize) — the v1 decoder would quarantine the
+// whole day over them, so they must never reach disk.
+func (e *colEncoder) Encode(r *Record) error {
+	if len(r.ServerName) > maxDictEntryLen || len(r.ALPN) > maxDictEntryLen || len(r.QUICVer) > maxDictEntryLen {
+		mOversizeRecords.Inc()
+		return fmt.Errorf("flowrec: record string field over %d bytes: %w", maxDictEntryLen, ErrOversize)
+	}
+	e.cols[ColClient] = append(e.cols[ColClient], r.Client[:]...)
+	e.cols[ColServer] = append(e.cols[ColServer], r.Server[:]...)
+	e.cols[ColCliPort] = binary.BigEndian.AppendUint16(e.cols[ColCliPort], r.CliPort)
+	e.cols[ColSrvPort] = binary.BigEndian.AppendUint16(e.cols[ColSrvPort], r.SrvPort)
+	e.cols[ColProto] = append(e.cols[ColProto], byte(r.Proto))
+	e.cols[ColTech] = append(e.cols[ColTech], byte(r.Tech))
+	e.cols[ColWeb] = append(e.cols[ColWeb], byte(r.Web))
+	e.cols[ColNameSrc] = append(e.cols[ColNameSrc], byte(r.NameSrc))
+	e.cols[ColSubID] = binary.AppendUvarint(e.cols[ColSubID], uint64(r.SubID))
+	ms := r.Start.UnixMilli()
+	e.cols[ColStart] = binary.AppendVarint(e.cols[ColStart], ms-e.prevStart)
+	e.prevStart = ms
+	e.cols[ColDuration] = binary.AppendUvarint(e.cols[ColDuration], uint64(r.Duration/time.Millisecond))
+	e.cols[ColPktsUp] = binary.AppendUvarint(e.cols[ColPktsUp], uint64(r.PktsUp))
+	e.cols[ColPktsDown] = binary.AppendUvarint(e.cols[ColPktsDown], uint64(r.PktsDown))
+	e.cols[ColBytesUp] = binary.AppendUvarint(e.cols[ColBytesUp], r.BytesUp)
+	e.cols[ColBytesDown] = binary.AppendUvarint(e.cols[ColBytesDown], r.BytesDown)
+	e.cols[ColServerName] = binary.AppendUvarint(e.cols[ColServerName], e.dictIndex(0, r.ServerName))
+	e.cols[ColALPN] = binary.AppendUvarint(e.cols[ColALPN], e.dictIndex(1, r.ALPN))
+	e.cols[ColQUICVer] = binary.AppendUvarint(e.cols[ColQUICVer], e.dictIndex(2, r.QUICVer))
+	e.cols[ColRTTMin] = binary.AppendUvarint(e.cols[ColRTTMin], uint64(r.RTTMin/time.Microsecond))
+	e.cols[ColRTTAvg] = binary.AppendUvarint(e.cols[ColRTTAvg], uint64(r.RTTAvg/time.Microsecond))
+	e.cols[ColRTTMax] = binary.AppendUvarint(e.cols[ColRTTMax], uint64(r.RTTMax/time.Microsecond))
+	e.cols[ColRTTSamples] = binary.AppendUvarint(e.cols[ColRTTSamples], uint64(r.RTTSamples))
+	e.stats.observe(r)
+	e.rows++
+	e.count++
+	if e.rows >= colBlockRows {
+		return e.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock writes the buffered rows as one block.
+func (e *colEncoder) flushBlock() error {
+	if e.rows == 0 {
+		return nil
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(e.rows))
+	hdr = e.stats.append(hdr)
+	hdr = binary.AppendUvarint(hdr, uint64(NumColumns))
+	if _, err := e.w.Write(hdr); err != nil {
+		return fmt.Errorf("flowrec: writing block header: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for c := 0; c < NumColumns; c++ {
+		payload := e.cols[c]
+		if j := dictSlot(Column(c)); j >= 0 {
+			// Dictionary column: entry count + entries + row indexes.
+			var pre []byte
+			pre = binary.AppendUvarint(pre, e.dictN[j])
+			pre = append(pre, e.dictEnts[j]...)
+			pre = append(pre, payload...)
+			payload = pre
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+		if _, err := e.w.Write(lenBuf[:n]); err != nil {
+			return fmt.Errorf("flowrec: writing column length: %w", err)
+		}
+		if _, err := e.w.Write(payload); err != nil {
+			return fmt.Errorf("flowrec: writing column: %w", err)
+		}
+	}
+	e.resetBlock()
+	return nil
+}
+
+// Flush seals the current block and pushes buffered bytes down.
+func (e *colEncoder) Flush() error {
+	if err := e.flushBlock(); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// colBlock is one raw block read off a v2 stream: the stats, plus the
+// payload of every column the scan needs (nil entries were pruned).
+type colBlock struct {
+	rows  int
+	stats blockStats
+	data  [NumColumns][]byte
+}
+
+// colReader reads raw blocks off a v2 stream, pruning columns and
+// skipping stat-excluded blocks. It also accumulates the scan-level
+// byte accounting the store publishes.
+type colReader struct {
+	br   *bufio.Reader
+	need ColumnSet
+	pred *Pred
+
+	blocksRead, blocksSkipped uint64
+	bytesDecoded, bytesPruned uint64
+}
+
+// corruptf wraps a structural v2 decode failure as ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("flowrec: "+format+": %w", append(args, ErrCorrupt)...)
+}
+
+// blockEOF maps an EOF inside a block to ErrUnexpectedEOF so a
+// truncated file classifies as stream damage, like the v1 decoder.
+func blockEOF(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("flowrec: truncated block: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// next returns the next block the scan needs. Blocks excluded by the
+// predicate stats are consumed, counted and skipped internally. A
+// clean end of stream returns (nil, io.EOF).
+func (cr *colReader) next() (*colBlock, error) {
+	for {
+		rows, err := binary.ReadUvarint(cr.br)
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.EOF // clean block boundary
+			}
+			return nil, blockEOF(err)
+		}
+		if rows == 0 || rows > maxBlockRows {
+			return nil, corruptf("block of %d rows", rows)
+		}
+		b := &colBlock{rows: int(rows)}
+		if err := b.stats.read(cr.br); err != nil {
+			return nil, blockEOF(err)
+		}
+		ncols, err := binary.ReadUvarint(cr.br)
+		if err != nil {
+			return nil, blockEOF(err)
+		}
+		if int(ncols) != NumColumns {
+			return nil, corruptf("block with %d columns", ncols)
+		}
+		skipAll := cr.pred != nil && !cr.pred.matchStats(&b.stats)
+		for c := 0; c < NumColumns; c++ {
+			n, err := binary.ReadUvarint(cr.br)
+			if err != nil {
+				return nil, blockEOF(err)
+			}
+			if n > maxColumnBytes {
+				return nil, corruptf("column %d of %d bytes", c, n)
+			}
+			if skipAll || !cr.need.Has(Column(c)) {
+				if _, err := cr.br.Discard(int(n)); err != nil {
+					return nil, blockEOF(err)
+				}
+				cr.bytesPruned += n
+				continue
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(cr.br, buf); err != nil {
+				return nil, blockEOF(err)
+			}
+			cr.bytesDecoded += n
+			b.data[c] = buf
+		}
+		if skipAll {
+			cr.blocksSkipped++
+			continue
+		}
+		cr.blocksRead++
+		return b, nil
+	}
+}
+
+// decodeBlock materialises the needed columns of b into recs, which
+// must have length b.rows. Unneeded fields keep their zero values.
+// strs interns dictionary strings across blocks.
+func decodeBlock(b *colBlock, need ColumnSet, recs []Record, strs map[string]string) error {
+	rows := b.rows
+	for c := 0; c < NumColumns; c++ {
+		col := Column(c)
+		if !need.Has(col) {
+			continue
+		}
+		p := b.data[c]
+		switch col {
+		case ColClient, ColServer:
+			if len(p) != rows*4 {
+				return corruptf("column %d: %d bytes for %d rows", c, len(p), rows)
+			}
+			for i := 0; i < rows; i++ {
+				if col == ColClient {
+					copy(recs[i].Client[:], p[i*4:])
+				} else {
+					copy(recs[i].Server[:], p[i*4:])
+				}
+			}
+		case ColCliPort, ColSrvPort:
+			if len(p) != rows*2 {
+				return corruptf("column %d: %d bytes for %d rows", c, len(p), rows)
+			}
+			for i := 0; i < rows; i++ {
+				v := binary.BigEndian.Uint16(p[i*2:])
+				if col == ColCliPort {
+					recs[i].CliPort = v
+				} else {
+					recs[i].SrvPort = v
+				}
+			}
+		case ColProto, ColTech, ColWeb, ColNameSrc:
+			if len(p) != rows {
+				return corruptf("column %d: %d bytes for %d rows", c, len(p), rows)
+			}
+			for i := 0; i < rows; i++ {
+				switch col {
+				case ColProto:
+					recs[i].Proto = Proto(p[i])
+				case ColTech:
+					recs[i].Tech = AccessTech(p[i])
+				case ColWeb:
+					recs[i].Web = WebProto(p[i])
+				case ColNameSrc:
+					recs[i].NameSrc = NameSource(p[i])
+				}
+			}
+		case ColStart:
+			var prev int64
+			for i := 0; i < rows; i++ {
+				d, n := binary.Varint(p)
+				if n <= 0 {
+					return corruptf("column %d: bad varint", c)
+				}
+				p = p[n:]
+				prev += d
+				recs[i].Start = time.UnixMilli(prev).UTC()
+			}
+			if len(p) != 0 {
+				return corruptf("column %d: %d trailing bytes", c, len(p))
+			}
+		case ColServerName, ColALPN, ColQUICVer:
+			entries, rest, err := decodeDict(c, p, rows, strs)
+			if err != nil {
+				return err
+			}
+			p = rest
+			for i := 0; i < rows; i++ {
+				idx, n := binary.Uvarint(p)
+				if n <= 0 {
+					return corruptf("column %d: bad varint", c)
+				}
+				p = p[n:]
+				if idx >= uint64(len(entries)) {
+					return corruptf("column %d: dict index %d of %d", c, idx, len(entries))
+				}
+				switch col {
+				case ColServerName:
+					recs[i].ServerName = entries[idx]
+				case ColALPN:
+					recs[i].ALPN = entries[idx]
+				case ColQUICVer:
+					recs[i].QUICVer = entries[idx]
+				}
+			}
+			if len(p) != 0 {
+				return corruptf("column %d: %d trailing bytes", c, len(p))
+			}
+		default: // plain uvarint counters
+			for i := 0; i < rows; i++ {
+				v, n := binary.Uvarint(p)
+				if n <= 0 {
+					return corruptf("column %d: bad varint", c)
+				}
+				p = p[n:]
+				switch col {
+				case ColSubID:
+					recs[i].SubID = uint32(v)
+				case ColDuration:
+					recs[i].Duration = time.Duration(v) * time.Millisecond
+				case ColPktsUp:
+					recs[i].PktsUp = uint32(v)
+				case ColPktsDown:
+					recs[i].PktsDown = uint32(v)
+				case ColBytesUp:
+					recs[i].BytesUp = v
+				case ColBytesDown:
+					recs[i].BytesDown = v
+				case ColRTTMin:
+					recs[i].RTTMin = time.Duration(v) * time.Microsecond
+				case ColRTTAvg:
+					recs[i].RTTAvg = time.Duration(v) * time.Microsecond
+				case ColRTTMax:
+					recs[i].RTTMax = time.Duration(v) * time.Microsecond
+				case ColRTTSamples:
+					recs[i].RTTSamples = uint32(v)
+				}
+			}
+			if len(p) != 0 {
+				return corruptf("column %d: %d trailing bytes", c, len(p))
+			}
+		}
+	}
+	return nil
+}
+
+// decodeDict reads a column's per-block dictionary, interning entries
+// in strs, and returns the entries plus the remaining (row index)
+// payload.
+func decodeDict(c int, p []byte, rows int, strs map[string]string) ([]string, []byte, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 {
+		return nil, nil, corruptf("column %d: bad dict count", c)
+	}
+	p = p[w:]
+	if n > uint64(rows) {
+		return nil, nil, corruptf("column %d: dict of %d entries for %d rows", c, n, rows)
+	}
+	entries := make([]string, n)
+	for i := range entries {
+		l, w := binary.Uvarint(p)
+		if w <= 0 {
+			return nil, nil, corruptf("column %d: bad dict entry length", c)
+		}
+		p = p[w:]
+		if l > maxDictEntryLen || uint64(len(p)) < l {
+			return nil, nil, corruptf("column %d: dict entry of %d bytes", c, l)
+		}
+		if l > 0 {
+			if hit, ok := strs[string(p[:l])]; ok {
+				entries[i] = hit
+			} else {
+				s := string(p[:l])
+				if len(strs) < internCap {
+					strs[s] = s
+				}
+				entries[i] = s
+			}
+		}
+		p = p[l:]
+	}
+	return entries, p, nil
+}

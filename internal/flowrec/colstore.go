@@ -1,0 +1,399 @@
+package flowrec
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Column-scan observability: how much the v2 read path actually
+// prunes. decoded_bytes counts payload bytes materialised into
+// records (v1: encoded record bodies; v2: column payloads decoded);
+// pruned_bytes counts v2 column payloads skipped without decoding —
+// unrequested columns and stat-excluded blocks.
+var (
+	mBlocksRead    = metrics.GetCounter("store.blocks_read")
+	mBlocksSkipped = metrics.GetCounter("store.blocks_skipped")
+	mBytesDecoded  = metrics.GetCounter("store.decoded_bytes")
+	mBytesPruned   = metrics.GetCounter("store.pruned_bytes")
+)
+
+// Format selects the on-disk day-log encoding.
+type Format uint8
+
+const (
+	// FormatV1 is the row codec: a gzip stream of length-prefixed
+	// records (magic "efl1"). The zero value, and the default.
+	FormatV1 Format = iota
+	// FormatV2 is the columnar codec: gzip blocks of per-column
+	// streams with min/max stats (magic "eflc"), readable with column
+	// pruning and predicate pushdown via ReadDayCols.
+	FormatV2
+)
+
+// ParseFormat parses "v1" or "v2".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1":
+		return FormatV1, nil
+	case "v2":
+		return FormatV2, nil
+	}
+	return FormatV1, fmt.Errorf("flowrec: unknown store format %q (want v1 or v2)", s)
+}
+
+func (f Format) String() string {
+	if f == FormatV2 {
+		return "v2"
+	}
+	return "v1"
+}
+
+// OpenStoreFormat opens (creating if needed) a store rooted at dir
+// whose CreateDay writes the given format. Reading auto-detects each
+// file's format by magic, so a store may hold a mix of both.
+func OpenStoreFormat(dir string, format Format) (*Store, error) {
+	s, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.format = format
+	return s, nil
+}
+
+// Format returns the format CreateDay writes.
+func (s *Store) Format() Format { return s.format }
+
+// ReadDayCols streams one day's records through a column-projected,
+// predicate-filtered scan. Only the columns in sc.Cols (plus those the
+// predicate reads) are guaranteed populated — on v2 files the rest are
+// never decoded, and blocks whose min/max stats cannot satisfy sc.Pred
+// are skipped wholesale. fn only sees records matching sc.Pred. On v1
+// files the scan degrades to a full decode with a per-record filter,
+// so the records fn observes are identical for either format. Like
+// ReadDay, iteration stops at fn's first error, which is returned.
+func (s *Store) ReadDayCols(day time.Time, sc ColScan, fn func(*Record) error) error {
+	path := s.dayPath(day)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			mDaysMissing.Inc()
+			return fmt.Errorf("%w: %s", ErrNoDay, day.UTC().Format("2006-01-02"))
+		}
+		return fmt.Errorf("flowrec: opening day log: %w", err)
+	}
+	defer f.Close()
+	// Per-day counts accumulate locally and publish once: the decode
+	// loop is the stage-one hot path. days_read is deliberately NOT
+	// part of this deferred publish — a day counts as read only when
+	// its stream ends cleanly (see the EOF paths below), so corrupt
+	// days never inflate read-throughput metrics.
+	var nRecs, nBytes uint64
+	defer func() {
+		mRecordsRead.Add(nRecs)
+		mBytesRead.Add(nBytes)
+	}()
+	cr := &countingReader{r: f}
+	gz, err := gzip.NewReader(cr)
+	if err != nil {
+		mCorruptRecords.Inc()
+		nBytes = cr.n
+		return fmt.Errorf("flowrec: %s: %w", path, err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			gz.Close()
+		}
+		nBytes = cr.n
+	}()
+	br := bufio.NewReaderSize(gz, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(magic) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		if isGzipDamage(err) {
+			mCorruptRecords.Inc()
+		}
+		return fmt.Errorf("flowrec: %s: reading magic: %w", path, err)
+	}
+	switch {
+	case [4]byte(magic) == colMagic:
+		err = s.readDayV2(br, sc, fn, &nRecs, &closed, gz)
+	case [4]byte(magic) == codecMagic:
+		err = s.readDayV1(br, sc.Pred, fn, &nRecs, &closed, gz)
+	default:
+		return fmt.Errorf("flowrec: %s: %w", path, ErrBadMagic)
+	}
+	if err != nil {
+		// fn's own errors pass through verbatim, as ReadDay always has;
+		// only stream-level failures get the file-path context.
+		var fe fnErr
+		if errors.As(err, &fe) {
+			return fe.err
+		}
+		return fmt.Errorf("flowrec: %s: %w", path, err)
+	}
+	return nil
+}
+
+// fnErr marks an error returned by the caller's fn, which must
+// propagate unwrapped (callers compare against their own sentinels).
+type fnErr struct{ err error }
+
+func (e fnErr) Error() string { return e.err.Error() }
+func (e fnErr) Unwrap() error { return e.err }
+
+// readDayV1 is the row-codec scan: full decode, per-record predicate.
+func (s *Store) readDayV1(br *bufio.Reader, pred *Pred, fn func(*Record) error, nRecs *uint64, closed *bool, gz *gzip.Reader) error {
+	dec, err := NewDecoder(br)
+	if err != nil {
+		return err
+	}
+	var payload uint64
+	defer func() { mBytesDecoded.Add(payload) }()
+	var rec Record
+	for {
+		rec = Record{}
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				// The records decoded cleanly, but a clean stream must
+				// also end with an intact gzip trailer: Close is where
+				// a truncated or checksum-damaged tail surfaces, and
+				// swallowing it would let a corrupt day read as whole.
+				*closed = true
+				if cerr := gz.Close(); cerr != nil {
+					mCorruptRecords.Inc()
+					return fmt.Errorf("gzip trailer: %w", cerr)
+				}
+				mDaysRead.Inc()
+				return nil
+			}
+			if errors.Is(err, ErrCorrupt) || isGzipDamage(err) {
+				mCorruptRecords.Inc()
+			}
+			return err
+		}
+		payload += dec.lastSize
+		if !pred.Match(&rec) {
+			continue
+		}
+		*nRecs++
+		if err := fn(&rec); err != nil {
+			return fnErr{err}
+		}
+	}
+}
+
+// readDayV2 is the columnar scan. Blocks stream off the gzip reader
+// serially; decoding fans out over sc.Workers goroutines when asked,
+// with delivery re-sequenced to file order so fn observes the same
+// record order at any worker count.
+func (s *Store) readDayV2(br *bufio.Reader, sc ColScan, fn func(*Record) error, nRecs *uint64, closed *bool, gz *gzip.Reader) error {
+	if _, err := br.Discard(4); err != nil { // the peeked magic
+		return err
+	}
+	need := sc.Cols.Norm() | sc.Pred.Columns()
+	cr := &colReader{br: br, need: need, pred: sc.Pred}
+	defer func() {
+		mBlocksRead.Add(cr.blocksRead)
+		mBlocksSkipped.Add(cr.blocksSkipped)
+		mBytesDecoded.Add(cr.bytesDecoded)
+		mBytesPruned.Add(cr.bytesPruned)
+	}()
+	// closeTrailer runs at a clean end of stream: every block decoded,
+	// gzip trailer intact — only then does the day count as read.
+	closeTrailer := func() error {
+		*closed = true
+		if cerr := gz.Close(); cerr != nil {
+			mCorruptRecords.Inc()
+			return fmt.Errorf("gzip trailer: %w", cerr)
+		}
+		mDaysRead.Inc()
+		return nil
+	}
+	classify := func(err error) error {
+		if errors.Is(err, ErrCorrupt) || isGzipDamage(err) {
+			mCorruptRecords.Inc()
+		}
+		return err
+	}
+	deliver := func(recs []Record) error {
+		for i := range recs {
+			if !sc.Pred.Match(&recs[i]) {
+				continue
+			}
+			*nRecs++
+			if err := fn(&recs[i]); err != nil {
+				return fnErr{err: err}
+			}
+		}
+		return nil
+	}
+
+	if sc.Workers <= 1 {
+		strs := make(map[string]string, 256)
+		var recs []Record
+		for {
+			b, err := cr.next()
+			if err == io.EOF {
+				return closeTrailer()
+			}
+			if err != nil {
+				return classify(err)
+			}
+			if cap(recs) < b.rows {
+				recs = make([]Record, b.rows)
+			}
+			recs = recs[:b.rows]
+			for i := range recs {
+				recs[i] = Record{}
+			}
+			if err := decodeBlock(b, need, recs, strs); err != nil {
+				return classify(err)
+			}
+			if err := deliver(recs); err != nil {
+				return err
+			}
+		}
+	}
+	return s.readDayV2Parallel(cr, need, sc.Workers, deliver, closeTrailer, classify)
+}
+
+// seqBlock pairs a raw block with its delivery sequence number.
+type seqBlock struct {
+	seq int
+	b   *colBlock
+}
+
+// decoded is one worker's output: the block's records, or its error.
+type decoded struct {
+	seq  int
+	recs []Record
+	err  error
+}
+
+// prodEnd is the producer's final word: how many blocks it enqueued,
+// and the stream-level error (nil means clean EOF + intact trailer).
+type prodEnd struct {
+	n   int
+	err error
+}
+
+// readDayV2Parallel reads raw blocks serially (gzip is inherently
+// serial) and fans block decoding out over workers goroutines. A
+// reorder buffer on the consuming side delivers records in exact file
+// order, so parallelism never changes what fn observes. Records
+// decoded before a mid-stream failure are delivered, then the failure
+// is returned — the same prefix-delivery contract as the serial scan.
+func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, deliver func([]Record) error, closeTrailer func() error, classify func(error) error) error {
+	jobs := make(chan seqBlock, workers)
+	out := make(chan decoded, workers)
+	end := make(chan prodEnd, 1)
+	done := make(chan struct{})
+	var closeDone sync.Once
+	abort := func() { closeDone.Do(func() { close(done) }) }
+	defer abort()
+
+	go func() { // producer: the only goroutine touching the gzip stream
+		defer close(jobs)
+		seq := 0
+		for {
+			b, err := cr.next()
+			if err == io.EOF {
+				end <- prodEnd{n: seq, err: closeTrailer()}
+				return
+			}
+			if err != nil {
+				end <- prodEnd{n: seq, err: classify(err)}
+				return
+			}
+			select {
+			case jobs <- seqBlock{seq: seq, b: b}:
+				seq++
+			case <-done:
+				end <- prodEnd{n: seq, err: nil}
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			strs := make(map[string]string, 256)
+			for j := range jobs {
+				recs := make([]Record, j.b.rows)
+				err := decodeBlock(j.b, need, recs, strs)
+				select {
+				case out <- decoded{seq: j.seq, recs: recs, err: err}:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	// Consumer: re-sequence decoded blocks to file order.
+	pending := make(map[int][]Record)
+	next, total := 0, -1
+	var endErr error
+	drain := func() {
+		abort()
+		go func() { // unblock any worker mid-send, then reap them
+			for range out {
+			}
+		}()
+		wg.Wait()
+		close(out)
+		if total < 0 {
+			<-end // producer's final word was never consumed
+		}
+	}
+	for total < 0 || next < total {
+		if total >= 0 && len(pending) >= total-next {
+			break // everything still owed is already buffered
+		}
+		select {
+		case d := <-out:
+			if d.err != nil {
+				drain()
+				return classify(d.err)
+			}
+			pending[d.seq] = d.recs
+		case e := <-end:
+			total, endErr = e.n, e.err
+		}
+		for {
+			recs, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if err := deliver(recs); err != nil {
+				drain()
+				return err
+			}
+		}
+	}
+	for next < total {
+		recs := pending[next]
+		delete(pending, next)
+		next++
+		if err := deliver(recs); err != nil {
+			drain()
+			return err
+		}
+	}
+	drain()
+	return endErr
+}

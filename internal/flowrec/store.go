@@ -27,6 +27,10 @@ var (
 	mDaysRead       = metrics.GetCounter("store.days_read")
 	mDaysMissing    = metrics.GetCounter("store.days_missing")
 	mQuarantined    = metrics.GetCounter("store.quarantined_days")
+	// mOversizeRecords counts records rejected at encode time for
+	// exceeding the codec's wire-size bound — data the lake refused,
+	// not data it lost.
+	mOversizeRecords = metrics.GetCounter("store.oversize_records")
 )
 
 // countingWriter tracks compressed bytes leaving a DayWriter.
@@ -45,8 +49,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // day-partitioned, gzip-compressed flow logs, mirroring the paper's
 // "daily, logs are copied into a long-term storage" workflow
 // (section 2.2). File layout: <root>/YYYY/MM/flows-YYYYMMDD.efl.gz.
+// Each file is either row-oriented v1 or columnar v2 (see Format);
+// readers auto-detect per file, so both coexist in one lake.
 type Store struct {
-	root string
+	root   string
+	format Format // what CreateDay writes; reads auto-detect
 }
 
 // OpenStore opens (creating if needed) a store rooted at dir.
@@ -69,6 +76,14 @@ func (s *Store) dayPath(day time.Time) string {
 		fmt.Sprintf("flows-%04d%02d%02d.efl.gz", day.Year(), int(day.Month()), day.Day()))
 }
 
+// dayEncoder is the record-sink surface a DayWriter needs; both the
+// v1 row Encoder and the v2 columnar encoder provide it.
+type dayEncoder interface {
+	Encode(*Record) error
+	Flush() error
+	Count() uint64
+}
+
 // DayWriter appends records to one day's log. Records must all belong
 // to the day it was opened for; Write enforces this because a
 // mis-partitioned lake silently corrupts every per-day aggregate.
@@ -77,7 +92,7 @@ type DayWriter struct {
 	f    *os.File
 	cw   *countingWriter
 	gz   *gzip.Writer
-	enc  *Encoder
+	enc  dayEncoder
 	path string
 }
 
@@ -97,7 +112,12 @@ func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	enc, err := NewEncoder(gz)
+	var enc dayEncoder
+	if s.format == FormatV2 {
+		enc, err = newColEncoder(gz)
+	} else {
+		enc, err = NewEncoder(gz)
+	}
 	if err != nil {
 		gz.Close()
 		f.Close()
@@ -148,69 +168,12 @@ func (w *DayWriter) Close() error {
 var ErrNoDay = errors.New("flowrec: no log for day")
 
 // ReadDay streams every record of one day to fn. Iteration stops early
-// if fn returns a non-nil error, which is then returned.
+// if fn returns a non-nil error, which is then returned. The file's
+// format (v1 row stream or v2 columnar) is auto-detected by magic.
+// store.days_read counts only days whose stream ended cleanly — a day
+// that fails mid-read never inflates read-throughput metrics.
 func (s *Store) ReadDay(day time.Time, fn func(*Record) error) error {
-	path := s.dayPath(day)
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			mDaysMissing.Inc()
-			return fmt.Errorf("%w: %s", ErrNoDay, day.UTC().Format("2006-01-02"))
-		}
-		return fmt.Errorf("flowrec: opening day log: %w", err)
-	}
-	defer f.Close()
-	// Per-day counts accumulate locally and publish once: the decode
-	// loop is the stage-one hot path.
-	var nRecs, nBytes uint64
-	defer func() {
-		mRecordsRead.Add(nRecs)
-		mBytesRead.Add(nBytes)
-		mDaysRead.Inc()
-	}()
-	cr := &countingReader{r: f}
-	gz, err := gzip.NewReader(cr)
-	if err != nil {
-		mCorruptRecords.Inc()
-		return fmt.Errorf("flowrec: %s: %w", path, err)
-	}
-	closed := false
-	defer func() {
-		if !closed {
-			gz.Close()
-		}
-		nBytes = cr.n
-	}()
-	dec, err := NewDecoder(gz)
-	if err != nil {
-		return fmt.Errorf("flowrec: %s: %w", path, err)
-	}
-	var rec Record
-	for {
-		rec = Record{}
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				// The records decoded cleanly, but a clean stream must
-				// also end with an intact gzip trailer: Close is where
-				// a truncated or checksum-damaged tail surfaces, and
-				// swallowing it would let a corrupt day read as whole.
-				closed = true
-				if cerr := gz.Close(); cerr != nil {
-					mCorruptRecords.Inc()
-					return fmt.Errorf("flowrec: %s: gzip trailer: %w", path, cerr)
-				}
-				return nil
-			}
-			if errors.Is(err, ErrCorrupt) || isGzipDamage(err) {
-				mCorruptRecords.Inc()
-			}
-			return fmt.Errorf("flowrec: %s: %w", path, err)
-		}
-		nRecs++
-		if err := fn(&rec); err != nil {
-			return err
-		}
-	}
+	return s.ReadDayCols(day, ColScan{}, fn)
 }
 
 // isGzipDamage classifies transport-level stream damage — a truncated
@@ -281,7 +244,16 @@ func (s *Store) Days() ([]time.Time, error) {
 		if _, err := fmt.Sscanf(base, "flows-%4d%2d%2d.efl.gz", &y, &m, &dd); err != nil {
 			return nil // not a log file
 		}
-		days = append(days, time.Date(y, time.Month(m), dd, 0, 0, 0, 0, time.UTC))
+		// Sscanf accepts impossible dates (month 0, day 32) from stray
+		// matching names, and time.Date silently normalises them into
+		// some other day — which would then read as missing or, worse,
+		// alias a real day. Only canonical names list: the parsed
+		// components must round-trip through time.Date unchanged.
+		day := time.Date(y, time.Month(m), dd, 0, 0, 0, 0, time.UTC)
+		if gy, gm, gd := day.Date(); gy != y || gm != time.Month(m) || gd != dd {
+			return nil // non-canonical date: not a log file
+		}
+		days = append(days, day)
 		return nil
 	})
 	if err != nil {

@@ -134,8 +134,8 @@ type Row struct {
 	Value int64
 
 	// Histogram/timer summary.
-	Count              uint64
-	Sum, Min, Max      int64
+	Count               uint64
+	Sum, Min, Max       int64
 	Mean, P50, P90, P99 int64
 }
 

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestECDFConcurrentQueries regresses the lazy-sort data race: the
+// first query after a batch of Adds used to sort the sample slice
+// unlocked, so two goroutines querying the same freshly-filled ECDF
+// concurrently (figure renderers share distributions) both sorted it
+// at once. Run under -race this fails loudly on the old code; the
+// fix locks the one-shot finalization and lets explicit Finalize()
+// pre-sort before fan-out.
+func TestECDFConcurrentQueries(t *testing.T) {
+	// A serially-queried twin supplies the expected answers, so the
+	// assertion does not depend on the quantile convention.
+	var ref, e ECDF
+	for i := 10_000; i > 0; i-- {
+		ref.Add(float64(i % 997))
+		e.Add(float64(i % 997))
+	}
+	wantMedian := ref.Median()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// First readers race into the lazy sort; all must agree.
+			if got := e.Median(); got != wantMedian {
+				t.Errorf("goroutine %d: Median = %v, want %v", g, got, wantMedian)
+			}
+			if p := e.P(499); p <= 0 || p > 1 {
+				t.Errorf("goroutine %d: P(499) = %v", g, p)
+			}
+			_ = e.Mean()
+			_ = e.Quantile(0.9)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestECDFFinalizeIdempotent: Finalize may run any number of times
+// (and concurrently with queries) without changing answers.
+func TestECDFFinalizeIdempotent(t *testing.T) {
+	var e ECDF
+	e.AddAll([]float64{3, 1, 2})
+	e.Finalize()
+	m1 := e.Median()
+	e.Finalize()
+	if m2 := e.Median(); m2 != m1 {
+		t.Errorf("Median changed across Finalize: %v vs %v", m1, m2)
+	}
+}

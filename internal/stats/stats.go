@@ -10,11 +10,18 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ECDF is an empirical cumulative distribution over float64 samples.
-// The zero value is ready to use; Add samples, then query.
+// The zero value is ready to use; Add samples, then query. Queries
+// (P, CCDF, Quantile, Median, Mean, the curve renderers) finalise the
+// distribution lazily under a mutex, so concurrent readers are safe —
+// stage two fans figure rendering out over goroutines that may share
+// one distribution. Add/AddAll are writer-side and must not race with
+// queries; call Finalize first to hand a filled ECDF to readers.
 type ECDF struct {
+	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 }
@@ -34,7 +41,17 @@ func (e *ECDF) AddAll(vs []float64) {
 // N returns the sample count.
 func (e *ECDF) N() int { return len(e.samples) }
 
+// Finalize sorts the samples so later queries are read-only. Optional:
+// queries finalise lazily (and safely) on their own; calling it once
+// after the last Add simply moves the sort off the query path.
+func (e *ECDF) Finalize() { e.sort() }
+
+// sort finalises under the lock. The pre-check on sorted is not a
+// fast path on purpose: an unsynchronised read of the flag while
+// another goroutine sorts was exactly the race this fixes.
 func (e *ECDF) sort() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.sorted {
 		sort.Float64s(e.samples)
 		e.sorted = true
@@ -83,6 +100,10 @@ func (e *ECDF) Mean() float64 {
 	if len(e.samples) == 0 {
 		return 0
 	}
+	// Finalise first: summing while another goroutine sorts the shared
+	// slice would read mid-swap garbage (and race). The sum is
+	// order-independent, so reading the sorted samples changes nothing.
+	e.sort()
 	var s float64
 	for _, v := range e.samples {
 		s += v
