@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/flowrec"
+	"repro/internal/simnet"
+)
+
+// Rollup-tier benchmarks: the speedup the tier buys on the queries it
+// exists for, and the size/accuracy trade of carrying sketches in the
+// windows. EXPERIMENTS.md records the measured numbers.
+
+// benchYear is the window the tier benchmark folds: one full calendar
+// year, so planTiers promotes the whole request to a single year file.
+var benchYearDays = core.RangeDays(
+	time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC),
+	time.Date(2016, 12, 31, 0, 0, 0, 0, time.UTC), 1)
+
+// genBenchStore materialises days into a fresh v2 store.
+func genBenchStore(b *testing.B, days []time.Time) *flowrec.Store {
+	b.Helper()
+	store, err := flowrec.OpenStoreFormat(b.TempDir(), flowrec.FormatV2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := core.New(core.Config{Seed: 5, Scale: simnet.Scale{ADSL: 8, FTTH: 4}})
+	if _, err := gen.GenerateStore(context.Background(), core.NewDiskStorage(store, ""), days); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// BenchmarkFig3YearDayScanVsRollup runs the same one-year Figure-3
+// query three ways — scanning and folding every day file, folding
+// cached per-day aggregates, and answering from the year rollup — and
+// checks all three return identical rows. The ns/op ratio between
+// dayscan and rollup is the headline speedup the tier buys; dayagg
+// isolates how much of it is aggregate caching vs the pre-folded merge.
+func BenchmarkFig3YearDayScanVsRollup(b *testing.B) {
+	ctx := context.Background()
+	store := genBenchStore(b, benchYearDays)
+	aggDir, rollDir := b.TempDir(), b.TempDir()
+	warm := core.New(core.Config{Store: store, AggCacheDir: aggDir, RollupDir: rollDir})
+	if _, err := warm.Aggregate(ctx, benchYearDays); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.BuildRollups(ctx, benchYearDays); err != nil {
+		b.Fatal(err)
+	}
+	want, err := warm.MonthlySeriesTier(ctx, benchYearDays, analytics.ColsSubscribers)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"dayscan", core.Config{Store: store}},
+		{"dayagg", core.Config{Store: store, AggCacheDir: aggDir}},
+		{"rollup", core.Config{Store: store, RollupDir: rollDir}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var got []analytics.MonthlyMean
+			for i := 0; i < b.N; i++ {
+				// A fresh pipeline per iteration: the in-memory day cache
+				// must not serve iteration 2, only the tier under test.
+				p := core.New(v.cfg)
+				var err error
+				if got, err = p.MonthlySeriesTier(context.Background(), benchYearDays, analytics.ColsSubscribers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				b.Fatalf("%s: rows differ from the exact day fold", v.name)
+			}
+		})
+	}
+}
+
+// BenchmarkRollupSketchAblation builds one month rollup with and
+// without sketches from warmed day aggregates and reports, besides the
+// fold time, the persisted window's size (rollup_KB) and — for the
+// sketch build — the HLL distinct-client error against the exact count
+// (clients_err_pct). This is the error-vs-compression trade the
+// -sketch gate offers.
+func BenchmarkRollupSketchAblation(b *testing.B) {
+	ctx := context.Background()
+	monthDays := core.MonthDays(2016, time.June)
+	store := genBenchStore(b, monthDays)
+
+	// Separate warmed aggregate caches: sketch-mode pipelines refuse
+	// sketch-free cached aggregates, so each variant gets its own.
+	aggExact, aggSketch := b.TempDir(), b.TempDir()
+	warm := core.New(core.Config{Store: store, AggCacheDir: aggExact})
+	aggs, err := warm.Aggregate(ctx, monthDays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	distinct := make(map[uint32]bool)
+	for _, a := range aggs {
+		for id := range a.Subs {
+			distinct[id] = true
+		}
+	}
+	warmSk := core.New(core.Config{Store: store, AggCacheDir: aggSketch, Sketch: true})
+	if _, err := warmSk.Aggregate(ctx, monthDays); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, sketch := range []bool{false, true} {
+		name, aggDir := "exact", aggExact
+		if sketch {
+			name, aggDir = "sketch", aggSketch
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last *analytics.Rollup
+			var size int64
+			for i := 0; i < b.N; i++ {
+				rollDir := b.TempDir()
+				p := core.New(core.Config{Store: store, AggCacheDir: aggDir, RollupDir: rollDir, Sketch: sketch})
+				rolls, err := p.Rollups(context.Background(), monthDays)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rolls) != 1 {
+					b.Fatalf("%d windows, want 1 month", len(rolls))
+				}
+				last = rolls[0]
+				fi, err := os.Stat(filepath.Join(rollDir, "month-2016-06-01-v1.gob.gz"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = fi.Size()
+			}
+			b.ReportMetric(float64(size)/1024, "rollup_KB")
+			if sketch {
+				if last.Agg.Sketches == nil {
+					b.Fatal("sketch build carried no sketches")
+				}
+				est := last.Agg.Sketches.Clients.Estimate()
+				errPct := 100 * (est - float64(len(distinct))) / float64(len(distinct))
+				if errPct < 0 {
+					errPct = -errPct
+				}
+				b.ReportMetric(errPct, "clients_err_pct")
+			}
+		})
+	}
+}

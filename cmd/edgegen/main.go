@@ -38,6 +38,8 @@ func main() {
 		csv        = flag.String("csv", "", "also dump the first generated day as CSV to this file")
 		format     = flag.String("format", "v1", "day-file format: v1 (row codec) or v2 (columnar); readers auto-detect")
 		aggDir     = flag.String("agg", "", "after generating, prewarm a per-day aggregate cache in this directory")
+		rollupDir  = flag.String("rollup", "", "after generating, prewarm week/month/year rollups in this directory")
+		sketch     = flag.Bool("sketch", false, "carry mergeable sketches in the prewarmed aggregates and rollups")
 		shards     = flag.Int("shards", 0, "per-day shard aggregators for the -agg prewarm (0 = auto, 1 = serial fold)")
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -93,7 +95,11 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := core.Config{Seed: *seed, Scale: simnet.Scale{ADSL: *adsl, FTTH: *ftth}}
-	var dst core.Storage = core.NewDiskStorage(store, "")
+	// The write side carries the cache directories so regenerating a day
+	// drops its stale aggregate and the stale rollup windows covering it
+	// — the prewarm below would otherwise accept them (a cached agg has
+	// no freshness signal, and a stale rollup's manifest still matches).
+	var dst core.Storage = core.NewDiskStorage(store, *aggDir).WithRollupDir(*rollupDir)
 	if *faults != "" {
 		plan, perr := faultinject.Parse(*faults)
 		if perr != nil {
@@ -126,21 +132,35 @@ func main() {
 	// edgereport against it starts from cached aggregates (sharded runs
 	// cache mergeable partials). The generation pipeline carries no
 	// store wiring, so a second pipeline reads what the first wrote.
-	if *aggDir != "" {
+	if *aggDir != "" || *rollupDir != "" {
 		t1 := time.Now()
 		warmCfg := cfg
 		warmCfg.Store = store
 		warmCfg.AggCacheDir = *aggDir
+		warmCfg.RollupDir = *rollupDir
+		warmCfg.Sketch = *sketch
 		warmCfg.ShardsPerDay = *shards
 		warmCfg.Faults = nil // chaos is a generation-side concern; the prewarm reads clean
 		warm := core.New(warmCfg)
-		aggs, err := warm.Aggregate(ctx, days)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "edgegen: agg prewarm: %v\n", err)
-			os.Exit(1)
+		if *aggDir != "" {
+			aggs, err := warm.Aggregate(ctx, days)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edgegen: agg prewarm: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("prewarmed %d day aggregates into %s in %v\n",
+				len(aggs), *aggDir, time.Since(t1).Round(time.Millisecond))
 		}
-		fmt.Printf("prewarmed %d day aggregates into %s in %v\n",
-			len(aggs), *aggDir, time.Since(t1).Round(time.Millisecond))
+		if *rollupDir != "" {
+			t2 := time.Now()
+			nw, err := warm.BuildRollups(ctx, days)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edgegen: rollup prewarm: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("prewarmed %d rollup windows into %s in %v\n",
+				nw, *rollupDir, time.Since(t2).Round(time.Millisecond))
+		}
 	}
 }
 

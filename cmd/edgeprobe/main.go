@@ -49,6 +49,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "parallel probe workers per day (flow-hash packet fan-out); record order in the store varies with the count, record content does not")
 		pcapIn     = flag.String("pcap-in", "", "replay packets from this pcap file instead of simulating")
 		pcapOut    = flag.String("pcap-out", "", "also dump the simulated packet stream to this pcap file")
+		rollupDir  = flag.String("rollup", "", "after the capture, prewarm week/month/year rollups over the store into this directory")
+		sketch     = flag.Bool("sketch", false, "carry mergeable sketches in the prewarmed rollups")
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -104,7 +106,9 @@ func main() {
 	// layer can exercise the capture->store path; a torn or transient
 	// write retries by re-simulating the day (deterministic, and the
 	// rewrite truncates the partial file).
-	var dst core.Storage = core.NewDiskStorage(store, "")
+	// Carrying the rollup directory on the write side drops stale
+	// windows covering any day this capture rewrites.
+	var dst core.Storage = core.NewDiskStorage(store, "").WithRollupDir(*rollupDir)
 	var plan *faultinject.Plan
 	if *faults != "" {
 		var perr error
@@ -120,6 +124,9 @@ func main() {
 		if err := replayPcap(world, store, *pcapIn); err != nil {
 			fmt.Fprintf(os.Stderr, "edgeprobe: %v\n", err)
 			os.Exit(1)
+		}
+		if *rollupDir != "" {
+			prewarmRollups(store, *rollupDir, *sketch)
 		}
 		return
 	}
@@ -214,6 +221,31 @@ func main() {
 	}
 	fmt.Printf("probe path done: %d packets -> %d flows in %v\n",
 		totalPkts, totalFlows, time.Since(t0).Round(time.Millisecond))
+	if *rollupDir != "" {
+		prewarmRollups(store, *rollupDir, *sketch)
+	}
+}
+
+// prewarmRollups folds every day in the freshly written store into
+// week/month/year rollup files, so the first analysis run against the
+// capture answers from the tier instead of re-folding day aggregates.
+// The probe pipeline carries no analytics wiring of its own; a second,
+// read-side pipeline does the folding.
+func prewarmRollups(store *flowrec.Store, dir string, sketch bool) {
+	t0 := time.Now()
+	days, err := core.NewDiskStorage(store, "").Days()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgeprobe: rollup prewarm: %v\n", err)
+		os.Exit(1)
+	}
+	p := core.New(core.Config{Store: store, RollupDir: dir, Sketch: sketch})
+	nw, err := p.BuildRollups(context.Background(), days)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgeprobe: rollup prewarm: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("prewarmed %d rollup windows into %s in %v\n",
+		nw, dir, time.Since(t0).Round(time.Millisecond))
 }
 
 // replayPcap feeds a capture file through the probe and stores the

@@ -42,6 +42,8 @@ func main() {
 		store      = flag.String("store", "", "read records from this flow store instead of simulating (v1 and v2 day files auto-detected, experiments decode only the columns they declare)")
 		rules      = flag.String("rules", "", "classification rules file (default: built-in list)")
 		aggDir     = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
+		rollupDir  = flag.String("rollup", "", "persist week/month/year rollups to this directory; long-span experiments answer from the coarsest tier that fits")
+		sketch     = flag.Bool("sketch", false, "carry mergeable sketches (HLL clients/server IPs, SpaceSaving services/domains, t-digest RTT) in aggregates and rollups")
 		export     = flag.String("export", "", "write the figure data tables (CSV) to this directory and exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		stats      = flag.Bool("stats", false, "print the pipeline metrics table after the run")
@@ -80,7 +82,8 @@ func main() {
 
 	cfg := core.Config{
 		Seed: *seed, Stride: *stride, Workers: *workers, ShardsPerDay: *shards,
-		AggCacheDir: *aggDir, Degrade: *degrade, DayTimeout: *dayTimeout,
+		AggCacheDir: *aggDir, RollupDir: *rollupDir, Sketch: *sketch,
+		Degrade: *degrade, DayTimeout: *dayTimeout,
 	}
 	if *faults != "" {
 		plan, perr := faultinject.Parse(*faults)

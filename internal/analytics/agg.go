@@ -114,6 +114,12 @@ type DayAgg struct {
 	// requested set; see core's aggregate cache. Cols is bookkeeping,
 	// not data: CanonicalBytes deliberately excludes it.
 	Cols flowrec.ColumnSet
+
+	// Sketches carries the approximate summaries when the run was in
+	// sketch mode, nil otherwise (exact mode — the default). Like Cols
+	// it is excluded from CanonicalBytes: byte-identity is an
+	// exact-state contract.
+	Sketches *SketchSet
 }
 
 // rttServices are the Figure 10 subjects.
@@ -178,6 +184,10 @@ type Aggregator struct {
 	rttWant  []bool
 	finished bool
 
+	// sk, when non-nil, shadows the exact accumulators with mergeable
+	// sketches (EnableSketches).
+	sk *SketchSet
+
 	// cols is the column contract this aggregator was built for;
 	// accumulators whose input columns are outside it stay off (see
 	// the want* gates). Always normalised: never zero.
@@ -235,6 +245,15 @@ func NewAggregatorCols(day time.Time, cls *classify.Classifier, cols flowrec.Col
 	return a
 }
 
+// EnableSketches turns on sketch mode for this aggregation: records
+// additionally feed a SketchSet that rides in the resulting DayAgg.
+// Must be called before the first Add.
+func (a *Aggregator) EnableSketches() {
+	if a.sk == nil {
+		a.sk = NewSketchSet()
+	}
+}
+
 // ServiceOf classifies a record: P2P by probe label, everything else
 // by server name.
 func ServiceOf(cls *classify.Classifier, rec *flowrec.Record) classify.Service {
@@ -269,6 +288,10 @@ func (a *Aggregator) serviceIDOf(rec *flowrec.Record) classify.ServiceID {
 func (a *Aggregator) Add(rec *flowrec.Record) {
 	agg := a.agg
 	id := a.serviceIDOf(rec)
+
+	if a.sk != nil {
+		a.sk.observe(a, rec, a.cls.ServiceName(id), id)
+	}
 
 	if a.wantSubs {
 		sa := a.subs[rec.SubID]
@@ -490,6 +513,10 @@ type RunConfig struct {
 	// are byte-identical whether or not the source actually prunes.
 	// Zero means all columns.
 	Cols flowrec.ColumnSet
+	// Sketch additionally feeds mergeable sketches (DayAgg.Sketches)
+	// during aggregation. Exact accumulators still run; figures stay
+	// byte-identical. Off by default.
+	Sketch bool
 }
 
 // Run aggregates the given days with a bounded pool of workers
@@ -623,7 +650,7 @@ func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classi
 	var agg *DayAgg
 	err := cfg.Retry.Do(dctx, uint64(day.Unix()), func() error {
 		if shards > 1 {
-			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials, cfg.Cols)
+			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials, cfg.Cols, cfg.Sketch)
 			if rerr != nil {
 				return rerr
 			}
@@ -631,6 +658,9 @@ func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classi
 			return nil
 		}
 		a := NewAggregatorCols(day, cls, cfg.Cols)
+		if cfg.Sketch {
+			a.EnableSketches()
+		}
 		if rerr := recordsCols(dctx, src, day, scanFor(cfg.Cols, 1), a.Add); rerr != nil {
 			return rerr
 		}

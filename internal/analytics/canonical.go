@@ -58,7 +58,16 @@ type canonDomain struct {
 	Domains []canonKV
 }
 
+// CanonicalVersion is the canonical-encoding schema epoch. Version 2
+// marks the DayAgg that can carry sketches: Sketches, like Cols, is
+// deliberately excluded from the projection (approximation state never
+// participates in byte-identity), and the explicit version field makes
+// encodings from different epochs compare unequal instead of
+// accidentally equal.
+const CanonicalVersion = 2
+
 type canonAgg struct {
+	Version      int
 	Day          int64 // unix seconds, UTC midnight
 	Subs         []canonSub
 	ProtoBytes   []uint64
@@ -89,6 +98,7 @@ func sortedServices[V any](m map[classify.Service]V) []classify.Service {
 // corpus — and cheap enough to run on every CI aggregate.
 func CanonicalBytes(d *DayAgg) ([]byte, error) {
 	c := canonAgg{
+		Version:    CanonicalVersion,
 		Day:        d.Day.Unix(),
 		ProtoBytes: d.ProtoBytes[:],
 		TotalDown:  d.TotalDown,

@@ -1,0 +1,198 @@
+package analytics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+)
+
+// genAggForDay aggregates a deterministic synthetic day (seed varies
+// with the date, so days differ) anchored at day instead of testDay.
+func genAggForDay(day time.Time, n int, sketch bool) *DayAgg {
+	recs := genDayRecords(uint64(day.Unix()), n)
+	shift := day.Sub(testDay)
+	a := NewAggregator(day, nil)
+	if sketch {
+		a.EnableSketches()
+	}
+	for i := range recs {
+		r := recs[i]
+		r.Start = r.Start.Add(shift)
+		a.Add(&r)
+	}
+	return a.Result()
+}
+
+func consecutiveDays(start time.Time, n int) []time.Time {
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = start.AddDate(0, 0, i)
+	}
+	return out
+}
+
+func TestWindowStart(t *testing.T) {
+	cases := []struct {
+		g    Grain
+		day  string
+		want string
+	}{
+		{GrainWeek, "2016-05-10", "2016-05-09"}, // Tuesday → Monday
+		{GrainWeek, "2016-05-09", "2016-05-09"}, // Monday fixed point
+		{GrainWeek, "2016-05-15", "2016-05-09"}, // Sunday → previous Monday
+		{GrainMonth, "2016-05-10", "2016-05-01"},
+		{GrainYear, "2016-05-10", "2016-01-01"},
+	}
+	for _, c := range cases {
+		day, _ := time.Parse("2006-01-02", c.day)
+		if got := WindowStart(c.g, day).Format("2006-01-02"); got != c.want {
+			t.Errorf("WindowStart(%s, %s) = %s want %s", c.g, c.day, got, c.want)
+		}
+	}
+	if got := NextWindow(GrainMonth, time.Date(2016, 12, 1, 0, 0, 0, 0, time.UTC)); got.Year() != 2017 || got.Month() != 1 {
+		t.Errorf("NextWindow(month, 2016-12-01) = %v", got)
+	}
+	if got := NextWindow(GrainWeek, time.Date(2016, 5, 9, 0, 0, 0, 0, time.UTC)); !got.Equal(time.Date(2016, 5, 16, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("NextWindow(week) = %v", got)
+	}
+}
+
+// TestFromStatsEquivalence is the heart of the rollup contract: the
+// *FromStats folds over DayStat rows must equal the figures.go folds
+// over the day aggregates — exactly, including the float64 divisions.
+func TestFromStatsEquivalence(t *testing.T) {
+	// Span a month boundary so the monthly grouping is exercised.
+	days := consecutiveDays(time.Date(2016, 4, 20, 0, 0, 0, 0, time.UTC), 20)
+	var aggs []*DayAgg
+	var rows []DayStat
+	for _, d := range days {
+		agg := genAggForDay(d, 800, false)
+		aggs = append(aggs, agg)
+		rows = append(rows, NewDayStat(agg))
+	}
+
+	if got, want := MonthlyFromStats(rows), MonthlySeries(aggs); !reflect.DeepEqual(got, want) {
+		t.Errorf("MonthlyFromStats differs from MonthlySeries:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := ActiveFromStats(rows), ActiveSeries(aggs); !reflect.DeepEqual(got, want) {
+		t.Errorf("ActiveFromStats differs from ActiveSeries:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := ProtoSharesFromStats(rows), ProtocolShares(aggs); !reflect.DeepEqual(got, want) {
+		t.Errorf("ProtoSharesFromStats differs from ProtocolShares:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestBuildRollupWindow(t *testing.T) {
+	start := time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC) // a Monday
+	days := consecutiveDays(start, 7)
+	var aggs []*DayAgg
+	for _, d := range days {
+		aggs = append(aggs, genAggForDay(d, 500, false))
+	}
+	r, err := BuildRollup(GrainWeek, start, days, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats) != 7 || len(r.SourceDays) != 7 {
+		t.Fatalf("stats=%d sources=%d want 7", len(r.Stats), len(r.SourceDays))
+	}
+	if !r.CoversExactly(days) {
+		t.Error("CoversExactly(same days) = false")
+	}
+	if r.CoversExactly(days[:6]) {
+		t.Error("CoversExactly(shorter list) = true")
+	}
+	other := append(append([]time.Time(nil), days[:3]...), days[4:]...)
+	if r.CoversExactly(other) {
+		t.Error("CoversExactly(different grid) = true")
+	}
+
+	// Coarse merge: totals add, RTT samples pool in day order.
+	var wantDown, wantFlows uint64
+	wantRTT := map[string]int{}
+	for _, a := range aggs {
+		wantDown += a.TotalDown
+		wantFlows += a.Flows
+		for svc, ms := range a.RTTMinMs {
+			wantRTT[string(svc)] += len(ms)
+		}
+	}
+	if r.Agg.TotalDown != wantDown || r.Agg.Flows != wantFlows {
+		t.Errorf("coarse totals: down=%d flows=%d want %d/%d",
+			r.Agg.TotalDown, r.Agg.Flows, wantDown, wantFlows)
+	}
+	if !r.Agg.Day.Equal(start) {
+		t.Errorf("coarse agg day %v want %v", r.Agg.Day, start)
+	}
+	for svc, n := range wantRTT {
+		if got := len(r.Agg.RTTMinMs[classify.Service(svc)]); got != n {
+			t.Errorf("pooled RTT %s: %d samples want %d", svc, got, n)
+		}
+	}
+
+	// A day outside the window must refuse to fold.
+	if _, err := BuildRollup(GrainWeek, start, days, []*DayAgg{genAggForDay(start.AddDate(0, 0, 7), 100, false)}); err == nil {
+		t.Error("BuildRollup accepted a day outside the window")
+	}
+}
+
+// TestRollupSketchMode folds sketch-built day aggregates and checks the
+// window sketches survive the merge with their documented accuracy.
+func TestRollupSketchMode(t *testing.T) {
+	start := time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC)
+	days := consecutiveDays(start, 7)
+	var aggs []*DayAgg
+	distinct := map[uint32]bool{}
+	svcBytes := map[string]uint64{}
+	for _, d := range days {
+		agg := genAggForDay(d, 800, true)
+		if agg.Sketches == nil {
+			t.Fatal("sketch-mode day aggregate carries no sketches")
+		}
+		aggs = append(aggs, agg)
+		for id := range agg.Subs {
+			distinct[id] = true
+		}
+		for svc, b := range agg.ServiceBytes {
+			svcBytes[string(svc)] += b
+		}
+	}
+	r, err := BuildRollup(GrainWeek, start, days, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := r.Agg.Sketches
+	if sk == nil {
+		t.Fatal("rollup of sketch-mode days lost the sketches")
+	}
+	est := sk.Clients.Estimate()
+	n := float64(len(distinct))
+	if tol := 3*sk.Clients.RelErr()*n + 3; math.Abs(est-n) > tol {
+		t.Errorf("window distinct clients: estimate %.0f truth %.0f (tol %.0f)", est, n, tol)
+	}
+	// The heaviest service by bytes must be a tracked heavy hitter with
+	// an upper-bound count at or above the truth.
+	var heavy string
+	var heavyB uint64
+	for s, b := range svcBytes {
+		if b > heavyB {
+			heavy, heavyB = s, b
+		}
+	}
+	if got := sk.Services.Count(heavy); got < heavyB {
+		t.Errorf("heavy hitter %s: sketch count %d below truth %d", heavy, got, heavyB)
+	}
+
+	// Exact-mode rollups must not conjure sketches.
+	exact, err := BuildRollup(GrainWeek, start, days[:2], []*DayAgg{
+		genAggForDay(days[0], 300, false), genAggForDay(days[1], 300, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Agg.Sketches != nil {
+		t.Error("exact-mode rollup carries sketches")
+	}
+}

@@ -68,7 +68,7 @@ const shardBatch = 512
 // contract: the source scan projects to it, and the v2 store's block
 // decode reuses the shard workers' parallelism budget (the fan-out
 // consumer is otherwise the serial bottleneck).
-func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, shards int, onPartials func(time.Time, []*Partial), cols flowrec.ColumnSet) (*DayAgg, error) {
+func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, shards int, onPartials func(time.Time, []*Partial), cols flowrec.ColumnSet, sketch bool) (*DayAgg, error) {
 	if cls == nil {
 		cls = classify.Default()
 	}
@@ -77,6 +77,9 @@ func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Clas
 	var wg sync.WaitGroup
 	for i := range aggs {
 		aggs[i] = NewAggregatorCols(day, cls, cols)
+		if sketch {
+			aggs[i].EnableSketches()
+		}
 		chans[i] = make(chan []flowrec.Record, 4)
 		wg.Add(1)
 		go func(a *Aggregator, in <-chan []flowrec.Record) {

@@ -1,0 +1,153 @@
+// Package sketch implements the three mergeable summaries the rollup
+// tier carries when exact cross-day merging would not scale to the
+// paper's full deployment: a HyperLogLog for distinct-count questions
+// (clients, server addresses), a SpaceSaving heavy-hitter summary for
+// per-service and per-domain byte shares, and a merging t-digest as an
+// approximate alternative to the bottom-k RTT reservoir. All three are
+// gob-encodable (exported fields only), deterministic for a fixed
+// input order, and closed under Merge — the same monoid discipline as
+// analytics.Partial, which is what lets week/month/year rollups fold
+// them alongside the exact counters. None of them participate in
+// CanonicalBytes: sketches are an approximation layer, never part of
+// the byte-identity contract.
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// hllP is the HyperLogLog precision: 2^hllP registers. p=12 gives
+// m=4096 registers (4 KiB) and a relative standard error of
+// 1.04/sqrt(4096) ≈ 1.63%.
+const (
+	hllP = 12
+	hllM = 1 << hllP
+)
+
+// HLL is a HyperLogLog distinct counter over 64-bit hashes. The zero
+// value is empty and usable; registers allocate on first Add.
+type HLL struct {
+	// Reg holds the 2^12 registers, each the maximum leading-zero rank
+	// observed for hashes routed to it. Nil means empty.
+	Reg []uint8
+}
+
+// NewHLL returns an empty HyperLogLog.
+func NewHLL() *HLL { return &HLL{} }
+
+// AddHash observes one 64-bit hash. Callers hash their keys with
+// Hash64/HashString (or any well-mixed 64-bit function).
+func (h *HLL) AddHash(x uint64) {
+	if h.Reg == nil {
+		h.Reg = make([]uint8, hllM)
+	}
+	idx := x >> (64 - hllP)
+	rank := uint8(64-hllP) + 1
+	if w := x << hllP; w != 0 {
+		rank = uint8(bits.LeadingZeros64(w)) + 1
+	}
+	if rank > h.Reg[idx] {
+		h.Reg[idx] = rank
+	}
+}
+
+// Merge folds o into h: elementwise register maximum. The merge is
+// exact — merging per-day HLLs yields the same registers as a single
+// HLL over the union — so rollup distinct counts carry no extra error
+// beyond the sketch's own.
+func (h *HLL) Merge(o *HLL) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	if h.Reg == nil {
+		h.Reg = make([]uint8, hllM)
+	}
+	for i, r := range o.Reg {
+		if r > h.Reg[i] {
+			h.Reg[i] = r
+		}
+	}
+}
+
+// Clone returns an independent copy. A nil receiver clones to nil.
+func (h *HLL) Clone() *HLL {
+	if h == nil {
+		return nil
+	}
+	c := &HLL{}
+	if h.Reg != nil {
+		c.Reg = append([]uint8(nil), h.Reg...)
+	}
+	return c
+}
+
+// Estimate returns the estimated distinct count, with the standard
+// small-range (linear counting) correction.
+func (h *HLL) Estimate() float64 {
+	if h.Reg == nil {
+		return 0
+	}
+	alpha := 0.7213 / (1 + 1.079/float64(hllM))
+	var sum float64
+	zeros := 0
+	for _, r := range h.Reg {
+		sum += math.Ldexp(1, -int(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * hllM * hllM / sum
+	if e <= 2.5*hllM && zeros > 0 {
+		return hllM * math.Log(float64(hllM)/float64(zeros))
+	}
+	return e
+}
+
+// RelErr is the sketch's relative standard error (one sigma):
+// 1.04/sqrt(m) ≈ 1.63% at p=12. Documented in DESIGN.md §12 and
+// asserted (at three sigma) by the rollup-equivalence tier.
+func (h *HLL) RelErr() float64 { return 1.04 / math.Sqrt(hllM) }
+
+// Hash64 mixes raw bytes into a well-avalanched 64-bit hash (FNV-1a
+// followed by a murmur-style finalizer, so the high bits HLL indexes
+// by are as mixed as the low ones).
+func Hash64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// HashString is Hash64 over a string without copying.
+func HashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// HashUint64 mixes an integer key.
+func HashUint64(x uint64) uint64 { return mix64(x + 0x9e3779b97f4a7c15) }
+
+// mix64 is the 64-bit murmur3 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,316 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// --- HLL ---
+
+func TestHLLEstimateWithinBound(t *testing.T) {
+	for _, n := range []int{100, 5000, 200000} {
+		h := NewHLL()
+		for i := 0; i < n; i++ {
+			h.AddHash(HashUint64(uint64(i)))
+		}
+		est := h.Estimate()
+		tol := 3 * h.RelErr() * float64(n)
+		if tol < 3 { // tiny-n: linear counting is near exact
+			tol = 3
+		}
+		if math.Abs(est-float64(n)) > tol {
+			t.Errorf("n=%d: estimate %.0f off by more than 3 sigma (%.0f)", n, est, tol)
+		}
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewHLL(), NewHLL(), NewHLL()
+	for i := 0; i < 10000; i++ {
+		h := HashUint64(uint64(i))
+		if i%2 == 0 {
+			a.AddHash(h)
+		}
+		if i%3 == 0 || i%2 == 0 { // overlaps a
+			b.AddHash(h)
+		}
+		if i%2 == 0 || i%3 == 0 {
+			u.AddHash(h)
+		}
+	}
+	a.Merge(b)
+	if !bytes.Equal(a.Reg, u.Reg) {
+		t.Fatal("merged registers differ from union registers; HLL merge must be exact")
+	}
+}
+
+func TestHLLMergeIntoEmpty(t *testing.T) {
+	b := NewHLL()
+	b.AddHash(HashString("x"))
+	a := NewHLL()
+	a.Merge(b)
+	if a.Estimate() < 0.5 {
+		t.Fatal("merge into empty lost the element")
+	}
+	// Merging an empty (nil-register) sketch must be a no-op.
+	before := append([]uint8(nil), a.Reg...)
+	a.Merge(NewHLL())
+	a.Merge(nil)
+	if !bytes.Equal(a.Reg, before) {
+		t.Fatal("merging empty sketch changed registers")
+	}
+}
+
+// --- SpaceSaving ---
+
+func TestSpaceSavingExactWhenUnderK(t *testing.T) {
+	s := NewSpaceSaving(8)
+	truth := map[string]uint64{"a": 100, "b": 50, "c": 10}
+	for k, v := range truth {
+		s.Add(k, v)
+	}
+	for k, v := range truth {
+		if got := s.Count(k); got != v {
+			t.Errorf("Count(%s)=%d want %d", k, got, v)
+		}
+	}
+	if top := s.Top(1); len(top) != 1 || top[0].Key != "a" {
+		t.Errorf("Top(1)=%v want [a]", top)
+	}
+}
+
+func TestSpaceSavingErrorBound(t *testing.T) {
+	// Zipf-ish stream over 1000 keys with K=64: every tracked key's
+	// Count must bracket the truth within N/K.
+	rng := rand.New(rand.NewSource(1))
+	truth := make(map[string]uint64)
+	s := NewSpaceSaving(64)
+	var n uint64
+	for i := 0; i < 200000; i++ {
+		key := fmt.Sprintf("k%d", int(math.Floor(math.Pow(rng.Float64(), 3)*1000)))
+		truth[key]++
+		s.Add(key, 1)
+		n++
+	}
+	bound := n / 64
+	for _, c := range s.Counters {
+		f := truth[c.Key]
+		if c.Count < f || c.Count-c.Err > f {
+			t.Errorf("key %s: truth %d outside [%d,%d]", c.Key, f, c.Count-c.Err, c.Count)
+		}
+		if c.Err > bound {
+			t.Errorf("key %s: err %d exceeds N/K=%d", c.Key, c.Err, bound)
+		}
+	}
+}
+
+func TestSpaceSavingMergeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := make(map[string]uint64)
+	parts := make([]*SpaceSaving, 4)
+	for p := range parts {
+		parts[p] = NewSpaceSaving(64)
+	}
+	var n uint64
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("k%d", int(math.Floor(math.Pow(rng.Float64(), 3)*500)))
+		truth[key]++
+		parts[i%4].Add(key, 1)
+		n++
+	}
+	m := NewSpaceSaving(64)
+	for _, p := range parts {
+		m.Merge(p)
+	}
+	if m.N != n {
+		t.Fatalf("merged N=%d want %d", m.N, n)
+	}
+	// Upper bounds must hold after merging, and the heaviest true key
+	// must still be tracked.
+	var heavy string
+	var heavyW uint64
+	for k, v := range truth {
+		if v > heavyW {
+			heavy, heavyW = k, v
+		}
+	}
+	if got := m.Count(heavy); got < heavyW {
+		t.Errorf("heaviest key %s: merged count %d below truth %d", heavy, got, heavyW)
+	}
+	for _, c := range m.Counters {
+		if c.Count < truth[c.Key] {
+			t.Errorf("key %s: merged count %d below truth %d", c.Key, c.Count, truth[c.Key])
+		}
+	}
+}
+
+func TestSpaceSavingMergeDeterministic(t *testing.T) {
+	build := func() *SpaceSaving {
+		a, b := NewSpaceSaving(4), NewSpaceSaving(4)
+		for i := 0; i < 40; i++ {
+			a.Add(fmt.Sprintf("a%d", i%6), uint64(i))
+			b.Add(fmt.Sprintf("b%d", i%6), uint64(i))
+		}
+		a.Merge(b)
+		return a
+	}
+	x, y := build(), build()
+	if !sort.SliceIsSorted(x.Counters, func(i, j int) bool {
+		if x.Counters[i].Count != x.Counters[j].Count {
+			return x.Counters[i].Count > x.Counters[j].Count
+		}
+		return x.Counters[i].Key < x.Counters[j].Key
+	}) {
+		t.Fatal("merged counters not canonically sorted")
+	}
+	for i := range x.Counters {
+		if x.Counters[i] != y.Counters[i] {
+			t.Fatalf("merge not deterministic: %v vs %v", x.Counters, y.Counters)
+		}
+	}
+}
+
+// --- TDigest ---
+
+func TestTDigestQuantiles(t *testing.T) {
+	d := NewTDigest(100)
+	for i := 1; i <= 10000; i++ {
+		d.Add(float64(i))
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		got := d.Quantile(q)
+		want := q * 10000
+		if math.Abs(got-want) > 0.02*10000 {
+			t.Errorf("q=%.2f: got %.1f want %.1f (±200)", q, got, want)
+		}
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("q=0: got %.1f want 1", got)
+	}
+	if got := d.Quantile(1); got != 10000 {
+		t.Errorf("q=1: got %.1f want 10000", got)
+	}
+}
+
+func TestTDigestMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pooled := NewTDigest(100)
+	parts := make([]*TDigest, 8)
+	for i := range parts {
+		parts[i] = NewTDigest(100)
+	}
+	var all []float64
+	for i := 0; i < 80000; i++ {
+		x := rng.ExpFloat64() * 50 // RTT-like skew
+		all = append(all, x)
+		pooled.Add(x)
+		parts[i%8].Add(x)
+	}
+	merged := NewTDigest(100)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		exact := all[int(q*float64(len(all)))]
+		for name, d := range map[string]*TDigest{"pooled": pooled, "merged": merged} {
+			got := d.Quantile(q)
+			if math.Abs(got-exact) > 0.05*exact+1 {
+				t.Errorf("%s q=%.1f: got %.2f want ~%.2f", name, q, got, exact)
+			}
+		}
+	}
+	if merged.Count() != 80000 {
+		t.Errorf("merged count %.0f want 80000", merged.Count())
+	}
+}
+
+func TestTDigestCompressionBoundsCentroids(t *testing.T) {
+	d := NewTDigest(100)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		d.Add(rng.Float64() * 1000)
+	}
+	d.compress()
+	if len(d.Centroids) > 2*int(d.Compression)+10 {
+		t.Errorf("%d centroids after compress; want <= ~2*delta", len(d.Centroids))
+	}
+}
+
+// --- gob round-trips: sketches travel inside cached aggregates and
+// rollup files, so encode/decode must preserve answers exactly. ---
+
+func TestGobRoundTrips(t *testing.T) {
+	h := NewHLL()
+	s := NewSpaceSaving(16)
+	d := NewTDigest(100)
+	for i := 0; i < 5000; i++ {
+		h.AddHash(HashUint64(uint64(i)))
+		s.Add(fmt.Sprintf("k%d", i%40), uint64(i%7+1))
+		d.Add(float64(i % 300))
+	}
+	var buf bytes.Buffer
+	type trio struct {
+		H *HLL
+		S *SpaceSaving
+		D *TDigest
+	}
+	if err := gob.NewEncoder(&buf).Encode(trio{h, s, d}); err != nil {
+		t.Fatal(err)
+	}
+	var got trio
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.H.Estimate() != h.Estimate() {
+		t.Error("HLL estimate changed over gob")
+	}
+	// Probe a key that is certainly tracked (the heaviest one).
+	heavy := s.Top(1)[0].Key
+	if got.S.Count(heavy) != s.Count(heavy) || got.S.N != s.N {
+		t.Error("SpaceSaving counts changed over gob")
+	}
+	// A decoded SpaceSaving must keep absorbing adds (index rebuilds).
+	got.S.Add(heavy, 5)
+	if got.S.Count(heavy) != s.Count(heavy)+5 {
+		t.Error("SpaceSaving unusable after gob decode")
+	}
+	if got.D.Quantile(0.5) != d.Quantile(0.5) {
+		t.Error("TDigest quantile changed over gob")
+	}
+}
+
+func TestClonesAreIndependent(t *testing.T) {
+	h := NewHLL()
+	h.AddHash(HashString("a"))
+	h2 := h.Clone()
+	h2.AddHash(HashString("zzz-different"))
+	if bytes.Equal(h.Reg, h2.Reg) {
+		t.Error("HLL clone shares registers")
+	}
+	s := NewSpaceSaving(4)
+	s.Add("a", 1)
+	s2 := s.Clone()
+	s2.Add("a", 1)
+	if s.Count("a") != 1 || s2.Count("a") != 2 {
+		t.Error("SpaceSaving clone not independent")
+	}
+	d := NewTDigest(50)
+	d.Add(1)
+	d2 := d.Clone()
+	d2.Add(2)
+	if d.Count() != 1 || d2.Count() != 2 {
+		t.Error("TDigest clone not independent")
+	}
+	var nilH *HLL
+	var nilS *SpaceSaving
+	var nilD *TDigest
+	if nilH.Clone() != nil || nilS.Clone() != nil || nilD.Clone() != nil {
+		t.Error("nil clones must be nil")
+	}
+}

@@ -1,0 +1,192 @@
+package sketch
+
+import "sort"
+
+// SpaceSaving is the Metwally et al. heavy-hitter summary: at most K
+// weighted counters, evicting the minimum on overflow while charging
+// the evicted count as the newcomer's error. For any key, the true
+// weight f satisfies Count-Err <= f <= Count, and Err is bounded by
+// N/K of the weight the summary absorbed — with K=64 counters a
+// service's byte share is off by at most ~1.6% of total bytes, and is
+// exact whenever the key universe fits in K (true for the service mix
+// of the reproduction; the bound matters for the open domain universe).
+
+// Counter is one tracked key.
+type Counter struct {
+	Key string
+	// Count is the upper-bound weight estimate; Err its uncertainty
+	// (Count-Err is the lower bound).
+	Count, Err uint64
+}
+
+// SpaceSaving holds up to K counters. The zero value is unusable; use
+// NewSpaceSaving (gob round-trips of a live sketch are fine — only the
+// lookup index is rebuilt lazily).
+type SpaceSaving struct {
+	K int
+	// N is the total weight offered to the sketch.
+	N uint64
+	// Counters is the tracked set, in no particular order.
+	Counters []Counter
+
+	// idx maps key to Counters offset; rebuilt after gob decode or
+	// clone (unexported fields do not survive encoding).
+	idx map[string]int
+}
+
+// NewSpaceSaving returns an empty sketch tracking at most k keys
+// (k <= 0 defaults to 64).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k <= 0 {
+		k = 64
+	}
+	return &SpaceSaving{K: k}
+}
+
+func (s *SpaceSaving) reindex() {
+	s.idx = make(map[string]int, len(s.Counters))
+	for i, c := range s.Counters {
+		s.idx[c.Key] = i
+	}
+}
+
+// Add offers weight w for key.
+func (s *SpaceSaving) Add(key string, w uint64) {
+	if s.idx == nil || len(s.idx) != len(s.Counters) {
+		s.reindex()
+	}
+	s.N += w
+	if i, ok := s.idx[key]; ok {
+		s.Counters[i].Count += w
+		return
+	}
+	if len(s.Counters) < s.K {
+		s.idx[key] = len(s.Counters)
+		s.Counters = append(s.Counters, Counter{Key: key, Count: w})
+		return
+	}
+	// Evict the minimum counter; first minimum wins, which is
+	// deterministic for a fixed insertion order.
+	min := 0
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i].Count < s.Counters[min].Count {
+			min = i
+		}
+	}
+	old := s.Counters[min]
+	delete(s.idx, old.Key)
+	s.Counters[min] = Counter{Key: key, Count: old.Count + w, Err: old.Count}
+	s.idx[key] = min
+}
+
+// minCount is the smallest tracked count — the weight bound for any
+// untracked key — or 0 while the sketch is not yet full.
+func (s *SpaceSaving) minCount() uint64 {
+	if len(s.Counters) < s.K {
+		return 0
+	}
+	min := s.Counters[0].Count
+	for _, c := range s.Counters[1:] {
+		if c.Count < min {
+			min = c.Count
+		}
+	}
+	return min
+}
+
+// Merge folds o into s (the Agarwal et al. mergeable-summaries rule):
+// counts of shared keys add; a key tracked on only one side is charged
+// the other side's minimum count as additional error (an untracked key
+// can hide at most that much weight there); the union then trims back
+// to the K largest counts. Error bounds add across a merge tree, so a
+// rollup folded from D day sketches keeps per-key error within the sum
+// of the days' N_i/K — i.e. still N/K of the merged total.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil || len(o.Counters) == 0 {
+		if o != nil {
+			s.N += o.N
+		}
+		return
+	}
+	sMin, oMin := s.minCount(), o.minCount()
+	merged := make(map[string]Counter, len(s.Counters)+len(o.Counters))
+	for _, c := range s.Counters {
+		merged[c.Key] = c
+	}
+	for _, c := range o.Counters {
+		if m, ok := merged[c.Key]; ok {
+			m.Count += c.Count
+			m.Err += c.Err
+			merged[c.Key] = m
+		} else {
+			merged[c.Key] = Counter{Key: c.Key, Count: c.Count + sMin, Err: c.Err + sMin}
+		}
+	}
+	for key, m := range merged {
+		if _, inO := findKey(o.Counters, key); !inO {
+			m.Count += oMin
+			m.Err += oMin
+			merged[key] = m
+		}
+	}
+	out := make([]Counter, 0, len(merged))
+	for _, c := range merged {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > s.K {
+		out = out[:s.K]
+	}
+	s.Counters = out
+	s.N += o.N
+	s.reindex()
+}
+
+func findKey(cs []Counter, key string) (Counter, bool) {
+	for _, c := range cs {
+		if c.Key == key {
+			return c, true
+		}
+	}
+	return Counter{}, false
+}
+
+// Clone returns an independent copy. A nil receiver clones to nil.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	if s == nil {
+		return nil
+	}
+	c := &SpaceSaving{K: s.K, N: s.N}
+	c.Counters = append([]Counter(nil), s.Counters...)
+	return c
+}
+
+// Top returns the n largest counters, sorted by count descending with
+// key ties ascending — deterministic however the counters are stored.
+func (s *SpaceSaving) Top(n int) []Counter {
+	out := append([]Counter(nil), s.Counters...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Count returns the (upper-bound) weight estimate for key, 0 when
+// untracked.
+func (s *SpaceSaving) Count(key string) uint64 {
+	if c, ok := findKey(s.Counters, key); ok {
+		return c.Count
+	}
+	return 0
+}

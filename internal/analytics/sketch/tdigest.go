@@ -1,0 +1,178 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// TDigest is a merging t-digest (Dunning & Ertl): a quantile summary
+// whose centroid sizes shrink toward the distribution tails, so
+// extreme quantiles stay sharp while the middle compresses. It is the
+// sketch-mode alternative to the exact bottom-k RTT reservoir: an RTT
+// day folds its samples into at most ~delta centroids, and rollups merge
+// per-day digests instead of concatenating sample slices. Accuracy is
+// empirical, not worst-case bounded like HLL's sigma; the
+// rollup-equivalence tier asserts the documented tolerance (quantiles
+// within a few percent of the exact pooled distribution at delta=100)
+// against the golden corpus.
+
+// Centroid is one weighted cluster.
+type Centroid struct {
+	Mean   float64
+	Weight float64
+}
+
+// TDigest accumulates samples. All state is exported, so a gob
+// round-trip (inside the aggregate cache or a rollup file) loses
+// nothing — unmerged points ride along as weight-1 centroids until the
+// next compression.
+type TDigest struct {
+	// Compression is delta: higher keeps more centroids. 0 means 100.
+	Compression float64
+	// Total is the summed weight of every sample offered.
+	Total float64
+	// Min and Max are the exact extremes (meaningful when Total > 0),
+	// kept outside the centroids so Quantile(0) and Quantile(1) never
+	// pay clustering error.
+	Min, Max float64
+	// Centroids holds clusters plus not-yet-compressed points; sorted
+	// only right after a compression pass.
+	Centroids []Centroid
+}
+
+// NewTDigest returns an empty digest at the given compression
+// (<=0 defaults to 100).
+func NewTDigest(compression float64) *TDigest {
+	if compression <= 0 {
+		compression = 100
+	}
+	return &TDigest{Compression: compression}
+}
+
+func (t *TDigest) compression() float64 {
+	if t.Compression <= 0 {
+		return 100
+	}
+	return t.Compression
+}
+
+// Add observes one sample.
+func (t *TDigest) Add(x float64) {
+	if t.Total == 0 || x < t.Min {
+		t.Min = x
+	}
+	if t.Total == 0 || x > t.Max {
+		t.Max = x
+	}
+	t.Centroids = append(t.Centroids, Centroid{Mean: x, Weight: 1})
+	t.Total++
+	if float64(len(t.Centroids)) > 8*t.compression() {
+		t.compress()
+	}
+}
+
+// Merge folds o into t. o is not modified.
+func (t *TDigest) Merge(o *TDigest) {
+	if o == nil || len(o.Centroids) == 0 {
+		return
+	}
+	if t.Total == 0 || o.Min < t.Min {
+		t.Min = o.Min
+	}
+	if t.Total == 0 || o.Max > t.Max {
+		t.Max = o.Max
+	}
+	t.Centroids = append(t.Centroids, o.Centroids...)
+	t.Total += o.Total
+	t.compress()
+}
+
+// Clone returns an independent copy. A nil receiver clones to nil.
+func (t *TDigest) Clone() *TDigest {
+	if t == nil {
+		return nil
+	}
+	c := &TDigest{Compression: t.Compression, Total: t.Total, Min: t.Min, Max: t.Max}
+	c.Centroids = append([]Centroid(nil), t.Centroids...)
+	return c
+}
+
+// compress sorts the centroids and re-clusters them greedily under the
+// k1 scale function k(q) = delta/(2*pi)*asin(2q-1): a cluster may not
+// span more than one k-unit. The k-range is delta/2 and adjacent
+// clusters must jointly exceed one unit, so at most ~delta centroids
+// survive, sized small at the tails and large in the middle.
+// Deterministic: stable sort by mean, sequential scan.
+func (t *TDigest) compress() {
+	if len(t.Centroids) == 0 {
+		return
+	}
+	cs := t.Centroids
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Mean < cs[j].Mean })
+	total := 0.0
+	for _, c := range cs {
+		total += c.Weight
+	}
+	delta := t.compression()
+	k := func(q float64) float64 {
+		if q < 0 {
+			q = 0
+		} else if q > 1 {
+			q = 1
+		}
+		return delta / (2 * math.Pi) * math.Asin(2*q-1)
+	}
+	out := cs[:0]
+	cur := cs[0]
+	done := 0.0 // weight fully emitted before cur
+	kLeft := k(0)
+	for _, c := range cs[1:] {
+		if k((done+cur.Weight+c.Weight)/total)-kLeft <= 1 {
+			w := cur.Weight + c.Weight
+			cur.Mean += (c.Mean - cur.Mean) * c.Weight / w
+			cur.Weight = w
+			continue
+		}
+		done += cur.Weight
+		out = append(out, cur)
+		kLeft = k(done / total)
+		cur = c
+	}
+	out = append(out, cur)
+	t.Centroids = out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear
+// interpolation between centroid means. NaN when empty.
+func (t *TDigest) Quantile(q float64) float64 {
+	t.compress()
+	cs := t.Centroids
+	if len(cs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return t.Min
+	}
+	if q >= 1 {
+		return t.Max
+	}
+	target := q * t.Total
+	cum := 0.0
+	for i, c := range cs {
+		mid := cum + c.Weight/2
+		if target < mid {
+			if i == 0 {
+				return c.Mean
+			}
+			prev := cs[i-1]
+			prevMid := cum - prev.Weight/2
+			frac := (target - prevMid) / (mid - prevMid)
+			return prev.Mean + frac*(c.Mean-prev.Mean)
+		}
+		cum += c.Weight
+	}
+	return cs[len(cs)-1].Mean
+}
+
+// Count returns the total sample weight.
+func (t *TDigest) Count() float64 { return t.Total }

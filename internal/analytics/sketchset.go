@@ -1,0 +1,149 @@
+package analytics
+
+// SketchSet bundles the mergeable approximate summaries an aggregate
+// carries in sketch mode (RunConfig.Sketch / core's -sketch flag). The
+// exact accumulators answer every figure of the reproduction, but they
+// scale with the day's cardinality: Subs with subscriber count,
+// ServerIPs with address count, RTTMinMs with up to 60k samples per
+// service. At the paper's deployment scale (tens of thousands of
+// subscribers, 247G flows) a year rollup folding exact state would
+// carry every key of every day. The sketch set is the fixed-size
+// alternative: a few KiB per day regardless of cardinality, closed
+// under Merge like everything else in the Partial monoid, and carried
+// alongside — never instead of — the exact state, so exact mode and
+// golden figures are untouched when the gate is off.
+//
+// Sketches are excluded from CanonicalBytes: byte-identity is an exact
+// mode contract, and sketch answers are asserted against documented
+// error bounds instead (see DESIGN.md §12 and the rollup-equivalence
+// test tier).
+
+import (
+	"time"
+
+	"repro/internal/analytics/sketch"
+	"repro/internal/classify"
+	"repro/internal/flowrec"
+	"repro/internal/wire"
+)
+
+// SketchSet is gob-encodable; all sketches expose exported state only.
+type SketchSet struct {
+	// Clients counts distinct subscriber IDs (active or not).
+	Clients *sketch.HLL
+	// ServerIPs counts distinct server addresses the inventory tracks.
+	ServerIPs *sketch.HLL
+	// Services tracks per-service downloaded-byte heavy hitters.
+	Services *sketch.SpaceSaving
+	// Domains tracks per-second-level-domain downloaded-byte heavy
+	// hitters across all classified services.
+	Domains *sketch.SpaceSaving
+	// RTT summarises per-flow minimum RTT (ms) per Figure-10 service.
+	RTT map[classify.Service]*sketch.TDigest
+}
+
+// SketchTopK is the heavy-hitter capacity: error is bounded by
+// total-weight/SketchTopK, i.e. ~1.6% of total bytes at 64.
+const SketchTopK = 64
+
+// NewSketchSet returns an empty, ready-to-feed sketch set.
+func NewSketchSet() *SketchSet {
+	return &SketchSet{
+		Clients:   sketch.NewHLL(),
+		ServerIPs: sketch.NewHLL(),
+		Services:  sketch.NewSpaceSaving(SketchTopK),
+		Domains:   sketch.NewSpaceSaving(SketchTopK),
+		RTT:       make(map[classify.Service]*sketch.TDigest),
+	}
+}
+
+// Clone returns an independent deep copy; nil clones to nil.
+func (s *SketchSet) Clone() *SketchSet {
+	if s == nil {
+		return nil
+	}
+	c := &SketchSet{
+		Clients:   s.Clients.Clone(),
+		ServerIPs: s.ServerIPs.Clone(),
+		Services:  s.Services.Clone(),
+		Domains:   s.Domains.Clone(),
+	}
+	if s.RTT != nil {
+		c.RTT = make(map[classify.Service]*sketch.TDigest, len(s.RTT))
+		for svc, d := range s.RTT {
+			c.RTT[svc] = d.Clone()
+		}
+	}
+	return c
+}
+
+// Merge folds o into s. o is never modified, and s shares no state
+// with it afterwards — the same aliasing contract as Partial.Merge.
+func (s *SketchSet) Merge(o *SketchSet) {
+	if o == nil {
+		return
+	}
+	if o.Clients != nil {
+		if s.Clients == nil {
+			s.Clients = sketch.NewHLL()
+		}
+		s.Clients.Merge(o.Clients)
+	}
+	if o.ServerIPs != nil {
+		if s.ServerIPs == nil {
+			s.ServerIPs = sketch.NewHLL()
+		}
+		s.ServerIPs.Merge(o.ServerIPs)
+	}
+	if o.Services != nil {
+		if s.Services == nil {
+			s.Services = sketch.NewSpaceSaving(o.Services.K)
+		}
+		s.Services.Merge(o.Services)
+	}
+	if o.Domains != nil {
+		if s.Domains == nil {
+			s.Domains = sketch.NewSpaceSaving(o.Domains.K)
+		}
+		s.Domains.Merge(o.Domains)
+	}
+	for svc, d := range o.RTT {
+		if s.RTT == nil {
+			s.RTT = make(map[classify.Service]*sketch.TDigest, len(o.RTT))
+		}
+		if cur := s.RTT[svc]; cur == nil {
+			s.RTT[svc] = d.Clone()
+		} else {
+			cur.Merge(d)
+		}
+	}
+}
+
+// observe feeds one record into the sketch set, mirroring the exact
+// accumulators' gating (the want* flags) so a sketch never summarises
+// pruned-away zero values.
+func (s *SketchSet) observe(a *Aggregator, rec *flowrec.Record, svc classify.Service, id classify.ServiceID) {
+	if a.wantSubs {
+		s.Clients.AddHash(sketch.HashUint64(uint64(rec.SubID)))
+	}
+	s.Services.Add(string(svc), rec.BytesDown)
+	if a.wantRTT && rec.RTTSamples > 0 && a.rttWant[id] {
+		d := s.RTT[svc]
+		if d == nil {
+			d = sketch.NewTDigest(0)
+			s.RTT[svc] = d
+		}
+		d.Add(float64(rec.RTTMin) / float64(time.Millisecond))
+	}
+	if a.wantIPs && id != a.p2pID && rec.Web != flowrec.WebDNS && rec.Web != flowrec.WebOther {
+		s.ServerIPs.AddHash(addrHash(rec.Server))
+		if id != classify.UnknownID && rec.ServerName != "" {
+			s.Domains.Add(SecondLevelDomain(rec.ServerName), rec.BytesDown)
+		}
+	}
+}
+
+// addrHash hashes a server address for the distinct-IP HLL.
+func addrHash(a wire.Addr) uint64 {
+	return sketch.Hash64(a[:])
+}

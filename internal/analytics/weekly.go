@@ -1,7 +1,6 @@
 package analytics
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/classify"
@@ -26,39 +25,94 @@ type WeeklyPoint struct {
 	WeeklyPct [2]float64
 }
 
-// WeeklyPopularity reduces consecutive day aggregates to 7-day
-// windows. Partial trailing windows are dropped.
+// WeeklyPopularity reduces day aggregates to 7-day windows cut by
+// calendar date, anchored at the earliest day present: windows are
+// [anchor, anchor+6], [anchor+7, anchor+13], … whatever slice position
+// the days arrive in. A window any of whose 7 dates has no aggregate is
+// skipped — a probe outage must not silently shift every later window
+// off its calendar week (the old slice-index cut did exactly that).
+// Several aggregates on one date union per-date, so re-delivered days
+// do not double-count subscribers.
 func WeeklyPopularity(aggs []*DayAgg, svc classify.Service) []WeeklyPoint {
 	thr := classify.VisitThreshold(svc)
-	sorted := append([]*DayAgg(nil), aggs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Day.Before(sorted[j].Day) })
+	if len(aggs) == 0 {
+		return nil
+	}
+	byDay := make(map[time.Time][]*DayAgg, len(aggs))
+	var first, last time.Time
+	for _, agg := range aggs {
+		d := agg.Day
+		byDay[d] = append(byDay[d], agg)
+		if first.IsZero() || d.Before(first) {
+			first = d
+		}
+		if d.After(last) {
+			last = d
+		}
+	}
+
+	// daySeen is one subscriber's union over one date's aggregates.
+	type daySeen struct {
+		tech    flowrec.AccessTech
+		active  bool
+		visited bool
+	}
+	// seen is one subscriber's union over the window.
+	type seen struct {
+		tech    flowrec.AccessTech
+		active  bool
+		visited bool
+	}
 
 	var out []WeeklyPoint
-	for start := 0; start+7 <= len(sorted); start += 7 {
-		window := sorted[start : start+7]
-		var dailySum [2]float64
-		// Per subscriber: active on any day, visited on any day.
-		type seen struct {
-			tech    flowrec.AccessTech
-			active  bool
-			visited bool
+	for ws := first; !ws.AddDate(0, 0, 6).After(last); ws = ws.AddDate(0, 0, 7) {
+		window := make([][]*DayAgg, 7)
+		complete := true
+		for i := range window {
+			window[i] = byDay[ws.AddDate(0, 0, i)]
+			if len(window[i]) == 0 {
+				complete = false
+				break
+			}
 		}
+		if !complete {
+			continue // gap in the lake: no window, no shift
+		}
+
+		var dailySum [2]float64
 		subs := make(map[uint32]*seen)
-		for _, agg := range window {
+		for _, dayAggs := range window {
+			day := make(map[uint32]*daySeen)
+			for _, agg := range dayAggs {
+				for id, sd := range agg.Subs {
+					ds := day[id]
+					if ds == nil {
+						ds = &daySeen{tech: sd.Tech}
+						day[id] = ds
+					}
+					if !sd.Active() {
+						continue
+					}
+					ds.active = true
+					if use := sd.PerSvc[svc]; use != nil && use.Down+use.Up >= thr {
+						ds.visited = true
+					}
+				}
+			}
 			var act, vis [2]float64
-			for id, sd := range agg.Subs {
+			for id, ds := range day {
 				s := subs[id]
 				if s == nil {
-					s = &seen{tech: sd.Tech}
+					s = &seen{tech: ds.tech}
 					subs[id] = s
 				}
-				if !sd.Active() {
+				if !ds.active {
 					continue
 				}
 				s.active = true
-				ti := techIndex(sd.Tech)
+				ti := techIndex(ds.tech)
 				act[ti]++
-				if use := sd.PerSvc[svc]; use != nil && use.Down+use.Up >= thr {
+				if ds.visited {
 					s.visited = true
 					vis[ti]++
 				}
@@ -69,7 +123,8 @@ func WeeklyPopularity(aggs []*DayAgg, svc classify.Service) []WeeklyPoint {
 				}
 			}
 		}
-		pt := WeeklyPoint{WeekStart: window[0].Day}
+
+		pt := WeeklyPoint{WeekStart: ws}
 		var activeCount, visitedCount [2]float64
 		for _, s := range subs {
 			if !s.active {

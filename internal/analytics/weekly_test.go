@@ -66,6 +66,72 @@ func TestWeeklyPopularityDropsPartialWindows(t *testing.T) {
 	}
 }
 
+// TestWeeklyPopularityLakeGap is the regression test for the
+// slice-index windowing bug: with 15 consecutive days where day 3 is
+// missing (a quarantined/outage day), the old code packed the
+// remaining 14 aggregates into two 7-slot windows, silently spanning
+// 8 calendar days each. Date-cut windows must instead skip the week
+// containing the gap and keep the second week on its calendar
+// boundary.
+func TestWeeklyPopularityLakeGap(t *testing.T) {
+	start := time.Date(2017, 10, 2, 0, 0, 0, 0, time.UTC)
+	week1 := buildWeek(t) // Oct 2 – Oct 8
+	var aggs []*DayAgg
+	for i, a := range week1 {
+		if i == 3 {
+			continue // the lake gap
+		}
+		aggs = append(aggs, a)
+	}
+	// Second calendar week, Oct 9 – Oct 15: complete.
+	for i := 7; i < 14; i++ {
+		day := start.AddDate(0, 0, i)
+		a := NewAggregator(day, nil)
+		r := mkRec(1, flowrec.TechFTTH, "occ-0.nflxvideo.net", 500<<20, 1<<20)
+		r.Start = day.Add(20 * time.Hour)
+		feed(a, r, 12)
+		r2 := mkRec(2, flowrec.TechFTTH, "other.example", 50<<20, 1<<20)
+		r2.Start = day.Add(20 * time.Hour)
+		feed(a, r2, 12)
+		aggs = append(aggs, a.Result())
+	}
+	// One more trailing day so the old code would have formed a second
+	// mis-aligned 7-slot window (6 leftover + 1 = 7 aggs).
+	day := start.AddDate(0, 0, 14)
+	a := NewAggregator(day, nil)
+	r := mkRec(1, flowrec.TechFTTH, "other.example", 50<<20, 1<<20)
+	r.Start = day.Add(20 * time.Hour)
+	feed(a, r, 12)
+	aggs = append(aggs, a.Result())
+
+	pts := WeeklyPopularity(aggs, "Netflix")
+	if len(pts) != 1 {
+		t.Fatalf("windows = %d, want 1 (gapped week skipped, no shifted windows)", len(pts))
+	}
+	if want := start.AddDate(0, 0, 7); !pts[0].WeekStart.Equal(want) {
+		t.Errorf("WeekStart = %v, want calendar-aligned %v", pts[0].WeekStart, want)
+	}
+	// In the surviving week sub 1 visits daily, sub 2 never: 1/2 reach.
+	if diff := pts[0].WeeklyPct[1] - 50; diff > 0.01 || diff < -0.01 {
+		t.Errorf("WeeklyPct = %v, want 50", pts[0].WeeklyPct[1])
+	}
+	if diff := pts[0].DailyPct[1] - 50; diff > 0.01 || diff < -0.01 {
+		t.Errorf("DailyPct = %v, want 50", pts[0].DailyPct[1])
+	}
+}
+
+// TestWeeklyPopularityUnordered feeds the same days shuffled; date-cut
+// windows must not care about slice order.
+func TestWeeklyPopularityUnordered(t *testing.T) {
+	aggs := buildWeek(t)
+	shuffled := []*DayAgg{aggs[4], aggs[0], aggs[6], aggs[2], aggs[1], aggs[5], aggs[3]}
+	want := WeeklyPopularity(aggs, "Netflix")
+	got := WeeklyPopularity(shuffled, "Netflix")
+	if len(got) != 1 || len(want) != 1 || got[0] != want[0] {
+		t.Errorf("shuffled input changed the result: %+v vs %+v", got, want)
+	}
+}
+
 func TestQUICVersionShare(t *testing.T) {
 	a := NewAggregator(testDay, nil)
 	q := mkRec(1, flowrec.TechADSL, "www.google.com", 1<<20, 1<<10)

@@ -81,6 +81,19 @@ type Config struct {
 	// + gzip) so later runs skip stage one for days already reduced —
 	// the materialised-aggregate workflow of section 2.2.
 	AggCacheDir string
+	// RollupDir, when set, enables the multi-resolution rollup tier:
+	// week/month/year windows pre-folded through the merge monoid are
+	// persisted here and long-span experiments answer from the
+	// coarsest tier that fits instead of re-folding every day. Exposed
+	// as -rollup on the binaries.
+	RollupDir string
+	// Sketch switches day aggregation into sketch mode: each day (and
+	// therefore each rollup) additionally carries mergeable sketches —
+	// HyperLogLog distinct clients/server IPs, SpaceSaving service and
+	// domain heavy hitters, t-digest RTT quantiles — trading bounded
+	// approximation error for constant-size window summaries. Exact
+	// mode (the default) leaves figures byte-identical to the seed.
+	Sketch bool
 
 	// Storage overrides the Store/AggCacheDir wiring with an explicit
 	// storage backend — how tests interpose the fault injector. When
@@ -177,8 +190,8 @@ func New(cfg Config) *Pipeline {
 
 	fromStore := cfg.Storage != nil || cfg.Store != nil
 	storage := cfg.Storage
-	if storage == nil && (cfg.Store != nil || cfg.AggCacheDir != "") {
-		storage = NewDiskStorage(cfg.Store, cfg.AggCacheDir)
+	if storage == nil && (cfg.Store != nil || cfg.AggCacheDir != "" || cfg.RollupDir != "") {
+		storage = NewDiskStorage(cfg.Store, cfg.AggCacheDir).WithRollupDir(cfg.RollupDir)
 	}
 	if cfg.Faults != nil && storage != nil {
 		storage = faultinject.Wrap(storage, cfg.Faults)
@@ -413,7 +426,10 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 			// A cached aggregate only counts when its column contract
 			// covers this run's: a narrower one (cached by a pruned
 			// experiment) reads as a miss and the day recomputes wide.
-			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil && agg != nil && agg.Cols.Covers(cols) {
+			// Likewise a sketch-mode run cannot use an exact-mode
+			// cache entry — it carries no sketches to merge.
+			if agg, lerr := p.storage.LoadAgg(owned[i]); lerr == nil && agg != nil && agg.Cols.Covers(cols) &&
+				(!p.cfg.Sketch || agg.Sketches != nil) {
 				loaded[i] = agg
 				return
 			}
@@ -422,7 +438,8 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 			// the same reduce step the live path runs, minus reading
 			// the records.
 			if parts, lerr := p.storage.LoadPartials(owned[i]); lerr == nil && len(parts) > 0 {
-				if agg, merr := analytics.MergePartials(owned[i], parts); merr == nil && agg.Cols.Covers(cols) {
+				if agg, merr := analytics.MergePartials(owned[i], parts); merr == nil && agg.Cols.Covers(cols) &&
+					(!p.cfg.Sketch || agg.Sketches != nil) {
 					loaded[i] = agg
 					mPartialHits.Inc()
 				}
@@ -447,6 +464,7 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 			Retry:        p.retry,
 			DayTimeout:   p.cfg.DayTimeout,
 			Cols:         cols,
+			Sketch:       p.cfg.Sketch,
 		}
 		// When a day aggregates sharded, cache its unmerged partials;
 		// the final SaveAgg below is skipped for those days. Save
@@ -477,8 +495,12 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 				// Corrupt days are quarantined so the next run reads an
 				// outage instead of tripping over the same bytes; the
 				// quarantine failing must not break the degrade path.
+				// Rollups that folded the now-gone day are dropped too —
+				// once the day is repaired and rewritten, the covering
+				// windows must recompute rather than serve stale merges.
 				if p.storage != nil && errorsIsCorrupt(de.Err) {
 					_ = p.storage.QuarantineDay(de.Day)
+					_ = p.storage.InvalidateRollups(de.Day)
 				}
 			}
 		}

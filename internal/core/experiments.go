@@ -202,11 +202,10 @@ func orDash(s string) string {
 // --- Section 3: active share ------------------------------------------------
 
 func runActive(ctx context.Context, p *Pipeline, w io.Writer) error {
-	aggs, err := p.AggregateCols(ctx, Lookup0("active").Days(p.Stride()), analytics.ColsSubscribers)
+	pts, err := p.ActiveSeriesTier(ctx, Lookup0("active").Days(p.Stride()), analytics.ColsSubscribers)
 	if err != nil {
 		return err
 	}
-	pts := analytics.ActiveSeries(aggs)
 	if err := report.Section(w, "Active subscribers (section 3 filter: ≥10 flows, >15 kB down, >5 kB up)"); err != nil {
 		return err
 	}
@@ -289,11 +288,10 @@ func runFig2(ctx context.Context, p *Pipeline, w io.Writer) error {
 // --- Figure 3 ----------------------------------------------------------------
 
 func runFig3(ctx context.Context, p *Pipeline, w io.Writer) error {
-	aggs, err := p.AggregateCols(ctx, spanDays(p.Stride()), analytics.ColsSubscribers)
+	ms, err := p.MonthlySeriesTier(ctx, spanDays(p.Stride()), analytics.ColsSubscribers)
 	if err != nil {
 		return err
 	}
-	ms := analytics.MonthlySeries(aggs)
 	if err := report.Section(w, "Figure 3: average per-subscription daily traffic (MB)"); err != nil {
 		return err
 	}
@@ -591,11 +589,10 @@ func runFig9(ctx context.Context, p *Pipeline, w io.Writer) error {
 // --- Figure 8 ----------------------------------------------------------------
 
 func runFig8(ctx context.Context, p *Pipeline, w io.Writer) error {
-	aggs, err := p.AggregateCols(ctx, spanDays(p.Stride()), analytics.ColsProtocols)
+	shares, err := p.ProtoSharesTier(ctx, spanDays(p.Stride()), analytics.ColsProtocols)
 	if err != nil {
 		return err
 	}
-	shares := analytics.ProtocolShares(aggs)
 	if err := report.Section(w, "Figure 8: web protocol share of web bytes, monthly"); err != nil {
 		return err
 	}

@@ -150,6 +150,11 @@ func (f *cancelStorage) LoadAgg(time.Time) (*analytics.DayAgg, error)         { 
 func (f *cancelStorage) SaveAgg(*analytics.DayAgg) error                      { return nil }
 func (f *cancelStorage) LoadPartials(time.Time) ([]*analytics.Partial, error) { return nil, nil }
 func (f *cancelStorage) SavePartials(time.Time, []*analytics.Partial) error   { return nil }
+func (f *cancelStorage) LoadRollup(analytics.Grain, time.Time) (*analytics.Rollup, error) {
+	return nil, nil
+}
+func (f *cancelStorage) SaveRollup(*analytics.Rollup) error { return nil }
+func (f *cancelStorage) InvalidateRollups(time.Time) error  { return nil }
 
 // TestAggregatePreCancelled: a context cancelled before the call must
 // fail fast without reserving (and thus without poisoning) any day.

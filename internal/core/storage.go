@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/analytics"
@@ -49,6 +50,18 @@ type Storage interface {
 	// SavePartials persists a day's shard partials; a no-op without a
 	// cache.
 	SavePartials(day time.Time, parts []*analytics.Partial) error
+	// LoadRollup returns the persisted rollup for one window, (nil,
+	// nil) on a miss (including "no rollup tier configured"). Like the
+	// aggregate cache, anything short of a healthy, version-matched
+	// file reads as a miss.
+	LoadRollup(g analytics.Grain, start time.Time) (*analytics.Rollup, error)
+	// SaveRollup persists one window's rollup; a no-op without a
+	// rollup tier.
+	SaveRollup(r *analytics.Rollup) error
+	// InvalidateRollups removes the persisted rollups whose windows
+	// cover day — called when the day's data changes (rewrite,
+	// quarantine), so no rollup keeps serving a stale merge.
+	InvalidateRollups(day time.Time) error
 }
 
 // DiskStorage is the production Storage: a flowrec day-partitioned
@@ -56,14 +69,23 @@ type Storage interface {
 // half may be absent — a simulation-fed pipeline with an agg cache
 // has no store, edgegen's output store has no agg cache.
 type DiskStorage struct {
-	store  *flowrec.Store
-	aggDir string
+	store     *flowrec.Store
+	aggDir    string
+	rollupDir string
 }
 
 // NewDiskStorage wires a DiskStorage; store may be nil (no flow lake)
 // and aggDir may be empty (no aggregate cache).
 func NewDiskStorage(store *flowrec.Store, aggDir string) *DiskStorage {
 	return &DiskStorage{store: store, aggDir: aggDir}
+}
+
+// WithRollupDir enables the rollup tier beside the day lake: persisted
+// week/month/year rollup files live in dir. Returns the receiver for
+// chaining off NewDiskStorage.
+func (d *DiskStorage) WithRollupDir(dir string) *DiskStorage {
+	d.rollupDir = dir
+	return d
 }
 
 // ReadDay implements Storage.
@@ -96,7 +118,31 @@ func (d *DiskStorage) WriteDay(day time.Time, emit func(write func(*flowrec.Reco
 	if cerr := w.Close(); werr == nil {
 		werr = cerr
 	}
+	if werr == nil {
+		// The day's bytes changed: every cached derivation of the old
+		// bytes — the aggregate, the shard partials, the covering
+		// rollups — must go, or a repaired day keeps serving stale
+		// merges. Absent files are fine; anything else surfaces.
+		werr = d.invalidateDerived(day)
+	}
 	return n, werr
+}
+
+// invalidateDerived drops the day's cached aggregate and shard
+// partials plus the rollups covering it.
+func (d *DiskStorage) invalidateDerived(day time.Time) error {
+	var firstErr error
+	if d.aggDir != "" {
+		for _, path := range []string{aggCachePath(d.aggDir, day), partialCachePath(d.aggDir, day)} {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := d.InvalidateRollups(day); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // HasDay implements Storage.
@@ -152,4 +198,38 @@ func (d *DiskStorage) SavePartials(day time.Time, parts []*analytics.Partial) er
 		return nil
 	}
 	return savePartials(d.aggDir, day, parts)
+}
+
+// LoadRollup implements Storage: same miss-on-damage model as LoadAgg.
+func (d *DiskStorage) LoadRollup(g analytics.Grain, start time.Time) (*analytics.Rollup, error) {
+	if d.rollupDir == "" {
+		return nil, nil
+	}
+	return loadRollup(d.rollupDir, g, start), nil
+}
+
+// SaveRollup implements Storage.
+func (d *DiskStorage) SaveRollup(r *analytics.Rollup) error {
+	if d.rollupDir == "" {
+		return nil
+	}
+	return saveRollup(d.rollupDir, r)
+}
+
+// InvalidateRollups implements Storage: one covering window per grain.
+func (d *DiskStorage) InvalidateRollups(day time.Time) error {
+	if d.rollupDir == "" {
+		return nil
+	}
+	var firstErr error
+	for _, g := range analytics.Grains() {
+		path := rollupCachePath(d.rollupDir, g, analytics.WindowStart(g, day))
+		switch err := os.Remove(path); {
+		case err == nil:
+			mRollupInvalid.Inc()
+		case !os.IsNotExist(err) && firstErr == nil:
+			firstErr = err
+		}
+	}
+	return firstErr
 }

@@ -254,6 +254,14 @@ func (m *memStorage) LoadPartials(time.Time) ([]*analytics.Partial, error) { ret
 
 func (m *memStorage) SavePartials(time.Time, []*analytics.Partial) error { return nil }
 
+func (m *memStorage) LoadRollup(analytics.Grain, time.Time) (*analytics.Rollup, error) {
+	return nil, nil
+}
+
+func (m *memStorage) SaveRollup(*analytics.Rollup) error { return nil }
+
+func (m *memStorage) InvalidateRollups(time.Time) error { return nil }
+
 func fillDay(m *memStorage, d time.Time, n int) {
 	for i := 0; i < n; i++ {
 		m.days[d] = append(m.days[d], &flowrec.Record{

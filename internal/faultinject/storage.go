@@ -35,6 +35,11 @@ type Storage interface {
 	// shard partials; incremental re-runs merge them back).
 	LoadPartials(day time.Time) ([]*analytics.Partial, error)
 	SavePartials(day time.Time, parts []*analytics.Partial) error
+	// LoadRollup, SaveRollup and InvalidateRollups access the
+	// multi-resolution rollup tier (see core.Storage).
+	LoadRollup(g analytics.Grain, start time.Time) (*analytics.Rollup, error)
+	SaveRollup(r *analytics.Rollup) error
+	InvalidateRollups(day time.Time) error
 }
 
 // FaultyStorage injects the plan's faults in front of an inner
@@ -183,6 +188,32 @@ func (s *FaultyStorage) SavePartials(day time.Time, parts []*analytics.Partial) 
 		return f
 	}
 	return s.inner.SavePartials(day, parts)
+}
+
+// LoadRollup injects cache-load faults keyed by the window start: a
+// rollup file is the same failure domain as the aggregate cache.
+func (s *FaultyStorage) LoadRollup(g analytics.Grain, start time.Time) (*analytics.Rollup, error) {
+	attempt := s.plan.next(OpLoadAgg, start)
+	if f := s.plan.fault(OpLoadAgg, start, attempt); f != nil {
+		return nil, f
+	}
+	return s.inner.LoadRollup(g, start)
+}
+
+// SaveRollup injects cache-save faults under the saveagg rules.
+func (s *FaultyStorage) SaveRollup(r *analytics.Rollup) error {
+	attempt := s.plan.next(OpSaveAgg, r.Start)
+	if f := s.plan.fault(OpSaveAgg, r.Start, attempt); f != nil {
+		return f
+	}
+	return s.inner.SaveRollup(r)
+}
+
+// InvalidateRollups passes through: like QuarantineDay, invalidation
+// is the recovery path — faulting it would turn every injected
+// corruption into a permanent stale-rollup hazard.
+func (s *FaultyStorage) InvalidateRollups(day time.Time) error {
+	return s.inner.InvalidateRollups(day)
 }
 
 // IsCorruption reports whether the fault damages data (bitflip or
