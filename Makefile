@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race claims bench benchbuild chaos fuzzsmoke golden cover
+.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos fuzzsmoke golden cover
 
 ## ci: the full gate — what a PR must pass.
-ci: fmt vet build benchbuild race claims chaos fuzzsmoke cover
+ci: fmt vet build benchbuild allocbudget race claims chaos fuzzsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,20 @@ claims:
 ## benchbuild: compile the benchmark harness without running it.
 benchbuild:
 	$(GO) test -c -o /dev/null .
+
+## allocbudget: fail if Figure 3's allocs/op regress more than 10%
+## over the checked-in budget (alloc_budget.txt). allocs/op is
+## deterministic enough to gate on (±0.01% run to run); ns/op is not.
+## After a deliberate allocation change, re-measure and commit the new
+## budget alongside the change.
+allocbudget:
+	@got=$$($(GO) test -run '^$$' -bench '^BenchmarkFig3MonthlyTrend$$' -benchmem -benchtime=2x . \
+		| awk '/^BenchmarkFig3MonthlyTrend/ {for (i=2; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}'); \
+	budget=$$(cat alloc_budget.txt); \
+	if [ -z "$$got" ]; then echo "allocbudget: benchmark produced no allocs/op"; exit 1; fi; \
+	if awk -v g="$$got" -v b="$$budget" 'BEGIN { exit !(g > b * 1.10) }'; then \
+		echo "allocbudget: Fig3 allocs/op $$got exceeds budget $$budget by >10%"; exit 1; fi; \
+	echo "allocbudget ok: Fig3 $$got allocs/op (budget $$budget)"
 
 ## chaos: every figure under every fault class (fault-injection suite).
 chaos:
@@ -74,5 +88,8 @@ golden:
 ## machine-readable summary in BENCH.json alongside the raw text.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ -count=5 . | tee BENCH.txt
+	@scale=$$(grep '^BenchmarkPipelineScale' BENCH.txt || true); \
+	{ echo ""; echo "== scaling curve (population sweep, records/sec) =="; \
+	  echo "$$scale"; } >> BENCH.txt
 	$(GO) run ./cmd/benchjson < BENCH.txt > BENCH.json
 	@echo "wrote BENCH.txt and BENCH.json"

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -10,17 +11,103 @@ import (
 	"repro/internal/simnet"
 )
 
-// BenchmarkReadDayV1vsV2 compares the two day-file formats on the
+// benchDay materialises one simulated day into dir in the given
+// format and returns the store.
+func benchDay(b *testing.B, world *simnet.World, day time.Time, dir string, format flowrec.Format) *flowrec.Store {
+	b.Helper()
+	store, err := flowrec.OpenStoreFormat(dir, format)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := store.CreateDay(day)
+	if err != nil {
+		b.Fatal(err)
+	}
+	world.EmitDay(day, func(r *flowrec.Record) {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// scanDay runs one measured day scan, reporting decoded_B/op and
+// rows/op alongside the standard metrics.
+func scanDay(b *testing.B, store *flowrec.Store, day time.Time, sc flowrec.ColScan) {
+	b.Helper()
+	b.ReportAllocs()
+	decoded := metrics.GetCounter("store.decoded_bytes")
+	start := decoded.Load()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = 0
+		err := store.ReadDayCols(day, sc, func(r *flowrec.Record) error {
+			rows++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows == 0 {
+			b.Fatal("day scan returned no records")
+		}
+	}
+	b.ReportMetric(float64(decoded.Load()-start)/float64(b.N), "decoded_B/op")
+	b.ReportMetric(float64(rows), "rows/op")
+}
+
+// BenchmarkReadDayFormats compares the three day-file formats on the
 // access pattern the columnar store exists for: a narrow experiment
 // (Figure 3 reads only the subscriber columns) scanning a full day.
 // The v1 row codec must decode every byte of every record; v2 decodes
-// just the requested column streams and skips whole blocks on stats.
+// just the requested column streams; v3 additionally compresses per
+// block, so pruned columns are skipped without inflating them.
 // Besides ns/op, each sub-benchmark reports decoded_B/op — the bytes
 // the codec actually materialised — which is where the formats
 // separate; EXPERIMENTS.md records the measured gap.
-func BenchmarkReadDayV1vsV2(b *testing.B) {
+func BenchmarkReadDayFormats(b *testing.B) {
 	day := time.Date(2016, 11, 12, 0, 0, 0, 0, time.UTC)
 	world := simnet.NewWorld(1, simnet.Scale{ADSL: 24, FTTH: 12})
+	names := []string{"v1", "v2", "v3"}
+	stores := map[string]*flowrec.Store{
+		"v1": benchDay(b, world, day, b.TempDir(), flowrec.FormatV1),
+		"v2": benchDay(b, world, day, b.TempDir(), flowrec.FormatV2),
+		"v3": benchDay(b, world, day, b.TempDir(), flowrec.FormatV3),
+	}
+
+	// The Figure 3 contract: subscriber columns only, no predicate.
+	sc := flowrec.ColScan{Cols: analytics.ColsSubscribers}
+	for _, name := range names {
+		store := stores[name]
+		b.Run(name, func(b *testing.B) { scanDay(b, store, day, sc) })
+	}
+
+	// Full Figure-3 column set decoded across parallel workers: v2
+	// inflates one gzip stream serially before fanning out block
+	// decode; v3 fans out the block decompression itself.
+	parScan := flowrec.ColScan{Cols: analytics.ColsSubscribers, Workers: 4}
+	for _, name := range []string{"v2", "v3"} {
+		store := stores[name]
+		b.Run(name+"/workers=4", func(b *testing.B) { scanDay(b, store, day, parScan) })
+	}
+}
+
+// BenchmarkPushdownScan measures a pushdown-heavy scan: a Start-range
+// predicate selecting the last two hours of a time-ordered day, so
+// most blocks are excluded by their stats. v2 still pays gzip
+// inflation for every skipped block's bytes; v3 Discards them without
+// touching flate — the gap this format exists for.
+func BenchmarkPushdownScan(b *testing.B) {
+	day := time.Date(2016, 11, 12, 0, 0, 0, 0, time.UTC)
+	world := simnet.NewWorld(1, simnet.Scale{ADSL: 100, FTTH: 50})
+	// Write the day time-ordered — the order a real probe logs in, and
+	// what makes per-block Start stats selective.
+	var recs []flowrec.Record
+	world.EmitDay(day, func(r *flowrec.Record) { recs = append(recs, *r) })
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
 	write := func(dir string, format flowrec.Format) *flowrec.Store {
 		store, err := flowrec.OpenStoreFormat(dir, format)
 		if err != nil {
@@ -30,45 +117,31 @@ func BenchmarkReadDayV1vsV2(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		world.EmitDay(day, func(r *flowrec.Record) {
-			if err := w.Write(r); err != nil {
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
 				b.Fatal(err)
 			}
-		})
+		}
 		if err := w.Close(); err != nil {
 			b.Fatal(err)
 		}
 		return store
 	}
 	stores := map[string]*flowrec.Store{
-		"v1": write(b.TempDir(), flowrec.FormatV1),
 		"v2": write(b.TempDir(), flowrec.FormatV2),
+		"v3": write(b.TempDir(), flowrec.FormatV3),
 	}
-
-	// The Figure 3 contract: subscriber columns only, no predicate.
-	sc := flowrec.ColScan{Cols: analytics.ColsSubscribers}
-	decoded := metrics.GetCounter("store.decoded_bytes")
-	for _, name := range []string{"v1", "v2"} {
+	sc := flowrec.ColScan{
+		Cols: analytics.ColsSubscribers,
+		Pred: &flowrec.Pred{StartMin: day.Add(22 * time.Hour)},
+	}
+	skipped := metrics.GetCounter("store.blocks_skipped")
+	for _, name := range []string{"v2", "v3"} {
 		store := stores[name]
 		b.Run(name, func(b *testing.B) {
-			b.ReportAllocs()
-			start := decoded.Load()
-			var rows int
-			for i := 0; i < b.N; i++ {
-				rows = 0
-				err := store.ReadDayCols(day, sc, func(r *flowrec.Record) error {
-					rows++
-					return nil
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if rows == 0 {
-					b.Fatal("day scan returned no records")
-				}
-			}
-			b.ReportMetric(float64(decoded.Load()-start)/float64(b.N), "decoded_B/op")
-			b.ReportMetric(float64(rows), "rows/op")
+			start := skipped.Load()
+			scanDay(b, store, day, sc)
+			b.ReportMetric(float64(skipped.Load()-start)/float64(b.N), "blocks_skipped/op")
 		})
 	}
 }

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// BenchmarkPipelineScale sweeps the subscriber population across three
+// sizes and measures the full generate→aggregate cost of one day at
+// each — the scaling curve `make bench` publishes into BENCH.json.
+// records/sec is the figure of merit: it should stay roughly flat as N
+// grows (the pipeline is record-bound, not population-bound), and a
+// regression here is a scale regression no single-size benchmark
+// catches.
+func BenchmarkPipelineScale(b *testing.B) {
+	day := time.Date(2016, 5, 10, 0, 0, 0, 0, time.UTC)
+	scales := []struct {
+		name  string
+		scale simnet.Scale
+	}{
+		{"N=36", simnet.Scale{ADSL: 24, FTTH: 12}},
+		{"N=150", simnet.Scale{ADSL: 100, FTTH: 50}},
+		{"N=600", simnet.Scale{ADSL: 400, FTTH: 200}},
+	}
+	for _, sc := range scales {
+		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var recs uint64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				// A fresh pipeline per iteration defeats the day cache,
+				// so the full generate→aggregate path is what is timed.
+				p := core.New(core.Config{Seed: 1, Scale: sc.scale, Workers: 1})
+				aggs, err := p.Aggregate(context.Background(), []time.Time{day})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(aggs) != 1 || aggs[0].Flows == 0 {
+					b.Fatal("scale run aggregated no flows")
+				}
+				recs += aggs[0].Flows
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(recs)/elapsed, "records/sec")
+			}
+			b.ReportMetric(float64(recs)/float64(b.N), "records/op")
+		})
+	}
+}

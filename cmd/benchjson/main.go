@@ -22,12 +22,16 @@ import (
 
 // result accumulates every sample of one benchmark across -count runs.
 type result struct {
-	Name      string    `json:"name"`
-	Runs      int       `json:"runs"`
-	NsPerOp   float64   `json:"ns_per_op"`
-	BPerOp    float64   `json:"bytes_per_op,omitempty"`
-	AllocsOp  float64   `json:"allocs_per_op,omitempty"`
-	NsSamples []float64 `json:"ns_samples,omitempty"`
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units — decoded_B/op,
+	// records/sec, blocks_skipped/op — averaged like the standard
+	// columns, so scaling curves survive into the JSON.
+	Extra     map[string]float64 `json:"extra,omitempty"`
+	NsSamples []float64          `json:"ns_samples,omitempty"`
 }
 
 func main() {
@@ -81,6 +85,11 @@ func main() {
 				r.BPerOp += v
 			case "allocs/op":
 				r.AllocsOp += v
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] += v
 			}
 		}
 	}
@@ -97,6 +106,9 @@ func main() {
 		r.NsPerOp /= n
 		r.BPerOp /= n
 		r.AllocsOp /= n
+		for k := range r.Extra {
+			r.Extra[k] /= n
+		}
 		results = append(results, r)
 	}
 	out := struct {

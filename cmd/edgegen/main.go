@@ -36,7 +36,9 @@ func main() {
 		adsl       = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
 		ftth       = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
 		csv        = flag.String("csv", "", "also dump the first generated day as CSV to this file")
-		format     = flag.String("format", "v1", "day-file format: v1 (row codec) or v2 (columnar); readers auto-detect")
+		format     = flag.String("format", "v1", "day-file format: v1 (row codec), v2 (columnar) or v3 (columnar, per-block compression); readers auto-detect")
+		compact    = flag.Bool("compact", false, "skip generation; recompact the existing store's days into -format (parallel, atomic per day)")
+		memlimit   = flag.String("memlimit", "", `stage-one memory budget for the -agg prewarm, e.g. "512M" (0 = unbounded; over budget, aggregation spills partials to disk)`)
 		aggDir     = flag.String("agg", "", "after generating, prewarm a per-day aggregate cache in this directory")
 		rollupDir  = flag.String("rollup", "", "after generating, prewarm week/month/year rollups in this directory")
 		sketch     = flag.Bool("sketch", false, "carry mergeable sketches in the prewarmed aggregates and rollups")
@@ -89,10 +91,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
 		os.Exit(2)
 	}
+	membudget, err := core.ParseMemLimit(*memlimit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
+		os.Exit(2)
+	}
 	store, err := flowrec.OpenStoreFormat(*out, sf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *compact {
+		// Recompaction path: rewrite the lake's sealed days into the
+		// requested format in place and exit. No generation, no prewarm.
+		have, err := store.Days()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgegen: %v\n", err)
+			os.Exit(1)
+		}
+		var pick []time.Time
+		for _, d := range have {
+			if !d.Before(start) && !d.After(end) {
+				pick = append(pick, d)
+			}
+		}
+		t0 := time.Now()
+		nd, nr, err := store.CompactStore(pick, sf, 0)
+		fmt.Printf("compacted %d days (%d records) in %s to %s in %v\n",
+			nd, nr, *out, sf, time.Since(t0).Round(time.Millisecond))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgegen: compact: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	cfg := core.Config{Seed: *seed, Scale: simnet.Scale{ADSL: *adsl, FTTH: *ftth}}
 	// The write side carries the cache directories so regenerating a day
@@ -140,6 +172,7 @@ func main() {
 		warmCfg.RollupDir = *rollupDir
 		warmCfg.Sketch = *sketch
 		warmCfg.ShardsPerDay = *shards
+		warmCfg.MemBudget = membudget
 		warmCfg.Faults = nil // chaos is a generation-side concern; the prewarm reads clean
 		warm := core.New(warmCfg)
 		if *aggDir != "" {

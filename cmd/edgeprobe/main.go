@@ -45,7 +45,7 @@ func main() {
 		adsl       = flag.Int("adsl", 12, "ADSL subscriber count")
 		ftth       = flag.Int("ftth", 6, "FTTH subscriber count")
 		capKiB     = flag.Int("flowcap", 96, "materialised payload cap per flow direction (KiB)")
-		format     = flag.String("format", "v1", "day-file format: v1 (row codec) or v2 (columnar); readers auto-detect")
+		format     = flag.String("format", "v1", "day-file format: v1 (row codec), v2 (columnar) or v3 (columnar, per-block compression); readers auto-detect")
 		shards     = flag.Int("shards", 1, "parallel probe workers per day (flow-hash packet fan-out); record order in the store varies with the count, record content does not")
 		pcapIn     = flag.String("pcap-in", "", "replay packets from this pcap file instead of simulating")
 		pcapOut    = flag.String("pcap-out", "", "also dump the simulated packet stream to this pcap file")

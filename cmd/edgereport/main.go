@@ -39,7 +39,7 @@ func main() {
 		scale      = flag.String("scale", "default", "population scale: small, default, large")
 		workers    = flag.Int("workers", 0, "parallel aggregation workers (0 = NumCPU)")
 		shards     = flag.Int("shards", 0, "per-day shard aggregators; results are byte-identical for any value (0 = auto, 1 = serial fold)")
-		store      = flag.String("store", "", "read records from this flow store instead of simulating (v1 and v2 day files auto-detected, experiments decode only the columns they declare)")
+		store      = flag.String("store", "", "read records from this flow store instead of simulating (v1/v2/v3 day files auto-detected, experiments decode only the columns they declare)")
 		rules      = flag.String("rules", "", "classification rules file (default: built-in list)")
 		aggDir     = flag.String("aggcache", "", "persist per-day aggregates to this directory across runs")
 		rollupDir  = flag.String("rollup", "", "persist week/month/year rollups to this directory; long-span experiments answer from the coarsest tier that fits")
@@ -52,6 +52,7 @@ func main() {
 		faults     = flag.String("faults", "", `fault-injection spec, e.g. "readday:p=0.01,transient" (see README)`)
 		degrade    = flag.Bool("degrade", true, "report failed days and continue instead of aborting the run")
 		dayTimeout = flag.Duration("day-timeout", 0, "deadline per aggregated day, all retries included (0 = none)")
+		memlimit   = flag.String("memlimit", "", `stage-one memory budget, e.g. "512M" (0 = unbounded; over budget, aggregation spills partials to disk and external-merges them)`)
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -80,10 +81,15 @@ func main() {
 		return
 	}
 
+	membudget, err := core.ParseMemLimit(*memlimit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgereport: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := core.Config{
 		Seed: *seed, Stride: *stride, Workers: *workers, ShardsPerDay: *shards,
 		AggCacheDir: *aggDir, RollupDir: *rollupDir, Sketch: *sketch,
-		Degrade: *degrade, DayTimeout: *dayTimeout,
+		Degrade: *degrade, DayTimeout: *dayTimeout, MemBudget: membudget,
 	}
 	if *faults != "" {
 		plan, perr := faultinject.Parse(*faults)

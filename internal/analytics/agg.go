@@ -517,6 +517,21 @@ type RunConfig struct {
 	// during aggregation. Exact accumulators still run; figures stay
 	// byte-identical. Off by default.
 	Sketch bool
+	// MemBudget caps the live accumulator footprint of one day's
+	// aggregation, in bytes (split across its shard aggregators). When
+	// an aggregator's LiveBytes estimate crosses its share, it seals
+	// its state into a Partial, spills it to disk and restarts empty;
+	// the spilled partials merge back in bounded fan-in passes. The
+	// result is byte-identical to the unbounded run for any budget.
+	// 0 means unbounded (no spilling).
+	MemBudget int64
+	// SpillDir is where spilled partials land while a budgeted day is
+	// in flight (a private temp directory per day attempt). Empty means
+	// the OS temp dir.
+	SpillDir string
+	// SpillFanIn bounds how many spill files one merge pass opens;
+	// values below 2 mean 8.
+	SpillFanIn int
 }
 
 // Run aggregates the given days with a bounded pool of workers
@@ -649,8 +664,15 @@ func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classi
 	}
 	var agg *DayAgg
 	err := cfg.Retry.Do(dctx, uint64(day.Unix()), func() error {
+		// Each attempt gets a fresh spill directory: a half-spilled
+		// attempt must never leak partials into the next one.
+		sp, serr := newSpiller(cfg, day, shards)
+		if serr != nil {
+			return serr
+		}
+		defer sp.cleanup()
 		if shards > 1 {
-			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials, cfg.Cols, cfg.Sketch)
+			a, rerr := shardDay(dctx, src, day, cls, shards, cfg.OnDayPartials, cfg.Cols, cfg.Sketch, sp)
 			if rerr != nil {
 				return rerr
 			}
@@ -661,8 +683,35 @@ func runDay(ctx context.Context, src Source, day time.Time, cls *classify.Classi
 		if cfg.Sketch {
 			a.EnableSketches()
 		}
-		if rerr := recordsCols(dctx, src, day, scanFor(cfg.Cols, 1), a.Add); rerr != nil {
+		add := a.Add
+		if sp != nil {
+			n := 0
+			add = func(r *flowrec.Record) {
+				a.Add(r)
+				if n++; n%spillCheckEvery == 0 && sp.over(a) {
+					// Partial consumes the aggregator, so a fresh one
+					// starts regardless of whether the spill landed.
+					sp.spill(a.Partial())
+					a = NewAggregatorCols(day, cls, cfg.Cols)
+					if cfg.Sketch {
+						a.EnableSketches()
+					}
+				}
+			}
+		}
+		if rerr := recordsCols(dctx, src, day, scanFor(cfg.Cols, 1), add); rerr != nil {
 			return rerr
+		}
+		if rerr := sp.firstErr(); rerr != nil {
+			return rerr
+		}
+		if sp.spilled() {
+			merged, rerr := sp.merge(day, []*Partial{a.Partial()})
+			if rerr != nil {
+				return rerr
+			}
+			agg = merged
+			return nil
 		}
 		agg = a.Result()
 		return nil

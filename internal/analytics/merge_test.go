@@ -121,7 +121,7 @@ func TestShardMergeEquivalence(t *testing.T) {
 		recs := genDayRecords(seed, 4000)
 		want := canon(t, foldSerial(recs))
 		for _, k := range []int{1, 2, 3, 8} {
-			agg, err := shardDay(context.Background(), sliceSource{recs}, testDay, nil, k, nil, 0, false)
+			agg, err := shardDay(context.Background(), sliceSource{recs}, testDay, nil, k, nil, 0, false, nil)
 			if err != nil {
 				t.Fatalf("seed %d shards %d: %v", seed, k, err)
 			}
@@ -311,7 +311,7 @@ func TestInputOrderMetamorphic(t *testing.T) {
 			t.Errorf("shuffle seed %d changed the aggregate", seed)
 		}
 		// And the sharded path over the shuffle too.
-		agg, err := shardDay(context.Background(), sliceSource{shuffled}, testDay, nil, 3, nil, 0, false)
+		agg, err := shardDay(context.Background(), sliceSource{shuffled}, testDay, nil, 3, nil, 0, false, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

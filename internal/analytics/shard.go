@@ -64,32 +64,46 @@ const shardBatch = 512
 
 // shardDay aggregates one day across shards concurrent aggregators
 // and merges the partials. onPartials, when non-nil, sees the
-// unmerged partials first (the cache hook). cols is the run's column
-// contract: the source scan projects to it, and the v2 store's block
-// decode reuses the shard workers' parallelism budget (the fan-out
-// consumer is otherwise the serial bottleneck).
-func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, shards int, onPartials func(time.Time, []*Partial), cols flowrec.ColumnSet, sketch bool) (*DayAgg, error) {
+// unmerged partials first (the cache hook) — unless the run spilled,
+// in which case the in-memory partials are an incomplete set and the
+// hook is skipped. cols is the run's column contract: the source scan
+// projects to it, and the v2 store's block decode reuses the shard
+// workers' parallelism budget (the fan-out consumer is otherwise the
+// serial bottleneck). sp, when non-nil, bounds each shard worker's
+// live memory: a worker over its budget share spills its partial and
+// restarts empty.
+func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Classifier, shards int, onPartials func(time.Time, []*Partial), cols flowrec.ColumnSet, sketch bool, sp *spiller) (*DayAgg, error) {
 	if cls == nil {
 		cls = classify.Default()
 	}
-	aggs := make([]*Aggregator, shards)
+	finals := make([]*Partial, shards)
 	chans := make([]chan []flowrec.Record, shards)
 	var wg sync.WaitGroup
-	for i := range aggs {
-		aggs[i] = NewAggregatorCols(day, cls, cols)
-		if sketch {
-			aggs[i].EnableSketches()
-		}
+	for i := range chans {
 		chans[i] = make(chan []flowrec.Record, 4)
 		wg.Add(1)
-		go func(a *Aggregator, in <-chan []flowrec.Record) {
+		go func(idx int, in <-chan []flowrec.Record) {
 			defer wg.Done()
+			a := NewAggregatorCols(day, cls, cols)
+			if sketch {
+				a.EnableSketches()
+			}
 			for batch := range in {
 				for j := range batch {
 					a.Add(&batch[j])
 				}
+				// Budget check per fan-out batch, not per record: the
+				// estimate walk is O(services), a batch is 512 records.
+				if sp.over(a) {
+					sp.spill(a.Partial())
+					a = NewAggregatorCols(day, cls, cols)
+					if sketch {
+						a.EnableSketches()
+					}
+				}
 			}
-		}(aggs[i], chans[i])
+			finals[idx] = a.Partial()
+		}(i, chans[i])
 	}
 
 	counts := make([]uint64, shards)
@@ -136,14 +150,18 @@ func shardDay(ctx context.Context, src Source, day time.Time, cls *classify.Clas
 		mShardImbalance.Set(int64((float64(max) - mean) / mean * 100))
 	}
 
-	partials := make([]*Partial, shards)
-	for i, a := range aggs {
-		partials[i] = a.Partial()
+	if err := sp.firstErr(); err != nil {
+		return nil, err
+	}
+	if sp.spilled() {
+		// The in-memory finals are only the tail of each shard; the
+		// partial-cache hook must not see an incomplete set.
+		return sp.merge(day, finals)
 	}
 	if onPartials != nil {
-		onPartials(day, partials)
+		onPartials(day, finals)
 	}
-	return MergePartials(day, partials)
+	return MergePartials(day, finals)
 }
 
 // MergePartials folds a day's shard partials into the final DayAgg —

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"compress/gzip"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/zpool"
 )
 
 // Persistent stage-one cache. The paper's cluster keeps per-day
@@ -41,10 +41,11 @@ func loadAgg(dir string, day time.Time) *analytics.DayAgg {
 		return nil
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	gz, err := zpool.GzipReader(f)
 	if err != nil {
 		return nil
 	}
+	defer zpool.PutGzipReader(gz)
 	defer gz.Close()
 	var env cachedAgg
 	if err := gob.NewDecoder(gz).Decode(&env); err != nil {
@@ -87,10 +88,11 @@ func loadPartials(dir string, day time.Time) []*analytics.Partial {
 		return nil
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	gz, err := zpool.GzipReader(f)
 	if err != nil {
 		return nil
 	}
+	defer zpool.PutGzipReader(gz)
 	defer gz.Close()
 	var env cachedPartials
 	if err := gob.NewDecoder(gz).Decode(&env); err != nil {
@@ -108,16 +110,17 @@ func savePartials(dir string, day time.Time, parts []*analytics.Partial) error {
 		return fmt.Errorf("core: partial cache: %w", err)
 	}
 	path := partialCachePath(dir, day)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: partial cache: %w", err)
 	}
-	gz := gzip.NewWriter(f)
+	tmp := f.Name()
+	gz := zpool.GzipWriter(f)
 	err = gob.NewEncoder(gz).Encode(cachedPartials{Version: partialCacheVersion, Day: day, Parts: parts})
 	if cerr := gz.Close(); err == nil {
 		err = cerr
 	}
+	zpool.PutGzipWriter(gz)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -139,16 +142,17 @@ func saveAgg(dir string, agg *analytics.DayAgg) error {
 		return fmt.Errorf("core: aggregate cache: %w", err)
 	}
 	path := aggCachePath(dir, agg.Day)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: aggregate cache: %w", err)
 	}
-	gz := gzip.NewWriter(f)
+	tmp := f.Name()
+	gz := zpool.GzipWriter(f)
 	err = gob.NewEncoder(gz).Encode(cachedAgg{Version: aggCacheVersion, Agg: agg})
 	if cerr := gz.Close(); err == nil {
 		err = cerr
 	}
+	zpool.PutGzipWriter(gz)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -101,7 +101,7 @@ func chaosPolicy() retry.Policy {
 }
 
 func TestChaosSuite(t *testing.T) {
-	for _, format := range []flowrec.Format{flowrec.FormatV1, flowrec.FormatV2} {
+	for _, format := range []flowrec.Format{flowrec.FormatV1, flowrec.FormatV2, flowrec.FormatV3} {
 		t.Run(format.String(), func(t *testing.T) {
 			chaosSuite(t, format)
 		})

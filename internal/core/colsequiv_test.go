@@ -11,10 +11,11 @@ import (
 	"repro/internal/simnet"
 )
 
-// v1-vs-v2 store equivalence: the columnar format prunes columns and
-// skips blocks, so the proof obligation is that no experiment can tell
-// the formats apart — same seed, same days, byte-identical canonical
-// aggregates, serial and sharded alike. The second test closes the gap
+// Store-format equivalence: the columnar formats prune columns and
+// skip blocks (v3 additionally inflates per block), so the proof
+// obligation is that no experiment can tell v1, v2 and v3 apart —
+// same seed, same days, byte-identical canonical aggregates, serial
+// and sharded alike. The second test closes the gap
 // byte-identity cannot see: a column missing from an experiment's
 // declared set would make both formats equally wrong, so each figure
 // rendered from its pruned aggregates is compared against the same
@@ -53,50 +54,60 @@ func colsEqDays() []time.Time {
 	return chaosDays(colsEqStride)
 }
 
-func TestV1V2CanonicalEquivalence(t *testing.T) {
+func TestFormatCanonicalEquivalence(t *testing.T) {
 	days := colsEqDays()
-	s1 := buildStoreFormat(t, t.TempDir(), flowrec.FormatV1, days)
-	s2 := buildStoreFormat(t, t.TempDir(), flowrec.FormatV2, days)
+	formats := []flowrec.Format{flowrec.FormatV1, flowrec.FormatV2, flowrec.FormatV3}
+	stores := make([]*flowrec.Store, len(formats))
+	for i, format := range formats {
+		stores[i] = buildStoreFormat(t, t.TempDir(), format, days)
+	}
 	ctx := context.Background()
 
 	for _, shards := range []int{1, 3} {
 		// One pipeline per store and sharding level: experiments share
 		// the day cache exactly as a real report run would, including
-		// the union-recompute when column sets widen — identical on both
-		// sides because the experiment order is identical.
-		p1 := New(Config{Seed: colsEqSeed, Scale: colsEqScale, Stride: colsEqStride,
-			Workers: 4, ShardsPerDay: shards, Store: s1})
-		p2 := New(Config{Seed: colsEqSeed, Scale: colsEqScale, Stride: colsEqStride,
-			Workers: 4, ShardsPerDay: shards, Store: s2})
+		// the union-recompute when column sets widen — identical on
+		// every side because the experiment order is identical. v1 is
+		// the baseline; every other format must match it byte for byte.
+		ps := make([]*Pipeline, len(formats))
+		for i := range formats {
+			ps[i] = New(Config{Seed: colsEqSeed, Scale: colsEqScale, Stride: colsEqStride,
+				Workers: 4, ShardsPerDay: shards, Store: stores[i]})
+		}
 		for _, e := range AllExperiments() {
 			edays := e.Days(colsEqStride)
 			if len(edays) == 0 {
 				continue
 			}
-			a1, err := p1.AggregateCols(ctx, edays, e.Cols)
+			a1, err := ps[0].AggregateCols(ctx, edays, e.Cols)
 			if err != nil {
 				t.Fatalf("%s shards=%d: v1 aggregate: %v", e.ID, shards, err)
 			}
-			a2, err := p2.AggregateCols(ctx, edays, e.Cols)
-			if err != nil {
-				t.Fatalf("%s shards=%d: v2 aggregate: %v", e.ID, shards, err)
-			}
-			if len(a1) != len(a2) {
-				t.Fatalf("%s shards=%d: v1 has %d days, v2 has %d", e.ID, shards, len(a1), len(a2))
-			}
+			want := make([][]byte, len(a1))
 			for i := range a1 {
-				b1, err := analytics.CanonicalBytes(a1[i])
-				if err != nil {
+				if want[i], err = analytics.CanonicalBytes(a1[i]); err != nil {
 					t.Fatal(err)
 				}
-				b2, err := analytics.CanonicalBytes(a2[i])
+			}
+			for fi := 1; fi < len(formats); fi++ {
+				af, err := ps[fi].AggregateCols(ctx, edays, e.Cols)
 				if err != nil {
-					t.Fatal(err)
+					t.Fatalf("%s shards=%d: %s aggregate: %v", e.ID, shards, formats[fi], err)
 				}
-				if !bytes.Equal(b1, b2) {
-					t.Errorf("%s shards=%d: day %s aggregates diverge between v1 and v2",
-						e.ID, shards, a1[i].Day.Format("2006-01-02"))
-					break
+				if len(af) != len(a1) {
+					t.Fatalf("%s shards=%d: v1 has %d days, %s has %d",
+						e.ID, shards, len(a1), formats[fi], len(af))
+				}
+				for i := range af {
+					bf, err := analytics.CanonicalBytes(af[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(bf, want[i]) {
+						t.Errorf("%s shards=%d: day %s aggregates diverge between v1 and %s",
+							e.ID, shards, af[i].Day.Format("2006-01-02"), formats[fi])
+						break
+					}
 				}
 			}
 		}

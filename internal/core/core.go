@@ -87,6 +87,23 @@ type Config struct {
 	// coarsest tier that fits instead of re-folding every day. Exposed
 	// as -rollup on the binaries.
 	RollupDir string
+	// MemBudget bounds stage one's live accumulator memory in bytes
+	// (an accounting estimate, split across a day's concurrent shard
+	// aggregators). Over budget, an aggregator seals its state into a
+	// partial, spills it to disk and restarts empty; spilled partials
+	// external-merge after the scan with results byte-identical to the
+	// unbounded run. 0 (the default) disables spilling. Exposed as
+	// -memlimit on the binaries.
+	MemBudget int64
+	// SpillDir is where over-budget partials spill (a private temp
+	// directory per day attempt is created beneath it). Empty means
+	// the OS temp dir.
+	SpillDir string
+	// SpillFanIn bounds how many spill files one external-merge pass
+	// opens; 0 means the analytics default. Any value produces
+	// byte-identical results — it only trades merge passes for peak
+	// open partials.
+	SpillFanIn int
 	// Sketch switches day aggregation into sketch mode: each day (and
 	// therefore each rollup) additionally carries mergeable sketches —
 	// HyperLogLog distinct clients/server IPs, SpaceSaving service and
@@ -465,6 +482,9 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 			DayTimeout:   p.cfg.DayTimeout,
 			Cols:         cols,
 			Sketch:       p.cfg.Sketch,
+			MemBudget:    p.cfg.MemBudget,
+			SpillDir:     p.cfg.SpillDir,
+			SpillFanIn:   p.cfg.SpillFanIn,
 		}
 		// When a day aggregates sharded, cache its unmerged partials;
 		// the final SaveAgg below is skipped for those days. Save
@@ -579,7 +599,9 @@ func (p *Pipeline) eachIndex(n int, fn func(int)) {
 func (p *Pipeline) runStage1(ctx context.Context, src analytics.Source, days []time.Time, workers int) ([]*analytics.DayAgg, error) {
 	aggs, dayErrs, err := analytics.RunReport(ctx, src, days, p.Cls,
 		analytics.RunConfig{Workers: workers, ShardsPerDay: p.cfg.ShardsPerDay,
-			Retry: p.retry, DayTimeout: p.cfg.DayTimeout})
+			Retry: p.retry, DayTimeout: p.cfg.DayTimeout,
+			MemBudget: p.cfg.MemBudget, SpillDir: p.cfg.SpillDir,
+			SpillFanIn: p.cfg.SpillFanIn})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMemLimit parses a human-readable memory budget — "67108864",
+// "64K", "512M", "2G", optionally with a trailing B or iB — into
+// bytes, for the binaries' -memlimit flag. Units are binary (1K =
+// 1024). Empty and "0" mean no limit.
+func ParseMemLimit(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(t)
+	u = strings.TrimSuffix(u, "IB")
+	u = strings.TrimSuffix(u, "B")
+	var mult int64 = 1
+	switch {
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "K")
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "M")
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "G")
+	}
+	n, err := strconv.ParseFloat(u, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("core: bad memory limit %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}

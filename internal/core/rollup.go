@@ -23,7 +23,6 @@ package core
 // rollup-equivalence test tier asserts it against the golden corpus.
 
 import (
-	"compress/gzip"
 	"context"
 	"encoding/gob"
 	"fmt"
@@ -35,6 +34,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/flowrec"
 	"repro/internal/metrics"
+	"repro/internal/zpool"
 )
 
 // Rollup-tier observability: hits serve a query from one file, misses
@@ -71,10 +71,11 @@ func loadRollup(dir string, g analytics.Grain, start time.Time) *analytics.Rollu
 		return nil
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	gz, err := zpool.GzipReader(f)
 	if err != nil {
 		return nil
 	}
+	defer zpool.PutGzipReader(gz)
 	defer gz.Close()
 	var env cachedRollup
 	if err := gob.NewDecoder(gz).Decode(&env); err != nil {
@@ -93,16 +94,17 @@ func saveRollup(dir string, r *analytics.Rollup) error {
 		return fmt.Errorf("core: rollup cache: %w", err)
 	}
 	path := rollupCachePath(dir, r.Grain, r.Start)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: rollup cache: %w", err)
 	}
-	gz := gzip.NewWriter(f)
+	tmp := f.Name()
+	gz := zpool.GzipWriter(f)
 	err = gob.NewEncoder(gz).Encode(cachedRollup{Version: rollupCacheVersion, R: r})
 	if cerr := gz.Close(); err == nil {
 		err = cerr
 	}
+	zpool.PutGzipWriter(gz)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -2,14 +2,19 @@ package flowrec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
+
+	"repro/internal/zpool"
 )
 
-// The v2 columnar codec. A day file is gzip(magic "eflc" | block*),
-// each block ~colBlockRows records transposed into per-column streams:
+// The v2/v3 columnar codec. A v2 day file is gzip(magic "eflc" |
+// block*), each block ~colBlockRows records transposed into
+// per-column streams:
 //
 //	block := rowCount uvarint            (1..maxBlockRows)
 //	         stats                       (min/max footer, see blockStats)
@@ -25,10 +30,45 @@ import (
 // reader can skip the entire payload — every column — when a pushed-
 // down predicate cannot match, and skip any column the projection
 // does not ask for.
+//
+// v3 (magic "efl3") keeps the block structure but moves compression
+// INSIDE the column framing and drops the file-level gzip entirely:
+//
+//	file  := "efl3" | block* | terminator
+//	block := rowCount uvarint            (1..maxBlockRows)
+//	         stats                       (plain — readable without inflate)
+//	         colCount uvarint            (= NumColumns)
+//	         colCount × (totalLen uvarint, body)
+//	body  := crc32c (4 bytes LE, over the rest of the body)
+//	         [dictLen uvarint, dict]     (dictionary columns only, plain)
+//	         rawLen uvarint              (inflated payload size)
+//	         compLen uvarint             (0 = payload stored raw)
+//	         payload                     (flate if compLen>0, else raw)
+//	terminator := 0 uvarint | blockCount uvarint | totalRows uvarint
+//
+// Keeping the stats and dictionaries outside the compressed payload
+// means predicate pushdown skips a block — and projection skips a
+// column — by Discarding totalLen bytes without ever inflating them,
+// and because each column inflates independently the read path can fan
+// block decompression out over workers instead of queuing behind one
+// gzip stream. The per-column crc32c (Castagnoli) replaces the gzip
+// trailer checksum for the bytes a scan actually consumes; pruned
+// bytes are deliberately unverified — damage there cannot affect the
+// result. The terminator replaces the gzip trailer's length check so
+// a truncated v3 file still classifies as stream damage.
 
 // colMagic identifies a v2 stream (v1 uses "efl1"); readers
 // auto-detect by peeking these four bytes after the gzip header.
-var colMagic = [4]byte{'e', 'f', 'l', 'c'}
+// colMagicV3 identifies a v3 file — peeked raw, since v3 files are
+// not gzip-wrapped.
+var (
+	colMagic   = [4]byte{'e', 'f', 'l', 'c'}
+	colMagicV3 = [4]byte{'e', 'f', 'l', '3'}
+)
+
+// crcTab is the Castagnoli table shared by the v3 write and read
+// paths (hardware-accelerated on amd64/arm64).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
 const (
 	// colBlockRows is the writer's rows-per-block target.
@@ -43,6 +83,9 @@ const (
 	// per-record bound: a hostile server name must fail at write time,
 	// not poison the day for readers.
 	maxDictEntryLen = 1 << 15
+	// colCompressMin is the smallest column payload worth deflating;
+	// below it the flate header overhead beats any win.
+	colCompressMin = 64
 )
 
 // blockStats is the per-block min/max footer for the predicate
@@ -144,12 +187,15 @@ func dictSlot(c Column) int {
 	return -1
 }
 
-// colEncoder writes the v2 columnar stream. It satisfies the same
+// colEncoder writes the v2/v3 columnar stream. It satisfies the same
 // surface DayWriter needs from the v1 Encoder.
 type colEncoder struct {
-	w     *bufio.Writer
-	count uint64
-	rows  int
+	w      *bufio.Writer
+	count  uint64
+	rows   int
+	blocks uint64
+	v3     bool
+	sealed bool // v3 terminator written; further Flushes are bufio-only
 
 	cols      [NumColumns][]byte // per-column row streams
 	dicts     [3]map[string]uint64
@@ -157,15 +203,24 @@ type colEncoder struct {
 	dictN     [3]uint64
 	prevStart int64
 	stats     blockStats
+
+	pre  []byte       // v3 scratch: column body head (crc+dict+lengths)
+	comp appendWriter // v3 scratch: deflated column payload
 }
 
-// newColEncoder writes the v2 stream header and returns an encoder.
-func newColEncoder(w io.Writer) (*colEncoder, error) {
+// newColEncoder writes the stream header and returns an encoder; v3
+// selects per-block compression (the caller must then NOT wrap w in
+// gzip).
+func newColEncoder(w io.Writer, v3 bool) (*colEncoder, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(colMagic[:]); err != nil {
+	magic := colMagic
+	if v3 {
+		magic = colMagicV3
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, fmt.Errorf("flowrec: writing magic: %w", err)
 	}
-	e := &colEncoder{w: bw}
+	e := &colEncoder{w: bw, v3: v3}
 	e.resetBlock()
 	return e, nil
 }
@@ -178,10 +233,22 @@ func (e *colEncoder) resetBlock() {
 		e.cols[i] = e.cols[i][:0]
 	}
 	for i := range e.dicts {
-		e.dicts[i] = nil
+		// Keep the allocated map and drop its entries: a day writes
+		// thousands of blocks, and re-making three maps per block was a
+		// measurable slice of the encode allocation profile.
+		clear(e.dicts[i])
 		e.dictEnts[i] = e.dictEnts[i][:0]
 		e.dictN[i] = 0
 	}
+}
+
+// appendWriter is an io.Writer that appends into a reusable slice —
+// the deflate sink for v3 column payloads.
+type appendWriter struct{ b []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
 }
 
 // Count reports how many records were encoded.
@@ -259,13 +326,20 @@ func (e *colEncoder) flushBlock() error {
 	}
 	var lenBuf [binary.MaxVarintLen64]byte
 	for c := 0; c < NumColumns; c++ {
+		if e.v3 {
+			if err := e.writeColV3(Column(c), lenBuf[:]); err != nil {
+				return err
+			}
+			continue
+		}
 		payload := e.cols[c]
 		if j := dictSlot(Column(c)); j >= 0 {
 			// Dictionary column: entry count + entries + row indexes.
-			var pre []byte
+			pre := e.pre[:0]
 			pre = binary.AppendUvarint(pre, e.dictN[j])
 			pre = append(pre, e.dictEnts[j]...)
 			pre = append(pre, payload...)
+			e.pre = pre
 			payload = pre
 		}
 		n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
@@ -276,34 +350,131 @@ func (e *colEncoder) flushBlock() error {
 			return fmt.Errorf("flowrec: writing column: %w", err)
 		}
 	}
+	e.blocks++
 	e.resetBlock()
 	return nil
 }
 
-// Flush seals the current block and pushes buffered bytes down.
+// writeColV3 writes one column in the v3 framing: length-prefixed
+// body of crc | [dict] | rawLen | compLen | payload, with the payload
+// deflated only when that actually shrinks it.
+func (e *colEncoder) writeColV3(col Column, lenBuf []byte) error {
+	raw := e.cols[col]
+	// Body head, with 4 bytes reserved up front for the crc.
+	pre := append(e.pre[:0], 0, 0, 0, 0)
+	if j := dictSlot(col); j >= 0 {
+		dictLen := uvarintLen(e.dictN[j]) + len(e.dictEnts[j])
+		pre = binary.AppendUvarint(pre, uint64(dictLen))
+		pre = binary.AppendUvarint(pre, e.dictN[j])
+		pre = append(pre, e.dictEnts[j]...)
+	}
+	stored := raw
+	pre = binary.AppendUvarint(pre, uint64(len(raw)))
+	if comp := e.compress(raw); comp != nil {
+		pre = binary.AppendUvarint(pre, uint64(len(comp)))
+		stored = comp
+	} else {
+		pre = binary.AppendUvarint(pre, 0) // stored raw
+	}
+	e.pre = pre
+	crc := crc32.Update(crc32.Checksum(pre[4:], crcTab), crcTab, stored)
+	binary.LittleEndian.PutUint32(pre[:4], crc)
+	n := binary.PutUvarint(lenBuf, uint64(len(pre)+len(stored)))
+	if _, err := e.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("flowrec: writing column length: %w", err)
+	}
+	if _, err := e.w.Write(pre); err != nil {
+		return fmt.Errorf("flowrec: writing column: %w", err)
+	}
+	if _, err := e.w.Write(stored); err != nil {
+		return fmt.Errorf("flowrec: writing column: %w", err)
+	}
+	return nil
+}
+
+// compress deflates raw into the encoder's scratch, returning nil when
+// storing raw is at least as small (or the payload is too tiny to be
+// worth the flate header).
+func (e *colEncoder) compress(raw []byte) []byte {
+	if len(raw) < colCompressMin {
+		return nil
+	}
+	e.comp.b = e.comp.b[:0]
+	fw := zpool.FlateWriter(&e.comp)
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	zpool.PutFlateWriter(fw)
+	if werr != nil || cerr != nil || len(e.comp.b) >= len(raw) {
+		return nil
+	}
+	return e.comp.b
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Flush seals the current block — and, for v3, the stream: the
+// terminator's block/row counts are what lets a reader distinguish a
+// clean end from a truncated tail without a gzip trailer.
 func (e *colEncoder) Flush() error {
 	if err := e.flushBlock(); err != nil {
 		return err
 	}
+	if e.v3 && !e.sealed {
+		e.sealed = true
+		var t []byte
+		t = binary.AppendUvarint(t, 0)
+		t = binary.AppendUvarint(t, e.blocks)
+		t = binary.AppendUvarint(t, e.count)
+		if _, err := e.w.Write(t); err != nil {
+			return fmt.Errorf("flowrec: writing terminator: %w", err)
+		}
+	}
 	return e.w.Flush()
 }
 
-// colBlock is one raw block read off a v2 stream: the stats, plus the
-// payload of every column the scan needs (nil entries were pruned).
+// colBlock is one raw block read off a v2/v3 stream: the stats, plus
+// the payload of every column the scan needs (nil entries were
+// pruned). Column payloads live in pooled buffers; release returns
+// them once the block is decoded.
 type colBlock struct {
 	rows  int
+	v3    bool
 	stats blockStats
 	data  [NumColumns][]byte
+	bufs  [NumColumns]*[]byte
 }
 
-// colReader reads raw blocks off a v2 stream, pruning columns and
+// release returns the block's pooled column buffers. The caller must
+// be done with data — decodeBlock copies everything it materialises,
+// so after it returns the block is safe to release.
+func (b *colBlock) release() {
+	for i := range b.bufs {
+		if b.bufs[i] != nil {
+			zpool.PutBuf(b.bufs[i])
+			b.bufs[i] = nil
+		}
+		b.data[i] = nil
+	}
+}
+
+// colReader reads raw blocks off a v2/v3 stream, pruning columns and
 // skipping stat-excluded blocks. It also accumulates the scan-level
 // byte accounting the store publishes.
 type colReader struct {
 	br   *bufio.Reader
 	need ColumnSet
 	pred *Pred
+	v3   bool
 
+	rowsSeen                  uint64 // all blocks, skipped included (v3 terminator check)
 	blocksRead, blocksSkipped uint64
 	bytesDecoded, bytesPruned uint64
 }
@@ -323,55 +494,90 @@ func blockEOF(err error) error {
 }
 
 // next returns the next block the scan needs. Blocks excluded by the
-// predicate stats are consumed, counted and skipped internally. A
-// clean end of stream returns (nil, io.EOF).
+// predicate stats are consumed, counted and skipped internally —
+// for v3 that means Discarding their compressed bytes without ever
+// inflating them. A clean end of stream returns (nil, io.EOF).
 func (cr *colReader) next() (*colBlock, error) {
 	for {
 		rows, err := binary.ReadUvarint(cr.br)
 		if err != nil {
 			if err == io.EOF {
+				if cr.v3 {
+					// A v3 stream must end with its terminator; a bare
+					// EOF at a block boundary is a truncated file.
+					return nil, fmt.Errorf("flowrec: missing v3 terminator: %w", io.ErrUnexpectedEOF)
+				}
 				return nil, io.EOF // clean block boundary
 			}
 			return nil, blockEOF(err)
 		}
-		if rows == 0 || rows > maxBlockRows {
+		if rows == 0 {
+			if cr.v3 {
+				return nil, cr.readTerminator()
+			}
 			return nil, corruptf("block of %d rows", rows)
 		}
-		b := &colBlock{rows: int(rows)}
+		if rows > maxBlockRows {
+			return nil, corruptf("block of %d rows", rows)
+		}
+		b := &colBlock{rows: int(rows), v3: cr.v3}
 		if err := b.stats.read(cr.br); err != nil {
+			b.release()
 			return nil, blockEOF(err)
 		}
 		ncols, err := binary.ReadUvarint(cr.br)
 		if err != nil {
+			b.release()
 			return nil, blockEOF(err)
 		}
 		if int(ncols) != NumColumns {
+			b.release()
 			return nil, corruptf("block with %d columns", ncols)
 		}
 		skipAll := cr.pred != nil && !cr.pred.matchStats(&b.stats)
 		for c := 0; c < NumColumns; c++ {
 			n, err := binary.ReadUvarint(cr.br)
 			if err != nil {
+				b.release()
 				return nil, blockEOF(err)
 			}
 			if n > maxColumnBytes {
+				b.release()
 				return nil, corruptf("column %d of %d bytes", c, n)
 			}
 			if skipAll || !cr.need.Has(Column(c)) {
 				if _, err := cr.br.Discard(int(n)); err != nil {
+					b.release()
 					return nil, blockEOF(err)
 				}
 				cr.bytesPruned += n
 				continue
 			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(cr.br, buf); err != nil {
+			bp := zpool.Buf(int(n))
+			if _, err := io.ReadFull(cr.br, *bp); err != nil {
+				zpool.PutBuf(bp)
+				b.release()
 				return nil, blockEOF(err)
 			}
-			cr.bytesDecoded += n
-			b.data[c] = buf
+			b.data[c] = *bp
+			b.bufs[c] = bp
+			if cr.v3 {
+				// Count the bytes this column will materialise (dict
+				// part + inflated payload), keeping decoded_bytes
+				// comparable with the v2 metric.
+				dn, derr := v3DecodedSize(Column(c), *bp)
+				if derr != nil {
+					b.release()
+					return nil, derr
+				}
+				cr.bytesDecoded += dn
+			} else {
+				cr.bytesDecoded += n
+			}
 		}
+		cr.rowsSeen += rows
 		if skipAll {
+			b.release()
 			cr.blocksSkipped++
 			continue
 		}
@@ -380,10 +586,141 @@ func (cr *colReader) next() (*colBlock, error) {
 	}
 }
 
+// readTerminator validates the v3 end-of-stream marker against what
+// the scan actually consumed, then requires a hard EOF. It returns
+// io.EOF on a clean end.
+func (cr *colReader) readTerminator() error {
+	blocks, err := binary.ReadUvarint(cr.br)
+	if err != nil {
+		return blockEOF(err)
+	}
+	rows, err := binary.ReadUvarint(cr.br)
+	if err != nil {
+		return blockEOF(err)
+	}
+	if got := cr.blocksRead + cr.blocksSkipped; blocks != got || rows != cr.rowsSeen {
+		return corruptf("terminator claims %d blocks/%d rows, stream had %d/%d",
+			blocks, rows, got, cr.rowsSeen)
+	}
+	switch _, err := cr.br.ReadByte(); err {
+	case io.EOF:
+		return io.EOF // clean
+	case nil:
+		return corruptf("trailing data after terminator")
+	default:
+		return blockEOF(err)
+	}
+}
+
+// v3DecodedSize reports how many bytes a v3 column body materialises
+// when decoded: the plain dictionary part plus the inflated payload.
+func v3DecodedSize(col Column, body []byte) (uint64, error) {
+	if len(body) < 4 {
+		return 0, corruptf("column %d: short body", col)
+	}
+	body = body[4:] // crc
+	var total uint64
+	if dictSlot(col) >= 0 {
+		dl, n := binary.Uvarint(body)
+		if n <= 0 || dl > uint64(len(body)-n) {
+			return 0, corruptf("column %d: bad dict length", col)
+		}
+		total += dl
+		body = body[n+int(dl):]
+	}
+	rawLen, n := binary.Uvarint(body)
+	if n <= 0 || rawLen > maxColumnBytes {
+		return 0, corruptf("column %d: bad raw length", col)
+	}
+	return total + rawLen, nil
+}
+
+// colInflater is one decode worker's reusable v3 state: a flate
+// source reader and the scratch the inflated column lands in. Each
+// column is fully consumed before the next, so one scratch per worker
+// suffices; everything materialised out of it is copied or interned.
+type colInflater struct {
+	br  bytes.Reader
+	out []byte
+}
+
+// column verifies and unpacks one v3 column body into the v2 payload
+// layout ([dict] + rows), inflating when the payload was deflated and
+// returning the stored bytes zero-copy when it was not.
+func (inf *colInflater) column(col Column, body []byte) ([]byte, error) {
+	c := int(col)
+	if len(body) < 4 {
+		return nil, corruptf("column %d: short body", c)
+	}
+	want := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if crc32.Checksum(body, crcTab) != want {
+		return nil, corruptf("column %d: checksum mismatch", c)
+	}
+	out := inf.out[:0]
+	if dictSlot(col) >= 0 {
+		dl, n := binary.Uvarint(body)
+		if n <= 0 || dl > uint64(len(body)-n) {
+			return nil, corruptf("column %d: bad dict length", c)
+		}
+		body = body[n:]
+		out = append(out, body[:dl]...)
+		body = body[dl:]
+	}
+	rawLen, n := binary.Uvarint(body)
+	if n <= 0 || rawLen > maxColumnBytes {
+		return nil, corruptf("column %d: bad raw length", c)
+	}
+	body = body[n:]
+	compLen, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, corruptf("column %d: bad compressed length", c)
+	}
+	body = body[n:]
+	if compLen == 0 { // stored raw
+		if uint64(len(body)) != rawLen {
+			return nil, corruptf("column %d: stored %d bytes, want %d", c, len(body), rawLen)
+		}
+		if len(out) == 0 {
+			return body, nil // non-dict column: hand back the stored bytes directly
+		}
+		out = append(out, body...)
+		inf.out = out
+		return out, nil
+	}
+	if uint64(len(body)) != compLen {
+		return nil, corruptf("column %d: compressed %d bytes, want %d", c, len(body), compLen)
+	}
+	head := len(out)
+	if cap(out) < head+int(rawLen) {
+		grown := make([]byte, head+int(rawLen))
+		copy(grown, out)
+		out = grown
+	} else {
+		out = out[:head+int(rawLen)]
+	}
+	inf.br.Reset(body)
+	fr := zpool.FlateReader(&inf.br)
+	_, err := io.ReadFull(fr, out[head:])
+	if err == nil {
+		var one [1]byte
+		if n, _ := fr.Read(one[:]); n != 0 {
+			err = fmt.Errorf("stream longer than rawLen")
+		}
+	}
+	zpool.PutFlateReader(fr)
+	if err != nil {
+		return nil, corruptf("column %d: inflate: %v", c, err)
+	}
+	inf.out = out
+	return out, nil
+}
+
 // decodeBlock materialises the needed columns of b into recs, which
 // must have length b.rows. Unneeded fields keep their zero values.
-// strs interns dictionary strings across blocks.
-func decodeBlock(b *colBlock, need ColumnSet, recs []Record, strs map[string]string) error {
+// strs interns dictionary strings across blocks; inf is the worker's
+// v3 inflater (may be nil for v2 blocks).
+func decodeBlock(b *colBlock, need ColumnSet, recs []Record, strs map[string]string, inf *colInflater) error {
 	rows := b.rows
 	for c := 0; c < NumColumns; c++ {
 		col := Column(c)
@@ -391,6 +728,12 @@ func decodeBlock(b *colBlock, need ColumnSet, recs []Record, strs map[string]str
 			continue
 		}
 		p := b.data[c]
+		if b.v3 {
+			var err error
+			if p, err = inf.column(col, p); err != nil {
+				return err
+			}
+		}
 		switch col {
 		case ColClient, ColServer:
 			if len(p) != rows*4 {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/zpool"
 )
 
 // Column-scan observability: how much the v2 read path actually
@@ -36,22 +37,32 @@ const (
 	// streams with min/max stats (magic "eflc"), readable with column
 	// pruning and predicate pushdown via ReadDayCols.
 	FormatV2
+	// FormatV3 is the columnar codec with per-block compression (magic
+	// "efl3", no file-level gzip): pushdown skips blocks without
+	// inflating them, and block decompression parallelises across
+	// sc.Workers.
+	FormatV3
 )
 
-// ParseFormat parses "v1" or "v2".
+// ParseFormat parses "v1", "v2" or "v3".
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "v1":
 		return FormatV1, nil
 	case "v2":
 		return FormatV2, nil
+	case "v3":
+		return FormatV3, nil
 	}
-	return FormatV1, fmt.Errorf("flowrec: unknown store format %q (want v1 or v2)", s)
+	return FormatV1, fmt.Errorf("flowrec: unknown store format %q (want v1, v2 or v3)", s)
 }
 
 func (f Format) String() string {
-	if f == FormatV2 {
+	switch f {
+	case FormatV2:
 		return "v2"
+	case FormatV3:
+		return "v3"
 	}
 	return "v1"
 }
@@ -101,10 +112,32 @@ func (s *Store) ReadDayCols(day time.Time, sc ColScan, fn func(*Record) error) e
 		mBytesRead.Add(nBytes)
 	}()
 	cr := &countingReader{r: f}
-	gz, err := gzip.NewReader(cr)
+	defer func() { nBytes = cr.n }()
+	// v1/v2 files are gzip-wrapped whole; v3 files are raw so their
+	// blocks can inflate independently. Peek the physical leading bytes
+	// to pick the path: gzip magic vs "efl3".
+	raw := bufio.NewReaderSize(cr, 1<<16)
+	head, err := raw.Peek(4)
 	if err != nil {
 		mCorruptRecords.Inc()
-		nBytes = cr.n
+		if err == io.EOF && len(head) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("flowrec: %s: %w", path, err)
+	}
+	if [4]byte(head) == colMagicV3 {
+		err = s.readDayV3(raw, sc, fn, &nRecs)
+		return wrapScanErr(path, err)
+	}
+	if head[0] != 0x1f || head[1] != 0x8b {
+		// Neither a v3 file nor a gzip stream: the same damage class
+		// gzip.NewReader used to classify for us.
+		mCorruptRecords.Inc()
+		return fmt.Errorf("flowrec: %s: %w", path, gzip.ErrHeader)
+	}
+	gz, err := zpool.GzipReader(raw)
+	if err != nil {
+		mCorruptRecords.Inc()
 		return fmt.Errorf("flowrec: %s: %w", path, err)
 	}
 	closed := false
@@ -112,7 +145,7 @@ func (s *Store) ReadDayCols(day time.Time, sc ColScan, fn func(*Record) error) e
 		if !closed {
 			gz.Close()
 		}
-		nBytes = cr.n
+		zpool.PutGzipReader(gz)
 	}()
 	br := bufio.NewReaderSize(gz, 1<<16)
 	magic, err := br.Peek(4)
@@ -133,16 +166,21 @@ func (s *Store) ReadDayCols(day time.Time, sc ColScan, fn func(*Record) error) e
 	default:
 		return fmt.Errorf("flowrec: %s: %w", path, ErrBadMagic)
 	}
-	if err != nil {
-		// fn's own errors pass through verbatim, as ReadDay always has;
-		// only stream-level failures get the file-path context.
-		var fe fnErr
-		if errors.As(err, &fe) {
-			return fe.err
-		}
-		return fmt.Errorf("flowrec: %s: %w", path, err)
+	return wrapScanErr(path, err)
+}
+
+// wrapScanErr adds the file-path context to stream-level failures;
+// fn's own errors pass through verbatim, as ReadDay always has
+// (callers compare against their own sentinels).
+func wrapScanErr(path string, err error) error {
+	if err == nil {
+		return nil
 	}
-	return nil
+	var fe fnErr
+	if errors.As(err, &fe) {
+		return fe.err
+	}
+	return fmt.Errorf("flowrec: %s: %w", path, err)
 }
 
 // fnErr marks an error returned by the caller's fn, which must
@@ -193,25 +231,18 @@ func (s *Store) readDayV1(br *bufio.Reader, pred *Pred, fn func(*Record) error, 
 	}
 }
 
-// readDayV2 is the columnar scan. Blocks stream off the gzip reader
-// serially; decoding fans out over sc.Workers goroutines when asked,
-// with delivery re-sequenced to file order so fn observes the same
-// record order at any worker count.
+// readDayV2 is the gzip-wrapped columnar scan: the raw block stream is
+// inherently serial behind the one gzip reader, and a clean end of
+// stream must also show an intact gzip trailer.
 func (s *Store) readDayV2(br *bufio.Reader, sc ColScan, fn func(*Record) error, nRecs *uint64, closed *bool, gz *gzip.Reader) error {
 	if _, err := br.Discard(4); err != nil { // the peeked magic
 		return err
 	}
 	need := sc.Cols.Norm() | sc.Pred.Columns()
 	cr := &colReader{br: br, need: need, pred: sc.Pred}
-	defer func() {
-		mBlocksRead.Add(cr.blocksRead)
-		mBlocksSkipped.Add(cr.blocksSkipped)
-		mBytesDecoded.Add(cr.bytesDecoded)
-		mBytesPruned.Add(cr.bytesPruned)
-	}()
-	// closeTrailer runs at a clean end of stream: every block decoded,
-	// gzip trailer intact — only then does the day count as read.
-	closeTrailer := func() error {
+	// finish runs at a clean end of stream: every block decoded, gzip
+	// trailer intact — only then does the day count as read.
+	return s.scanBlocks(cr, sc, fn, nRecs, func() error {
 		*closed = true
 		if cerr := gz.Close(); cerr != nil {
 			mCorruptRecords.Inc()
@@ -219,7 +250,36 @@ func (s *Store) readDayV2(br *bufio.Reader, sc ColScan, fn func(*Record) error, 
 		}
 		mDaysRead.Inc()
 		return nil
+	})
+}
+
+// readDayV3 is the per-block-compressed columnar scan. The stream end
+// was already validated by the terminator (block and row counts plus
+// hard EOF), so there is no trailer left to check.
+func (s *Store) readDayV3(br *bufio.Reader, sc ColScan, fn func(*Record) error, nRecs *uint64) error {
+	if _, err := br.Discard(4); err != nil { // the peeked magic
+		return err
 	}
+	need := sc.Cols.Norm() | sc.Pred.Columns()
+	cr := &colReader{br: br, need: need, pred: sc.Pred, v3: true}
+	return s.scanBlocks(cr, sc, fn, nRecs, func() error {
+		mDaysRead.Inc()
+		return nil
+	})
+}
+
+// scanBlocks drives a columnar scan over cr: blocks stream serially
+// off the reader; decoding (and, for v3, per-block inflation) fans out
+// over sc.Workers goroutines when asked, with delivery re-sequenced to
+// file order so fn observes the same record order at any worker count.
+// finish runs exactly once at a clean end of stream.
+func (s *Store) scanBlocks(cr *colReader, sc ColScan, fn func(*Record) error, nRecs *uint64, finish func() error) error {
+	defer func() {
+		mBlocksRead.Add(cr.blocksRead)
+		mBlocksSkipped.Add(cr.blocksSkipped)
+		mBytesDecoded.Add(cr.bytesDecoded)
+		mBytesPruned.Add(cr.bytesPruned)
+	}()
 	classify := func(err error) error {
 		if errors.Is(err, ErrCorrupt) || isGzipDamage(err) {
 			mCorruptRecords.Inc()
@@ -241,11 +301,12 @@ func (s *Store) readDayV2(br *bufio.Reader, sc ColScan, fn func(*Record) error, 
 
 	if sc.Workers <= 1 {
 		strs := make(map[string]string, 256)
+		var inf colInflater
 		var recs []Record
 		for {
 			b, err := cr.next()
 			if err == io.EOF {
-				return closeTrailer()
+				return finish()
 			}
 			if err != nil {
 				return classify(err)
@@ -257,7 +318,9 @@ func (s *Store) readDayV2(br *bufio.Reader, sc ColScan, fn func(*Record) error, 
 			for i := range recs {
 				recs[i] = Record{}
 			}
-			if err := decodeBlock(b, need, recs, strs); err != nil {
+			err = decodeBlock(b, cr.need, recs, strs, &inf)
+			b.release()
+			if err != nil {
 				return classify(err)
 			}
 			if err := deliver(recs); err != nil {
@@ -265,7 +328,7 @@ func (s *Store) readDayV2(br *bufio.Reader, sc ColScan, fn func(*Record) error, 
 			}
 		}
 	}
-	return s.readDayV2Parallel(cr, need, sc.Workers, deliver, closeTrailer, classify)
+	return s.readColsParallel(cr, sc.Workers, deliver, finish, classify)
 }
 
 // seqBlock pairs a raw block with its delivery sequence number.
@@ -274,10 +337,12 @@ type seqBlock struct {
 	b   *colBlock
 }
 
-// decoded is one worker's output: the block's records, or its error.
+// decoded is one worker's output: the block's records (backed by the
+// pooled slice rp, returned once delivered), or its error.
 type decoded struct {
 	seq  int
 	recs []Record
+	rp   *[]Record
 	err  error
 }
 
@@ -288,13 +353,21 @@ type prodEnd struct {
 	err error
 }
 
-// readDayV2Parallel reads raw blocks serially (gzip is inherently
-// serial) and fans block decoding out over workers goroutines. A
-// reorder buffer on the consuming side delivers records in exact file
-// order, so parallelism never changes what fn observes. Records
-// decoded before a mid-stream failure are delivered, then the failure
-// is returned — the same prefix-delivery contract as the serial scan.
-func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, deliver func([]Record) error, closeTrailer func() error, classify func(error) error) error {
+// recsPool recycles the per-block record slices the parallel scan
+// decodes into. fn already observes records by reused pointer (the v1
+// decoder reuses one record throughout), so callers copy what they
+// keep and recycling the slices is safe.
+var recsPool = sync.Pool{New: func() any { s := make([]Record, 0, colBlockRows); return &s }}
+
+// readColsParallel reads raw blocks serially (the v2 gzip stream is
+// inherently serial; v3 keeps file order) and fans block decoding —
+// for v3, including per-column inflation — out over workers
+// goroutines. A reorder buffer on the consuming side delivers records
+// in exact file order, so parallelism never changes what fn observes.
+// Records decoded before a mid-stream failure are delivered, then the
+// failure is returned — the same prefix-delivery contract as the
+// serial scan.
+func (s *Store) readColsParallel(cr *colReader, workers int, deliver func([]Record) error, finish func() error, classify func(error) error) error {
 	jobs := make(chan seqBlock, workers)
 	out := make(chan decoded, workers)
 	end := make(chan prodEnd, 1)
@@ -303,13 +376,13 @@ func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, de
 	abort := func() { closeDone.Do(func() { close(done) }) }
 	defer abort()
 
-	go func() { // producer: the only goroutine touching the gzip stream
+	go func() { // producer: the only goroutine touching the raw stream
 		defer close(jobs)
 		seq := 0
 		for {
 			b, err := cr.next()
 			if err == io.EOF {
-				end <- prodEnd{n: seq, err: closeTrailer()}
+				end <- prodEnd{n: seq, err: finish()}
 				return
 			}
 			if err != nil {
@@ -320,6 +393,7 @@ func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, de
 			case jobs <- seqBlock{seq: seq, b: b}:
 				seq++
 			case <-done:
+				b.release()
 				end <- prodEnd{n: seq, err: nil}
 				return
 			}
@@ -331,11 +405,22 @@ func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, de
 		go func() {
 			defer wg.Done()
 			strs := make(map[string]string, 256)
+			var inf colInflater
 			for j := range jobs {
-				recs := make([]Record, j.b.rows)
-				err := decodeBlock(j.b, need, recs, strs)
+				rp := recsPool.Get().(*[]Record)
+				recs := *rp
+				if cap(recs) < j.b.rows {
+					recs = make([]Record, j.b.rows)
+				}
+				recs = recs[:j.b.rows]
+				for i := range recs {
+					recs[i] = Record{}
+				}
+				*rp = recs
+				err := decodeBlock(j.b, cr.need, recs, strs, &inf)
+				j.b.release()
 				select {
-				case out <- decoded{seq: j.seq, recs: recs, err: err}:
+				case out <- decoded{seq: j.seq, recs: recs, rp: rp, err: err}:
 				case <-done:
 					return
 				}
@@ -343,7 +428,7 @@ func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, de
 		}()
 	}
 	// Consumer: re-sequence decoded blocks to file order.
-	pending := make(map[int][]Record)
+	pending := make(map[int]decoded)
 	next, total := 0, -1
 	var endErr error
 	drain := func() {
@@ -358,6 +443,14 @@ func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, de
 			<-end // producer's final word was never consumed
 		}
 	}
+	pop := func() (decoded, bool) {
+		d, ok := pending[next]
+		if ok {
+			delete(pending, next)
+			next++
+		}
+		return d, ok
+	}
 	for total < 0 || next < total {
 		if total >= 0 && len(pending) >= total-next {
 			break // everything still owed is already buffered
@@ -368,28 +461,30 @@ func (s *Store) readDayV2Parallel(cr *colReader, need ColumnSet, workers int, de
 				drain()
 				return classify(d.err)
 			}
-			pending[d.seq] = d.recs
+			pending[d.seq] = d
 		case e := <-end:
 			total, endErr = e.n, e.err
 		}
 		for {
-			recs, ok := pending[next]
+			d, ok := pop()
 			if !ok {
 				break
 			}
-			delete(pending, next)
-			next++
-			if err := deliver(recs); err != nil {
+			err := deliver(d.recs)
+			recsPool.Put(d.rp)
+			if err != nil {
 				drain()
 				return err
 			}
 		}
 	}
 	for next < total {
-		recs := pending[next]
-		delete(pending, next)
-		next++
-		if err := deliver(recs); err != nil {
+		d, _ := pop()
+		err := deliver(d.recs)
+		if d.rp != nil {
+			recsPool.Put(d.rp)
+		}
+		if err != nil {
 			drain()
 			return err
 		}

@@ -1,0 +1,106 @@
+package flowrec
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Compaction observability: sealed days rewritten into another format,
+// and the compressed bytes the rewrites produced.
+var (
+	mCompactedDays  = metrics.GetCounter("store.compacted_days")
+	mCompactedBytes = metrics.GetCounter("store.compacted_bytes")
+)
+
+// CompactDay rewrites one sealed day's log into the given format,
+// replacing the file atomically (write to a sibling temp file, then
+// rename). The logical record stream is unchanged — readers see either
+// the old or the new file, never a partial one — so derived caches
+// (aggregates, rollups) stay valid. Returns the number of records
+// rewritten; a missing day returns ErrNoDay.
+func (s *Store) CompactDay(day time.Time, format Format) (uint64, error) {
+	path := s.dayPath(day)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNoDay, day.UTC().Format("2006-01-02"))
+		}
+		return 0, fmt.Errorf("flowrec: compacting day: %w", err)
+	}
+	tmp := path + ".compact.tmp"
+	w, err := s.createDayAt(tmp, day, format)
+	if err != nil {
+		return 0, err
+	}
+	w.compact = true
+	fail := func(err error) (uint64, error) {
+		w.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := s.ReadDay(day, func(r *Record) error { return w.Write(r) }); err != nil {
+		return fail(err)
+	}
+	n := w.Count()
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("flowrec: compacting day: %w", err)
+	}
+	return n, nil
+}
+
+// CompactStore rewrites every listed day into format across workers
+// parallel rewriters (0 means GOMAXPROCS), returning the days and
+// records compacted. Days are independent files, so compaction
+// parallelises trivially; the first failure is remembered and returned
+// after all in-flight days finish, with every completed day already
+// atomically replaced (compaction is resumable, not transactional).
+func (s *Store) CompactStore(days []time.Time, format Format, workers int) (int, uint64, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(days) {
+		workers = len(days)
+	}
+	var (
+		next, done atomic.Int64
+		recs       atomic.Uint64
+		mu         sync.Mutex
+		firstErr   error
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(days) {
+					return
+				}
+				n, err := s.CompactDay(days[i], format)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", days[i].UTC().Format("2006-01-02"), err)
+					}
+					mu.Unlock()
+					continue
+				}
+				done.Add(1)
+				recs.Add(n)
+			}
+		}()
+	}
+	wg.Wait()
+	return int(done.Load()), recs.Load(), firstErr
+}

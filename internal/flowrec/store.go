@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/zpool"
 )
 
 // Store observability: record and (compressed) byte throughput in both
@@ -88,17 +89,24 @@ type dayEncoder interface {
 // to the day it was opened for; Write enforces this because a
 // mis-partitioned lake silently corrupts every per-day aggregate.
 type DayWriter struct {
-	day  time.Time
-	f    *os.File
-	cw   *countingWriter
-	gz   *gzip.Writer
-	enc  dayEncoder
-	path string
+	day     time.Time
+	f       *os.File
+	cw      *countingWriter
+	gz      *gzip.Writer // nil for v3 (compression lives inside the blocks)
+	enc     dayEncoder
+	path    string
+	compact bool // publishing to the compaction counters, not throughput
 }
 
 // CreateDay creates (truncating) the log for day.
 func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
-	path := s.dayPath(day)
+	return s.createDayAt(s.dayPath(day), day, s.format)
+}
+
+// createDayAt opens a day writer on an explicit path in an explicit
+// format — CreateDay's engine, shared with compaction (which writes a
+// sibling temp file before renaming over the original).
+func (s *Store) createDayAt(path string, day time.Time, format Format) (*DayWriter, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("flowrec: creating day dir: %w", err)
 	}
@@ -107,19 +115,25 @@ func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
 		return nil, fmt.Errorf("flowrec: creating day log: %w", err)
 	}
 	cw := &countingWriter{w: f}
-	gz, err := gzip.NewWriterLevel(cw, gzip.BestSpeed)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
 	var enc dayEncoder
-	if s.format == FormatV2 {
-		enc, err = newColEncoder(gz)
+	var gz *gzip.Writer
+	if format == FormatV3 {
+		// v3 compresses inside the block framing; a file-level gzip
+		// layer would serialise block decompression again.
+		enc, err = newColEncoder(cw, true)
 	} else {
-		enc, err = NewEncoder(gz)
+		gz = zpool.GzipWriterSpeed(cw)
+		if format == FormatV2 {
+			enc, err = newColEncoder(gz, false)
+		} else {
+			enc, err = NewEncoder(gz)
+		}
 	}
 	if err != nil {
-		gz.Close()
+		if gz != nil {
+			gz.Close()
+			zpool.PutGzipWriterSpeed(gz)
+		}
 		f.Close()
 		return nil, err
 	}
@@ -151,15 +165,24 @@ func (w *DayWriter) Close() error {
 	if err := w.enc.Flush(); err != nil {
 		firstErr = err
 	}
-	if err := w.gz.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	if w.gz != nil { // v3 writes raw; there is no file-level gzip layer
+		if err := w.gz.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		zpool.PutGzipWriterSpeed(w.gz)
+		w.gz = nil
 	}
 	if err := w.f.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	mRecordsWritten.Add(w.enc.Count())
-	mBytesWritten.Add(w.cw.n)
-	mDaysWritten.Inc()
+	if w.compact {
+		mCompactedDays.Inc()
+		mCompactedBytes.Add(w.cw.n)
+	} else {
+		mRecordsWritten.Add(w.enc.Count())
+		mBytesWritten.Add(w.cw.n)
+		mDaysWritten.Inc()
+	}
 	return firstErr
 }
 
