@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos fuzzsmoke golden cover
+.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos streamequiv fuzzsmoke golden cover
 
 ## ci: the full gate — what a PR must pass.
-ci: fmt vet build benchbuild allocbudget race claims chaos fuzzsmoke cover
+ci: fmt vet build benchbuild allocbudget race claims chaos streamequiv fuzzsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,14 @@ allocbudget:
 ## chaos: every figure under every fault class (fault-injection suite).
 chaos:
 	$(GO) test -run '^TestChaos|^TestDegradedTotals' ./internal/core
+
+## streamequiv: the streamed≡batch gate — every experiment over a lake
+## built by the live ingest loop (chaos faults + crash/restart on the
+## way) must match the batch build byte for byte, plus the ingest
+## package's crash-recovery property suite.
+streamequiv:
+	$(GO) test -run '^TestStreamedEqualsBatchExperiments|^TestHotDay' ./internal/core
+	$(GO) test ./internal/ingest
 
 ## fuzzsmoke: a short fuzz pass over every fuzz target. Each target
 ## gets -fuzztime seconds of mutation on top of its checked-in corpus;

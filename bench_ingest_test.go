@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flowrec"
+	"repro/internal/ingest"
+	"repro/internal/simnet"
+)
+
+// Ingest-daemon throughput: records/second through the full live loop
+// — WAL append, live aggregation, incremental checkpoints, rollover
+// seal — with a checkpoint-interval ablation. Checkpointing is the
+// knob that trades recovery replay length against steady-state cost:
+// every checkpoint folds the live aggregator, gob-encodes the merged
+// partial, and rewrites the cursor, so small intervals buy short
+// recoveries with constant-factor throughput loss.
+
+// benchIngestDays buffers a stream once so the measured loop replays
+// records from memory, not the generator.
+func benchIngestStream(b *testing.B, w *simnet.World, days []time.Time) []simnet.StreamRecord {
+	b.Helper()
+	src := w.Stream(days)
+	var recs []simnet.StreamRecord
+	var sr simnet.StreamRecord
+	for src.Next(&sr) {
+		recs = append(recs, sr)
+	}
+	if len(recs) == 0 {
+		b.Fatal("stream produced no records")
+	}
+	return recs
+}
+
+func BenchmarkIngestThroughput(b *testing.B) {
+	days := []time.Time{
+		simnet.SpanStart.AddDate(0, 0, 7),
+		simnet.SpanStart.AddDate(0, 0, 8),
+	}
+	w := simnet.NewWorld(7, simnet.Scale{ADSL: 16, FTTH: 8})
+	recs := benchIngestStream(b, w, days)
+	ctx := context.Background()
+
+	for _, every := range []int{256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("checkpoint=%d", every), func(b *testing.B) {
+			b.ReportAllocs()
+			var records uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				store, err := flowrec.OpenStoreFormat(filepath.Join(dir, "lake"), flowrec.FormatV1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := ingest.Open(ingest.Config{
+					Storage:         core.NewDiskStorage(store, filepath.Join(dir, "agg")),
+					WALDir:          filepath.Join(dir, "lake", flowrec.WALDirName),
+					CheckpointEvery: every,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := range recs {
+					if err := in.Ingest(ctx, &recs[j].Rec, recs[j].At); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := in.SealAll(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if err := in.Close(ctx); err != nil {
+					b.Fatal(err)
+				}
+				records += uint64(len(recs))
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(records)/secs, "records/sec")
+			}
+			b.ReportMetric(float64(len(recs)), "records/op")
+		})
+	}
+}

@@ -1,0 +1,199 @@
+// Command edged is the live half of the reproduction: a long-running
+// ingest daemon that consumes the simulated probe's continuous flow
+// stream, folds each record into checkpointed live aggregates (served
+// to queries as "today so far"), seals finished days into the lake at
+// rollover, and compacts sealed days to the columnar format in the
+// background. Kill it at any point and restart it over the same
+// directories: it recovers from its write-ahead log and resume
+// cursor, losing nothing and double-counting nothing.
+//
+// Usage:
+//
+//	edged -out /data/lake -from 2014-04-01 -to 2014-04-30
+//	edged -out /data/lake -stride 7 -checkpoint-every 2048
+//	edged -out /data/lake -faults "seal:p=0.2,transient" -stats
+//
+// While edged runs, `edgereport -store <out> -aggcache <out>/.agg`
+// answers for sealed days from the lake and for the live day from the
+// latest checkpoint.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/flowrec"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+	"repro/internal/retry"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "world seed")
+		out       = flag.String("out", "", "lake directory (required); sealed days land here")
+		aggDir    = flag.String("agg", "", "checkpoint/aggregate cache directory (default <out>/.agg)")
+		walDir    = flag.String("wal", "", "write-ahead log directory (default <out>/.wal)")
+		from      = flag.String("from", "", "first day (YYYY-MM-DD, default span start)")
+		to        = flag.String("to", "", "last day (YYYY-MM-DD, default span end)")
+		stride    = flag.Int("stride", 1, "ingest every Nth day of the range")
+		adsl      = flag.Int("adsl", 0, "ADSL subscriber count (0 = default)")
+		ftth      = flag.Int("ftth", 0, "FTTH subscriber count (0 = default)")
+		ckEvery   = flag.Int("checkpoint-every", 4096, "checkpoint a day after this many new records")
+		ckIntv    = flag.Duration("checkpoint-interval", 30*time.Second, "also checkpoint all open days this often (wall clock; 0 disables)")
+		grace     = flag.Duration("grace", 8*time.Hour, "how long past midnight a day stays open for late flows (stream clock)")
+		sealEmpty = flag.Bool("seal-empty-days", false, "seal valid empty day files for silent calendar days (leave off with -stride > 1)")
+		compactTo = flag.String("compact", "v3", "background-compact sealed days to this format (v1, v2, v3; empty disables)")
+		pace      = flag.Int("pace", 0, "throttle to this many records/second (0 = full speed)")
+		retries   = flag.Int("retries", 3, "attempts for transient checkpoint/seal failures")
+		stats     = flag.Bool("stats", false, "print the metrics table on exit")
+		verbose   = flag.Bool("v", false, "log seals, recoveries and degradations to stderr")
+		faults    = flag.String("faults", "", `fault-injection spec, e.g. "checkpoint:p=0.1,transient;seal:p=0.05,transient" (see README)`)
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "edged: -out is required")
+		os.Exit(2)
+	}
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	if *stats {
+		defer func() {
+			fmt.Println("\n== ingest metrics ==")
+			metrics.WriteText(os.Stdout)
+		}()
+	}
+
+	parse := func(s string, def time.Time) time.Time {
+		if s == "" {
+			return def
+		}
+		t, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edged: bad date %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		return t.UTC()
+	}
+	days := core.RangeDays(parse(*from, simnet.SpanStart), parse(*to, simnet.SpanEnd), *stride)
+	if *aggDir == "" {
+		*aggDir = filepath.Join(*out, ".agg")
+	}
+	if *walDir == "" {
+		*walDir = filepath.Join(*out, flowrec.WALDirName)
+	}
+
+	// Days seal in the row format (cheap sequential write off the WAL);
+	// the background compactor rewrites them columnar.
+	store, err := flowrec.OpenStoreFormat(*out, flowrec.FormatV1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edged: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := ingest.Config{
+		Storage:         core.NewDiskStorage(store, *aggDir),
+		WALDir:          *walDir,
+		CheckpointEvery: *ckEvery,
+		Grace:           *grace,
+		SealEmptyDays:   *sealEmpty,
+		Retry:           retry.Policy{Attempts: *retries, Base: 50 * time.Millisecond, Max: 2 * time.Second, Seed: *seed},
+	}
+	if *compactTo != "" {
+		cf, err := flowrec.ParseFormat(*compactTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edged: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Compactor, cfg.CompactFormat = store, cf
+	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edged: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+		cfg.Storage = faultinject.Wrap(core.NewDiskStorage(store, *aggDir), plan)
+	}
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	cfg.Logf = logf
+
+	in, err := ingest.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edged: %v\n", err)
+		os.Exit(1)
+	}
+	if in.Resume() > 0 {
+		logf("edged: recovered; resuming stream at seq %d over %d open day(s)", in.Resume(), len(in.OpenDays()))
+	}
+
+	scale := simnet.Scale{ADSL: *adsl, FTTH: *ftth}
+	w := simnet.NewWorld(*seed, scale)
+	src := w.Stream(days)
+	src.Seek(in.Resume())
+
+	var (
+		sr       simnet.StreamRecord
+		n        uint64
+		lastCkpt = time.Now()
+		tick     time.Time
+	)
+	exit := 0
+	for src.Next(&sr) {
+		if err := in.Ingest(ctx, &sr.Rec, sr.At); err != nil {
+			// Ingest errors are WAL-level: the record is not durable.
+			// Surface and stop rather than silently dropping flow data.
+			fmt.Fprintf(os.Stderr, "edged: ingest: %v\n", err)
+			exit = 1
+			break
+		}
+		n++
+		if ctx.Err() != nil {
+			logf("edged: signal received after %d records; checkpointing and exiting", n)
+			break
+		}
+		if *ckIntv > 0 && time.Since(lastCkpt) >= *ckIntv {
+			in.CheckpointAll(ctx)
+			lastCkpt = time.Now()
+		}
+		if *pace > 0 && n%uint64(*pace) == 0 {
+			// Coarse throttle: after each batch of -pace records, sleep
+			// out the remainder of the second.
+			if d := time.Second - time.Since(tick); d > 0 && !tick.IsZero() {
+				time.Sleep(d)
+			}
+			tick = time.Now()
+		}
+	}
+
+	if exit == 0 && ctx.Err() == nil {
+		// Stream exhausted: a bounded run seals everything it ingested.
+		if err := in.SealAll(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "edged: seal: %v\n", err)
+			exit = 1
+		}
+	}
+	// Graceful shutdown either way: checkpoint open days, flush the
+	// WAL, persist the resume cursor, drain the compactor. A restart
+	// picks up exactly here.
+	if err := in.Close(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "edged: close: %v\n", err)
+		exit = 1
+	}
+	logf("edged: %d record(s) ingested, watermark %s", n, in.Watermark().Format(time.RFC3339))
+	os.Exit(exit)
+}

@@ -47,6 +47,7 @@ var (
 	mGenRecords   = metrics.GetCounter("store_gen.records")
 	mStoreRetries = metrics.GetCounter("store.retries")
 	mDegradedDays = metrics.GetCounter("pipeline.degraded_days")
+	mHotDayServes = metrics.GetCounter("pipeline.hot_day_serves")
 )
 
 // Config parameterises a Pipeline.
@@ -459,6 +460,13 @@ func (p *Pipeline) computeDays(ctx context.Context, owned []time.Time, entryOf m
 					(!p.cfg.Sketch || agg.Sketches != nil) {
 					loaded[i] = agg
 					mPartialHits.Inc()
+					// A day served from partials that has no sealed log
+					// yet is a live ("hot") day: the ingest daemon's
+					// checkpoints are answering for records whose day
+					// file does not exist.
+					if !p.storage.HasDay(owned[i]) {
+						mHotDayServes.Inc()
+					}
 				}
 			}
 		})

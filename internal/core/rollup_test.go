@@ -170,8 +170,17 @@ func buildRollupStore(t *testing.T, dir string) *flowrec.Store {
 func TestRollupInvalidationOnWriteDay(t *testing.T) {
 	storeDir, aggDir, rollDir := t.TempDir(), t.TempDir(), t.TempDir()
 	store := buildRollupStore(t, storeDir)
-	days := rollupTestDays()
-	mid := time.Date(2016, 6, 8, 0, 0, 0, 0, time.UTC) // inside the week window
+	// A second full week in the store gives the invalidation a
+	// control: its window does not cover the rewritten day, so its
+	// rollup file must survive while the covering one drops.
+	week2 := RangeDays(time.Date(2016, 6, 13, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 6, 19, 0, 0, 0, 0, time.UTC), 1)
+	gen := New(Config{Seed: 11, Scale: simnet.Scale{ADSL: 8, FTTH: 4}, Workers: 4})
+	if _, err := gen.GenerateStore(context.Background(), NewDiskStorage(store, ""), week2); err != nil {
+		t.Fatal(err)
+	}
+	days := append(rollupTestDays(), week2...)
+	mid := time.Date(2016, 6, 8, 0, 0, 0, 0, time.UTC) // inside the first week window
 
 	cfg := Config{Seed: 11, Scale: simnet.Scale{ADSL: 8, FTTH: 4}, Workers: 4,
 		Store: store, AggCacheDir: aggDir, RollupDir: rollDir}
@@ -186,6 +195,11 @@ func TestRollupInvalidationOnWriteDay(t *testing.T) {
 	weekFile := rollupCachePath(rollDir, analytics.GrainWeek, analytics.WindowStart(analytics.GrainWeek, mid))
 	if _, err := os.Stat(weekFile); err != nil {
 		t.Fatalf("week rollup not persisted: %v", err)
+	}
+	otherWeekFile := rollupCachePath(rollDir, analytics.GrainWeek,
+		analytics.WindowStart(analytics.GrainWeek, week2[0]))
+	if _, err := os.Stat(otherWeekFile); err != nil {
+		t.Fatalf("second week rollup not persisted: %v", err)
 	}
 
 	// Rewrite the covered day with a single tiny record.
@@ -202,6 +216,11 @@ func TestRollupInvalidationOnWriteDay(t *testing.T) {
 	}
 	if _, err := os.Stat(aggCachePath(aggDir, mid)); !os.IsNotExist(err) {
 		t.Fatalf("day aggregate cache survived the rewrite (err=%v)", err)
+	}
+	// Invalidation fires exactly for covering windows: the untouched
+	// week's rollup is still on disk.
+	if _, err := os.Stat(otherWeekFile); err != nil {
+		t.Fatalf("non-covering week rollup was dropped by the rewrite: %v", err)
 	}
 
 	// A fresh pipeline must rebuild the window and see the new bytes.

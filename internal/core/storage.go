@@ -27,9 +27,9 @@ type Storage interface {
 	ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*flowrec.Record) error) error
 	// WriteDay (re)creates one day's log: emit receives the write
 	// callback and runs to completion before the log is sealed. The
-	// record count is returned. A failed WriteDay may leave a partial
-	// file behind (a torn write); re-running it truncates and
-	// rewrites, which is why retries are safe.
+	// record count is returned. Sealing is atomic: a failed WriteDay
+	// (torn write, emit error, crash) leaves nothing at the day path,
+	// so readers only ever see complete days and retries are safe.
 	WriteDay(day time.Time, emit func(write func(*flowrec.Record) error) error) (uint64, error)
 	// HasDay reports whether a day's log exists.
 	HasDay(day time.Time) bool
@@ -115,9 +115,14 @@ func (d *DiskStorage) WriteDay(day time.Time, emit func(write func(*flowrec.Reco
 	}
 	werr := emit(w.Write)
 	n := w.Count()
-	if cerr := w.Close(); werr == nil {
-		werr = cerr
+	if werr != nil {
+		// A failed emit (torn write, cancelled context) must not seal:
+		// Abort discards the temp file, so no partial day is ever
+		// published at the day path.
+		w.Abort()
+		return n, werr
 	}
+	werr = w.Close()
 	if werr == nil {
 		// The day's bytes changed: every cached derivation of the old
 		// bytes — the aggregate, the shard partials, the covering

@@ -12,6 +12,7 @@
 //	spec    := clause (";" clause)*
 //	clause  := op ":" param ("," param)*
 //	op      := readday | writeday | loadagg | saveagg | emit | outage
+//	         | checkpoint | seal
 //	param   := "p=" float | "fails=" int | "seed=" uint
 //	         | "latency=" duration | "transient" | "permanent"
 //	         | "bitflip" | "truncate" | "torn"
@@ -55,10 +56,16 @@ const (
 	// OpOutage suppresses whole emitted days — the probe outages of
 	// the paper's section 2.3.
 	OpOutage
+	// OpCheckpoint faults the ingest daemon's incremental partial
+	// checkpoints (the hot-day snapshots edged persists mid-day).
+	OpCheckpoint
+	// OpSeal faults the ingest daemon's day seal — the WAL→sealed-day
+	// rewrite at rollover.
+	OpSeal
 	opCount
 )
 
-var opNames = [opCount]string{"readday", "writeday", "loadagg", "saveagg", "emit", "outage"}
+var opNames = [opCount]string{"readday", "writeday", "loadagg", "saveagg", "emit", "outage", "checkpoint", "seal"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {
@@ -138,8 +145,12 @@ func Parse(spec string) (*Plan, error) {
 			r.Op = OpEmit
 		case "outage":
 			r.Op = OpOutage
+		case "checkpoint":
+			r.Op = OpCheckpoint
+		case "seal":
+			r.Op = OpSeal
 		default:
-			return nil, fmt.Errorf("faultinject: unknown op %q (want readday|writeday|loadagg|saveagg|emit|outage)", op)
+			return nil, fmt.Errorf("faultinject: unknown op %q (want readday|writeday|loadagg|saveagg|emit|outage|checkpoint|seal)", op)
 		}
 		for _, param := range strings.Split(params, ",") {
 			param = strings.TrimSpace(param)
@@ -337,6 +348,21 @@ func (p *Plan) DropRecord(day time.Time, idx uint64) bool {
 // HasOp reports whether the plan has any rule for op.
 func (p *Plan) HasOp(op Op) bool {
 	return p != nil && len(p.rules[op]) > 0
+}
+
+// OpFault rolls the plan for one attempt of (op, day) and returns the
+// injected fault, or nil. It is the hook for fault sites that live
+// outside the storage wrapper — the ingest daemon consults it on
+// every checkpoint and seal, with the same (seed, op, day, attempt)
+// determinism as the wrapped I/O path. Nil-safe.
+func (p *Plan) OpFault(op Op, day time.Time) error {
+	if p == nil {
+		return nil
+	}
+	if f := p.fault(op, day, p.next(op, day)); f != nil {
+		return f
+	}
+	return nil
 }
 
 // Fault is an injected failure. Corruption faults wrap

@@ -170,6 +170,20 @@ func (r *Record) Day() time.Time {
 // TotalBytes returns the two-way byte count.
 func (r *Record) TotalBytes() uint64 { return r.BytesUp + r.BytesDown }
 
+// Quantize truncates the record's time fields to the precision every
+// store codec keeps (millisecond start and duration, microsecond
+// RTTs), making the record equal to its own encode/decode round-trip.
+// Live aggregation quantizes before folding so that an aggregate of
+// in-flight records is byte-identical to the same aggregate computed
+// from the sealed day file.
+func (r *Record) Quantize() {
+	r.Start = time.UnixMilli(r.Start.UnixMilli()).UTC()
+	r.Duration = r.Duration.Truncate(time.Millisecond)
+	r.RTTMin = r.RTTMin.Truncate(time.Microsecond)
+	r.RTTAvg = r.RTTAvg.Truncate(time.Microsecond)
+	r.RTTMax = r.RTTMax.Truncate(time.Microsecond)
+}
+
 // String renders a one-line summary for logs and debugging.
 func (r *Record) String() string {
 	return fmt.Sprintf("%s %s:%d -> %s:%d %s name=%q up=%dB down=%dB rtt=%s",

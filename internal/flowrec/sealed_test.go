@@ -1,0 +1,146 @@
+package flowrec
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sealedTestRecord builds a minimal valid record for day.
+func sealedTestRecord(day time.Time) *Record {
+	return &Record{
+		Proto:     ProtoTCP,
+		Tech:      TechADSL,
+		SubID:     1,
+		Start:     day.Add(10 * time.Hour),
+		Duration:  3 * time.Second,
+		BytesUp:   100,
+		BytesDown: 2000,
+		PktsUp:    4,
+		PktsDown:  6,
+		Web:       WebTLS,
+	}
+}
+
+// TestHalfWrittenDayInvisible is the regression test for the
+// WAL-split invariant: a day log that has been created and written
+// but never sealed (Close) — a crashed or still-running writer — must
+// be invisible to every batch read surface. Before the atomic-create
+// fix, CreateDay wrote straight to the final path, so a crash between
+// create and close left a truncated file that Days() listed and
+// ReadDay half-read as if it were a sealed day.
+func TestHalfWrittenDayInvisible(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 3, 10, 0, 0, 0, 0, time.UTC)
+
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Write(sealedTestRecord(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the writer is mid-flight (or its process just died).
+
+	if s.HasDay(day) {
+		t.Error("HasDay sees an unsealed day")
+	}
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 0 {
+		t.Errorf("Days() lists an unsealed day: %v", days)
+	}
+	if err := s.ReadDay(day, func(*Record) error { return nil }); !errors.Is(err, ErrNoDay) {
+		t.Errorf("ReadDay on unsealed day = %v, want ErrNoDay", err)
+	}
+
+	// Sealing publishes it everywhere, with every record intact.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasDay(day) {
+		t.Fatal("HasDay misses a sealed day")
+	}
+	var n int
+	if err := s.ReadDay(day, func(*Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("sealed day read %d records, want 50", n)
+	}
+}
+
+// TestDayWriterAbort: an aborted writer leaves nothing behind — no
+// final file and no temp litter anywhere under the store.
+func TestDayWriterAbort(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 3, 10, 0, 0, 0, 0, time.UTC)
+	w, err := s.CreateDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(sealedTestRecord(day)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if s.HasDay(day) {
+		t.Error("aborted day exists")
+	}
+	var files []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("aborted writer left files: %v", files)
+	}
+}
+
+// TestDaysSkipsWALDir: the ingest daemon keeps its write-ahead
+// segments under <root>/.wal; nothing there may ever surface as a
+// sealed day to batch readers, whatever the file is named.
+func TestDaysSkipsWALDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, WALDirName)
+	if err := os.MkdirAll(wal, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: a file inside .wal that carries a canonical sealed
+	// day name.
+	if err := os.WriteFile(filepath.Join(wal, "flows-20150310.efl.gz"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 0 {
+		t.Errorf("Days() lists WAL-dir contents as sealed days: %v", days)
+	}
+}

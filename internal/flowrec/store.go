@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -95,12 +96,28 @@ type DayWriter struct {
 	gz      *gzip.Writer // nil for v3 (compression lives inside the blocks)
 	enc     dayEncoder
 	path    string
-	compact bool // publishing to the compaction counters, not throughput
+	final   string // when set, Close publishes path→final atomically
+	compact bool   // publishing to the compaction counters, not throughput
 }
 
-// CreateDay creates (truncating) the log for day.
+// openTmpSuffix marks an in-flight day log. The suffix keeps the file
+// outside the day-name pattern, so Days()/HasDay/ReadDay never see a
+// writer that has not sealed (Close renames it away atomically).
+const openTmpSuffix = ".open.tmp"
+
+// CreateDay creates the log for day. The write is atomic: records
+// accumulate in a temp sibling, and only a successful Close publishes
+// the final path. A writer that crashes — or a day the ingest daemon
+// is still filling — is invisible to every batch read surface; it can
+// never be picked up as a sealed day.
 func (s *Store) CreateDay(day time.Time) (*DayWriter, error) {
-	return s.createDayAt(s.dayPath(day), day, s.format)
+	final := s.dayPath(day)
+	w, err := s.createDayAt(final+openTmpSuffix, day, s.format)
+	if err != nil {
+		return nil, err
+	}
+	w.final = final
+	return w, nil
 }
 
 // createDayAt opens a day writer on an explicit path in an explicit
@@ -159,7 +176,10 @@ func (w *DayWriter) Write(r *Record) error {
 	return w.enc.Encode(r)
 }
 
-// Close flushes and closes the log, publishing throughput counters.
+// Close flushes, seals and publishes the log (for a CreateDay writer,
+// the atomic rename onto the day path happens here), then publishes
+// throughput counters. On any error the temp file is removed: a day
+// either seals completely or leaves nothing at its path.
 func (w *DayWriter) Close() error {
 	var firstErr error
 	if err := w.enc.Flush(); err != nil {
@@ -175,6 +195,18 @@ func (w *DayWriter) Close() error {
 	if err := w.f.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	if w.final != "" {
+		if firstErr != nil {
+			os.Remove(w.path)
+			return firstErr
+		}
+		if err := os.Rename(w.path, w.final); err != nil {
+			os.Remove(w.path)
+			return fmt.Errorf("flowrec: sealing day log: %w", err)
+		}
+	} else if firstErr != nil {
+		return firstErr
+	}
 	if w.compact {
 		mCompactedDays.Inc()
 		mCompactedBytes.Add(w.cw.n)
@@ -184,6 +216,19 @@ func (w *DayWriter) Close() error {
 		mDaysWritten.Inc()
 	}
 	return firstErr
+}
+
+// Abort closes and discards the writer without sealing: no file is
+// published and no throughput is counted. The emit-failure path of a
+// day write uses it so a failed write leaves no file at the day path.
+func (w *DayWriter) Abort() {
+	if w.gz != nil {
+		w.gz.Close()
+		zpool.PutGzipWriterSpeed(w.gz)
+		w.gz = nil
+	}
+	w.f.Close()
+	os.Remove(w.path)
 }
 
 // ErrNoDay reports a missing day partition — a probe outage in the
@@ -224,6 +269,12 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // reads as a probe outage (ErrNoDay) instead of a recurring failure.
 const quarantineDirName = ".quarantine"
 
+// WALDirName is where the ingest daemon keeps its write-ahead
+// segments, directly under the store root. Days() skips the whole
+// subtree: WAL segments are by definition unsealed data, whatever
+// their file names look like.
+const WALDirName = ".wal"
+
 // QuarantineDay moves a damaged day's log into <root>/.quarantine/,
 // taking it out of the read path: later reads see ErrNoDay (an
 // outage), not the same corrupt bytes again. The evidence is kept for
@@ -257,7 +308,10 @@ func (s *Store) Days() ([]time.Time, error) {
 			return err
 		}
 		if d.IsDir() {
-			if d.Name() == quarantineDirName {
+			// Dot-dirs are operational state, not lake data: the
+			// quarantine, the ingest daemon's WAL, its checkpoint
+			// cache when colocated under the root.
+			if path != s.root && strings.HasPrefix(d.Name(), ".") {
 				return filepath.SkipDir
 			}
 			return nil
@@ -266,6 +320,13 @@ func (s *Store) Days() ([]time.Time, error) {
 		base := filepath.Base(path)
 		if _, err := fmt.Sscanf(base, "flows-%4d%2d%2d.efl.gz", &y, &m, &dd); err != nil {
 			return nil // not a log file
+		}
+		// Sscanf matches prefixes, so temp siblings of in-flight
+		// writes ("….efl.gz.open.tmp", "….efl.gz.compact.tmp") would
+		// parse too — and list a half-written day as sealed. Only the
+		// exact canonical name is a sealed day.
+		if base != fmt.Sprintf("flows-%04d%02d%02d.efl.gz", y, m, dd) {
+			return nil // trailing garbage: an unsealed temp, not a log
 		}
 		// Sscanf accepts impossible dates (month 0, day 32) from stray
 		// matching names, and time.Date silently normalises them into

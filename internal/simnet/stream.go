@@ -1,0 +1,143 @@
+package simnet
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/flowrec"
+)
+
+// StreamSource replays the world the way the probe experienced it:
+// continuously, flow by flow, in export order. The probe exports a
+// flow record when the flow *ends* (section 2.1 — the record carries
+// the whole flow's counters), so the live stream is ordered by
+// Start+Duration, not by Start, and records of one calendar day
+// interleave with the early flows of the next: a transfer that starts
+// at 23:50 and runs 20 minutes is exported at 00:10 the next day but
+// belongs, by partitioning key, to the day it started.
+//
+// The stream's virtual clock is exactly that export time: Clock()
+// after Next is the At of the record just delivered, monotonically
+// non-decreasing. Day batches (EmitDay) and the stream draw from the
+// same ground truth, so the multiset of records per Start-day is
+// identical between the two paths — the property the streamed≡batch
+// equivalence tier is built on.
+type StreamSource struct {
+	w    *World
+	days []time.Time
+	next int // index into days of the next ungenerated day
+
+	pending streamHeap
+	genSeq  uint64 // generation order, the deterministic tiebreak
+	seq     uint64 // next Seq to hand out
+	clock   time.Time
+}
+
+// StreamRecord is one element of the stream: a record the source owns
+// (no scratch-buffer aliasing — streams buffer across days), its
+// export time, and its global position.
+type StreamRecord struct {
+	// Seq is the 0-based position in the stream: the resume cursor a
+	// consumer checkpoints and seeks back to after a restart.
+	Seq uint64
+	// At is the export (flow end) time — the stream clock.
+	At time.Time
+	// Rec is the flow record, owned by the caller.
+	Rec flowrec.Record
+}
+
+// Stream opens a stream over the given days (ascending, as returned
+// by Days). Days need not be contiguous: a strided lake streams the
+// same days batch generation would write.
+func (w *World) Stream(days []time.Time) *StreamSource {
+	return &StreamSource{w: w, days: days}
+}
+
+// streamItem orders pending records by (export time, generation
+// order): export time is the stream clock, and generation order makes
+// simultaneous exports deterministic.
+type streamItem struct {
+	at  time.Time
+	gen uint64
+	rec flowrec.Record
+}
+
+type streamHeap []streamItem
+
+func (h streamHeap) Len() int { return len(h) }
+func (h streamHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].gen < h[j].gen
+}
+func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(streamItem)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = streamItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// generateNextDay buffers one more day of records into the heap.
+func (s *StreamSource) generateNextDay() {
+	day := s.days[s.next]
+	s.next++
+	s.w.EmitDay(day, func(r *flowrec.Record) {
+		heap.Push(&s.pending, streamItem{
+			at:  r.Start.Add(r.Duration),
+			gen: s.genSeq,
+			rec: *r, // copy out of the emitter's scratch buffer
+		})
+		s.genSeq++
+	})
+}
+
+// Next delivers the next record of the stream into sr, returning
+// false when the stream is exhausted. The record's fields are owned
+// by the caller until the next call.
+func (s *StreamSource) Next(sr *StreamRecord) bool {
+	for {
+		// The head of the heap is safe to emit only once no
+		// ungenerated day could still produce an earlier export: day D
+		// exports nothing before D's midnight.
+		if len(s.pending) > 0 &&
+			(s.next >= len(s.days) || s.pending[0].at.Before(s.days[s.next])) {
+			it := heap.Pop(&s.pending).(streamItem)
+			sr.Seq = s.seq
+			sr.At = it.at
+			sr.Rec = it.rec
+			s.seq++
+			s.clock = it.at
+			return true
+		}
+		if s.next >= len(s.days) {
+			return false
+		}
+		s.generateNextDay()
+	}
+}
+
+// Clock returns the export time of the last record delivered — the
+// stream's virtual clock. Zero before the first record.
+func (s *StreamSource) Clock() time.Time { return s.clock }
+
+// Pos returns the Seq the next Next call will deliver.
+func (s *StreamSource) Pos() uint64 { return s.seq }
+
+// Seek fast-forwards the stream so the next record delivered has
+// Seq == seq. Generation is deterministic, so seeking re-derives
+// exactly the suffix a crashed consumer has not durably absorbed yet.
+// Seeking backwards from the current position is not supported (open
+// a fresh stream instead).
+func (s *StreamSource) Seek(seq uint64) {
+	var sr StreamRecord
+	for s.seq < seq {
+		if !s.Next(&sr) {
+			return
+		}
+	}
+}
