@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos streamequiv fuzzsmoke golden cover
+.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos streamequiv servequiv servequiv-update serve-smoke fuzzsmoke golden cover
 
 ## ci: the full gate — what a PR must pass.
-ci: fmt vet build benchbuild allocbudget race claims chaos streamequiv fuzzsmoke cover
+ci: fmt vet build benchbuild allocbudget race claims chaos streamequiv servequiv serve-smoke fuzzsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,34 @@ streamequiv:
 	$(GO) test -run '^TestStreamedEqualsBatchExperiments|^TestHotDay' ./internal/core
 	$(GO) test ./internal/ingest
 
+## servequiv: the serve-equivalence gate — every /v1/figures response
+## must match the golden HTTP corpus byte for byte, equal the batch
+## derivation number for number, and appear in the rendered batch
+## figure text.
+servequiv:
+	$(GO) test ./internal/serve -run '^TestServeEquivalenceGolden$$|^TestServedFigures' -count=1
+
+## servequiv-update: regenerate the served-figure golden corpus
+## (internal/serve/testdata/golden). Review the diff before committing
+## — every change here is a deliberate change to a served figure.
+servequiv-update:
+	$(GO) test ./internal/serve -run '^TestServeEquivalenceGolden$$' -update-servequiv -count=1
+	@echo "regenerated internal/serve/testdata/golden"
+
+## serve-smoke: boot a real edgeserve process on a free port, probe
+## every endpoint class with edgeload -smoke (200s, a 400 and a 404),
+## and shut it down — the daemon-side liveness gate.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/edgeserve ./cmd/edgeserve; \
+	$(GO) build -o $$tmp/edgeload ./cmd/edgeload; \
+	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr -scale small -stride 240 2>$$tmp/log & pid=$$!; \
+	for i in $$(seq 100); do [ -f $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -f $$tmp/addr ] || { echo "serve-smoke: edgeserve never bound"; cat $$tmp/log; exit 1; }; \
+	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr)" -smoke; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "serve-smoke ok"
+
 ## fuzzsmoke: a short fuzz pass over every fuzz target. Each target
 ## gets -fuzztime seconds of mutation on top of its checked-in corpus;
 ## crashes fail the gate.
@@ -76,7 +104,8 @@ FUZZ_TARGETS := \
 	internal/dpi:FuzzQUICHeader \
 	internal/dpi:FuzzBitTorrent \
 	internal/dpi:FuzzLayerParser \
-	internal/dpi:FuzzTCPOptions
+	internal/dpi:FuzzTCPOptions \
+	internal/serve:FuzzParseQuery
 
 fuzzsmoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -92,12 +121,24 @@ golden:
 	$(GO) test ./internal/core -run '^TestGoldenFigures$$' -update-golden -count=1
 	@echo "regenerated internal/core/testdata/golden"
 
-## bench: one benchmark per table/figure, 5 runs each, with a
-## machine-readable summary in BENCH.json alongside the raw text.
+## bench: one benchmark per table/figure, 5 runs each, plus the served
+## SLO curve — edgeload sweeping concurrency against a live edgeserve
+## — with a machine-readable summary in BENCH.json alongside the raw
+## text (the sweep lands in its serve_slo field).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ -count=5 . | tee BENCH.txt
 	@scale=$$(grep '^BenchmarkPipelineScale' BENCH.txt || true); \
 	{ echo ""; echo "== scaling curve (population sweep, records/sec) =="; \
 	  echo "$$scale"; } >> BENCH.txt
-	$(GO) run ./cmd/benchjson < BENCH.txt > BENCH.json
+	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/edgeserve ./cmd/edgeserve; \
+	$(GO) build -o $$tmp/edgeload ./cmd/edgeload; \
+	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr -scale small -stride 240 2>/dev/null & pid=$$!; \
+	for i in $$(seq 100); do [ -f $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -f $$tmp/addr ] || { echo "bench: edgeserve never bound"; exit 1; }; \
+	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr)" -c 1,2,4,8,16 -n 200 -json $$tmp/slo.json 2>$$tmp/table; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	{ echo ""; echo "== served SLO curve (edgeload, p50/p99 vs concurrency) =="; \
+	  cat $$tmp/table; } >> BENCH.txt; \
+	$(GO) run ./cmd/benchjson -slo $$tmp/slo.json < BENCH.txt > BENCH.json
 	@echo "wrote BENCH.txt and BENCH.json"

@@ -1,0 +1,116 @@
+package bench
+
+// BenchmarkServeLatency measures the query service's latency-vs-
+// concurrency SLO curve: an httptest server over one shared pipeline,
+// hit by c concurrent clients rotating the figure endpoints. p50 and
+// p99 are reported per concurrency level via b.ReportMetric, so the
+// curve lands in BENCH.json next to the batch numbers. `make bench`
+// additionally appends a socket-level sweep measured by cmd/edgeload
+// against a real edgeserve process.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/simnet"
+)
+
+var serveBenchURLs = []string{
+	"/v1/figures/active",
+	"/v1/figures/fig3",
+	"/v1/figures/fig8",
+	"/v1/figures/fig2",
+	"/v1/experiments",
+}
+
+func BenchmarkServeLatency(b *testing.B) {
+	cfg := core.Config{
+		Seed: 42, Scale: simnet.Scale{ADSL: 8, FTTH: 4},
+		Stride: 240, Workers: 2,
+	}
+	s := serve.New(core.New(cfg), serve.Options{Workers: 8, Queue: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Warm the shared day cache once so the curve measures the serving
+	// path, not first-touch aggregation.
+	warm := &http.Client{}
+	for _, u := range serveBenchURLs {
+		resp, err := warm.Get(ts.URL + u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	for _, c := range []int{1, 2, 4, 8, 16} {
+		b.Run("c="+strconv.Itoa(c), func(b *testing.B) {
+			var (
+				mu        sync.Mutex
+				latencies []float64
+				next      atomic.Int64
+				wg        sync.WaitGroup
+			)
+			b.ResetTimer()
+			for w := 0; w < c; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := &http.Client{}
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						url := ts.URL + serveBenchURLs[i%len(serveBenchURLs)]
+						t0 := time.Now()
+						resp, err := client.Get(url)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						ms := float64(time.Since(t0).Microseconds()) / 1000
+						if resp.StatusCode != http.StatusOK {
+							b.Errorf("GET %s: status %d", url, resp.StatusCode)
+							return
+						}
+						mu.Lock()
+						latencies = append(latencies, ms)
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			sort.Float64s(latencies)
+			b.ReportMetric(pctile(latencies, 0.50), "p50-ms")
+			b.ReportMetric(pctile(latencies, 0.99), "p99-ms")
+		})
+	}
+}
+
+// pctile reads a nearest-rank order statistic from sorted values.
+func pctile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

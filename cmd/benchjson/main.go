@@ -13,6 +13,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -35,6 +36,8 @@ type result struct {
 }
 
 func main() {
+	sloFile := flag.String("slo", "", "embed this edgeload JSON result array as the serve_slo field")
+	flag.Parse()
 	byName := make(map[string]*result)
 	var order []string
 	goos, goarch, pkg := "", "", ""
@@ -112,11 +115,20 @@ func main() {
 		results = append(results, r)
 	}
 	out := struct {
-		GOOS       string    `json:"goos,omitempty"`
-		GOARCH     string    `json:"goarch,omitempty"`
-		Pkg        string    `json:"pkg,omitempty"`
-		Benchmarks []*result `json:"benchmarks"`
-	}{goos, goarch, pkg, results}
+		GOOS       string          `json:"goos,omitempty"`
+		GOARCH     string          `json:"goarch,omitempty"`
+		Pkg        string          `json:"pkg,omitempty"`
+		Benchmarks []*result       `json:"benchmarks"`
+		ServeSLO   json.RawMessage `json:"serve_slo,omitempty"`
+	}{GOOS: goos, GOARCH: goarch, Pkg: pkg, Benchmarks: results}
+	if *sloFile != "" {
+		slo, err := os.ReadFile(*sloFile)
+		if err != nil || !json.Valid(slo) {
+			fmt.Fprintf(os.Stderr, "benchjson: -slo %s: %v\n", *sloFile, err)
+			os.Exit(1)
+		}
+		out.ServeSLO = slo
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,259 @@
+// Command edgeload is the deterministic load generator for edgeserve:
+// it drives a mixed figure/scan query workload at one or more
+// concurrency levels and reports the latency SLO curve (p50/p90/p99,
+// throughput, shed and error counts) as a table and machine-readable
+// JSON. The request *sequence* is deterministic — request i always
+// issues the same query, whatever the interleaving — so two runs
+// against the same lake exercise identical work.
+//
+// Usage:
+//
+//	edgeload -addr http://127.0.0.1:8080 -c 1,2,4,8,16 -n 200
+//	edgeload -addr http://127.0.0.1:8080 -smoke        # CI liveness check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "edgeserve base URL, e.g. http://127.0.0.1:8080 (required)")
+		levels  = flag.String("c", "1,2,4,8", "comma-separated concurrency levels to sweep")
+		n       = flag.Int("n", 100, "requests per concurrency level")
+		seed    = flag.Uint64("seed", 1, "rotates the deterministic query sequence's starting offset")
+		mix     = flag.String("mix", "figures", "workload mix: figures, scan, or mixed")
+		scanArg = flag.String("scan-query", "from=2014-04-01&to=2014-04-07", "query string for scan requests in the mix")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		jsonOut = flag.String("json", "-", "write the JSON result array here ('-' = stdout, '' = none)")
+		smoke   = flag.Bool("smoke", false, "probe each endpoint once and exit 0/1 (the make serve-smoke check)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "edgeload: -addr is required")
+		os.Exit(2)
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	if *smoke {
+		os.Exit(runSmoke(client, base))
+	}
+
+	queries := queryMix(*mix, *scanArg)
+	var results []LevelResult
+	for _, lvl := range parseLevels(*levels) {
+		res := runLevel(client, base, queries, lvl, *n, *seed)
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "c=%-3d n=%-5d ok=%-5d shed=%-4d err=%-3d p50=%.1fms p90=%.1fms p99=%.1fms rps=%.1f\n",
+			res.Concurrency, res.Requests, res.OK, res.Shed, res.Errors,
+			res.P50Ms, res.P90Ms, res.P99Ms, res.RPS)
+	}
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// LevelResult is one concurrency level's measurement.
+type LevelResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`   // 429s: admission control working as intended
+	Errors      int     `json:"errors"` // anything else non-200
+	P50Ms       float64 `json:"p50_ms"` // over OK requests only
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	RPS         float64 `json:"rps"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+// queryMix builds the deterministic request rotation.
+func queryMix(mix, scanQuery string) []string {
+	figures := []string{
+		"/v1/figures/active",
+		"/v1/figures/fig3",
+		"/v1/figures/fig8",
+		"/v1/figures/fig2?quantiles=0.5,0.9,0.99",
+		"/v1/figures/fig10",
+		"/v1/experiments",
+	}
+	scans := []string{"/v1/scan?" + scanQuery}
+	switch mix {
+	case "figures":
+		return figures
+	case "scan":
+		return scans
+	case "mixed":
+		return append(append([]string{}, figures...), scans...)
+	}
+	fmt.Fprintf(os.Stderr, "edgeload: unknown -mix %q (want figures, scan or mixed)\n", mix)
+	os.Exit(2)
+	return nil
+}
+
+// runLevel fires n requests from lvl workers pulling a shared index:
+// request i always carries query (seed+i) mod len(queries), whatever
+// worker picks it up.
+func runLevel(client *http.Client, base string, queries []string, lvl, n int, seed uint64) LevelResult {
+	res := LevelResult{Concurrency: lvl, Requests: n}
+	latencies := make([]float64, 0, n)
+	var mu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < lvl; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				q := queries[(seed+uint64(i))%uint64(len(queries))]
+				rt0 := time.Now()
+				status, err := get(client, base+q)
+				ms := float64(time.Since(rt0).Microseconds()) / 1000
+				mu.Lock()
+				switch {
+				case err != nil:
+					res.Errors++
+				case status == http.StatusOK:
+					res.OK++
+					latencies = append(latencies, ms)
+				case status == http.StatusTooManyRequests:
+					res.Shed++
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	res.WallMs = float64(wall.Microseconds()) / 1000
+	if res.WallMs > 0 {
+		res.RPS = float64(res.OK) / wall.Seconds()
+	}
+	sort.Float64s(latencies)
+	res.P50Ms = percentile(latencies, 0.50)
+	res.P90Ms = percentile(latencies, 0.90)
+	res.P99Ms = percentile(latencies, 0.99)
+	var sum float64
+	for _, v := range latencies {
+		sum += v
+	}
+	if len(latencies) > 0 {
+		res.MeanMs = sum / float64(len(latencies))
+	}
+	return res
+}
+
+// get issues one request and fully drains the body (keep-alive reuse
+// keeps the load shape about connections honest).
+func get(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// percentile reads an exact order statistic from sorted values
+// (nearest-rank), 0 when empty.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// runSmoke probes every endpoint class once: the 200s must be 200,
+// and the error mapping must answer 400/404 (not 500, not a hang).
+func runSmoke(client *http.Client, base string) int {
+	checks := []struct {
+		path string
+		want int
+	}{
+		{"/v1/healthz", http.StatusOK},
+		{"/v1/experiments", http.StatusOK},
+		{"/v1/figures/active", http.StatusOK},
+		{"/v1/figures/fig3", http.StatusOK},
+		{"/v1/figures/fig3?format=csv", http.StatusOK},
+		{"/v1/metrics", http.StatusOK},
+		{"/v1/metrics?format=text", http.StatusOK},
+		{"/v1/figures/fig3?bogus=1", http.StatusBadRequest},
+		{"/v1/figures/nosuchfigure", http.StatusNotFound},
+	}
+	failed := 0
+	for _, c := range checks {
+		status, err := get(client, base+c.path)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "edgeload: smoke %s: %v\n", c.path, err)
+			failed++
+		case status != c.want:
+			fmt.Fprintf(os.Stderr, "edgeload: smoke %s: got %d, want %d\n", c.path, status, c.want)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "edgeload: smoke ok (%d checks)\n", len(checks))
+	return 0
+}
+
+func parseLevels(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "edgeload: bad -c element %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
+	os.Exit(1)
+}

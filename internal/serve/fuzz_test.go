@@ -1,0 +1,99 @@
+package serve
+
+// FuzzParseQuery holds the query-parameter boundary: whatever arrives
+// on the wire, ParseQuery either accepts it into a Query whose fields
+// all satisfy their documented bounds, or rejects it with a
+// BadRequestError (HTTP 400). It must never panic, and it must never
+// hand a handler an out-of-bounds value that would start a partial or
+// runaway scan.
+
+import (
+	"errors"
+	"net/url"
+	"testing"
+)
+
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"from=2014-04-01&to=2014-04-30",
+		"from=2017-06-10",
+		"stride=7&points=25",
+		"quantiles=0.5,0.9,0.99",
+		"service=YouTube,Netflix&tech=ftth",
+		"srvport=443",
+		"srvport=6881-6999&proto=QUIC",
+		"limit=1000&format=csv",
+		"format=json&tech=adsl",
+		"from=2014-04-30&to=2014-04-01", // inverted range
+		"from=0000-00-00&to=9999-99-99", // degenerate dates
+		"quantiles=0,1.5,NaN,-0.5",      // out-of-domain quantiles
+		"srvport=99999&limit=-1",        // overflow + negative
+		"bogus=1",                       // unknown key
+		"service=" + string(rune(0x7f)), // non-printable service
+		"from=2014-04-01&to=2999-12-31", // over-long range
+		"quantiles=0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		values, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not a well-formed query string; the mux rejects it upstream
+		}
+		q, err := ParseQuery(values)
+		if err != nil {
+			var bad *BadRequestError
+			if !errors.As(err, &bad) {
+				t.Fatalf("ParseQuery(%q): non-400 error %v", raw, err)
+			}
+			if bad.Msg == "" {
+				t.Fatalf("ParseQuery(%q): 400 with no message", raw)
+			}
+			return
+		}
+		// Accepted: every field must be inside its documented bounds.
+		if q.To.Before(q.From) {
+			t.Errorf("ParseQuery(%q): to %v before from %v", raw, q.To, q.From)
+		}
+		if q.From.IsZero() != q.To.IsZero() {
+			t.Errorf("ParseQuery(%q): half-open range from=%v to=%v", raw, q.From, q.To)
+		}
+		if !q.From.IsZero() && q.To.Sub(q.From) > MaxRangeDays*24*3600*1e9 {
+			t.Errorf("ParseQuery(%q): range %v-%v exceeds MaxRangeDays", raw, q.From, q.To)
+		}
+		if q.Stride < 0 || q.Stride > 366 {
+			t.Errorf("ParseQuery(%q): stride %d out of bounds", raw, q.Stride)
+		}
+		if q.Points < 0 || (q.Points != 0 && (q.Points < 2 || q.Points > 200)) {
+			t.Errorf("ParseQuery(%q): points %d out of bounds", raw, q.Points)
+		}
+		if len(q.Quantiles) > MaxQuantiles {
+			t.Errorf("ParseQuery(%q): %d quantiles exceed the cap", raw, len(q.Quantiles))
+		}
+		for _, v := range q.Quantiles {
+			if !(v > 0 && v <= 1) { // NaN fails this too
+				t.Errorf("ParseQuery(%q): quantile %v out of (0,1]", raw, v)
+			}
+		}
+		if len(q.Services) > MaxServices {
+			t.Errorf("ParseQuery(%q): %d services exceed the cap", raw, len(q.Services))
+		}
+		if q.Tech != "" && q.Tech != "adsl" && q.Tech != "ftth" {
+			t.Errorf("ParseQuery(%q): tech %q not in vocabulary", raw, q.Tech)
+		}
+		if q.HasSrvPort && q.SrvPortLo > q.SrvPortHi {
+			t.Errorf("ParseQuery(%q): inverted port range %d-%d", raw, q.SrvPortLo, q.SrvPortHi)
+		}
+		if !q.HasSrvPort && (q.SrvPortLo != 0 || q.SrvPortHi != 0) {
+			t.Errorf("ParseQuery(%q): port bounds set without HasSrvPort", raw)
+		}
+		if q.Limit < 0 || q.Limit > MaxCSVRecords {
+			t.Errorf("ParseQuery(%q): limit %d out of bounds", raw, q.Limit)
+		}
+		if q.Format != "" && q.Format != "json" && q.Format != "csv" {
+			t.Errorf("ParseQuery(%q): format %q not in vocabulary", raw, q.Format)
+		}
+	})
+}

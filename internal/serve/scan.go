@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/flowrec"
+	"repro/internal/metrics"
+)
+
+// /v1/scan: the edgequery workload as an endpoint. tech= and srvport=
+// compile into a flowrec.Pred the store evaluates during the scan (a
+// columnar lake skips whole blocks that cannot match, without even
+// inflating them); service= and proto= filter decoded records. The
+// JSON answer is the per-service volume summary; format=csv returns
+// the matching records themselves, capped by limit= so one curious
+// client cannot stream the whole lake through a single response.
+
+var mScanRecords = metrics.GetCounter("serve.scan_records")
+
+// ScanSvcRow is one service's tally.
+type ScanSvcRow struct {
+	Service   string `json:"service"`
+	Flows     uint64 `json:"flows"`
+	DownBytes uint64 `json:"down_bytes"`
+	UpBytes   uint64 `json:"up_bytes"`
+}
+
+// ScanResponse is the JSON summary of a scan.
+type ScanResponse struct {
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Days        int    `json:"days"`
+	ScannedDays int    `json:"scanned_days"`
+	// FailedDays lists days that errored after decode began (damaged
+	// files); days simply absent from the lake are outages and count
+	// in neither field.
+	FailedDays []string     `json:"failed_days,omitempty"`
+	Scanned    uint64       `json:"scanned_records"`
+	Matched    uint64       `json:"matched_records"`
+	Services   []ScanSvcRow `json:"services"`
+}
+
+// scanCols is the summary-path projection: classification inputs,
+// filter fields and the tallied volumes. Predicate columns are added
+// by the reader itself.
+var scanCols = flowrec.Cols(
+	flowrec.ColClient, flowrec.ColWeb, flowrec.ColServerName,
+	flowrec.ColSubID, flowrec.ColBytesDown, flowrec.ColBytesUp,
+)
+
+// errStopScan aborts a CSV scan that reached its record limit.
+var errStopScan = errors.New("serve: scan record limit reached")
+
+// queryScan answers GET /v1/scan.
+func (s *Server) queryScan(ctx context.Context, r *http.Request) (*result, error) {
+	q, err := ParseQuery(r.URL.Query())
+	if err != nil {
+		return nil, err
+	}
+	if q.From.IsZero() {
+		return nil, badf("scan requires from= (and optionally to=)")
+	}
+	if q.Stride != 0 || q.Points != 0 || len(q.Quantiles) > 0 {
+		return nil, badf("stride/points/quantiles do not apply to /v1/scan")
+	}
+	days := core.RangeDays(q.From, q.To, 1)
+	if len(days) > s.opt.MaxScanDays {
+		return nil, badf("scan of %d days exceeds the %d-day limit", len(days), s.opt.MaxScanDays)
+	}
+	st := s.p.Storage()
+	if st == nil {
+		return nil, badf("this server has no lake to scan (figures are simulation-fed)")
+	}
+
+	pred, err := q.pred()
+	if err != nil {
+		return nil, err
+	}
+	match := func(svc classify.Service, rec *flowrec.Record) bool {
+		if len(q.Services) > 0 {
+			ok := false
+			for _, want := range q.Services {
+				if svc == want {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return q.Proto == "" || rec.Web.String() == q.Proto
+	}
+
+	if q.Format == "csv" {
+		return s.scanCSV(ctx, st, days, pred, match, q)
+	}
+	return s.scanSummary(ctx, st, days, pred, match, q)
+}
+
+// pred compiles the pushdown predicate, nil when no pushdown filter
+// is set.
+func (q Query) pred() (*flowrec.Pred, error) {
+	var p flowrec.Pred
+	switch q.Tech {
+	case "adsl":
+		p.HasTech, p.Tech = true, flowrec.TechADSL
+	case "ftth":
+		p.HasTech, p.Tech = true, flowrec.TechFTTH
+	}
+	if q.HasSrvPort {
+		p.HasSrvPort, p.SrvPortLo, p.SrvPortHi = true, q.SrvPortLo, q.SrvPortHi
+	}
+	if !p.HasTech && !p.HasSrvPort {
+		return nil, nil
+	}
+	return &p, nil
+}
+
+// scanSummary runs the per-service tally over the day range. Days
+// execute serially on the request goroutine — across-query
+// parallelism comes from the admission pool, and one bounded query
+// must not fan out into its own pool on a shared server. The context
+// is checked between records, so deadlines and client disconnects
+// abort mid-file with no partial response written.
+func (s *Server) scanSummary(ctx context.Context, st core.Storage, days []time.Time,
+	pred *flowrec.Pred, match func(classify.Service, *flowrec.Record) bool, q Query) (*result, error) {
+
+	resp := ScanResponse{
+		From: days[0].Format("2006-01-02"),
+		To:   days[len(days)-1].Format("2006-01-02"),
+		Days: len(days),
+	}
+	bySvc := make(map[classify.Service]*ScanSvcRow)
+	for _, day := range days {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		err := st.ReadDayCols(day, flowrec.ColScan{Cols: scanCols, Pred: pred}, func(rec *flowrec.Record) error {
+			resp.Scanned++
+			mScanRecords.Inc()
+			if resp.Scanned%1024 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			svc := analytics.ServiceOf(s.p.Cls, rec)
+			if !match(svc, rec) {
+				return nil
+			}
+			resp.Matched++
+			row := bySvc[svc]
+			if row == nil {
+				name := string(svc)
+				if name == "" {
+					name = "(unclassified)"
+				}
+				row = &ScanSvcRow{Service: name}
+				bySvc[svc] = row
+			}
+			row.Flows++
+			row.DownBytes += rec.BytesDown
+			row.UpBytes += rec.BytesUp
+			return nil
+		})
+		switch {
+		case err == nil:
+			resp.ScannedDays++
+		case errors.Is(err, flowrec.ErrNoDay):
+			// A lake gap is a probe outage, not a failure.
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			return nil, err
+		default:
+			resp.FailedDays = append(resp.FailedDays, day.Format("2006-01-02"))
+		}
+	}
+	for _, row := range bySvc {
+		resp.Services = append(resp.Services, *row)
+	}
+	sort.Slice(resp.Services, func(i, j int) bool {
+		if resp.Services[i].DownBytes != resp.Services[j].DownBytes {
+			return resp.Services[i].DownBytes > resp.Services[j].DownBytes
+		}
+		return resp.Services[i].Service < resp.Services[j].Service
+	})
+	return jsonResult(resp)
+}
+
+// scanCSV streams matching records into a buffered CSV body, capped
+// at q.Limit records. Record order is lake order (day by day, file
+// order within a day), so equal queries answer byte-identically. A
+// truncated response carries X-Scan-Truncated: true rather than an
+// in-band marker that would corrupt CSV parsers.
+func (s *Server) scanCSV(ctx context.Context, st core.Storage, days []time.Time,
+	pred *flowrec.Pred, match func(classify.Service, *flowrec.Record) bool, q Query) (*result, error) {
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultCSVRecords
+	}
+	var buf bytes.Buffer
+	cw, err := flowrec.NewCSVWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	written := 0
+	truncated := false
+	var scanned uint64
+	for _, day := range days {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if truncated {
+			break
+		}
+		// CSV needs every field, so the scan is full-width; the
+		// predicate still prunes blocks on a columnar lake.
+		err := st.ReadDayCols(day, flowrec.ColScan{Pred: pred}, func(rec *flowrec.Record) error {
+			scanned++
+			mScanRecords.Inc()
+			if scanned%1024 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			if !match(analytics.ServiceOf(s.p.Cls, rec), rec) {
+				return nil
+			}
+			if written >= limit {
+				truncated = true
+				return errStopScan
+			}
+			written++
+			return cw.Write(rec)
+		})
+		switch {
+		case err == nil, errors.Is(err, errStopScan), errors.Is(err, flowrec.ErrNoDay):
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			return nil, err
+		default:
+			// A damaged day fails the CSV scan outright: unlike the
+			// summary, silently dropping rows from a record export
+			// would present an incomplete extract as complete.
+			return nil, err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	res := &result{contentType: "text/csv", body: buf.Bytes()}
+	if truncated {
+		res.header = http.Header{"X-Scan-Truncated": []string{"true"}}
+		res.header.Set("X-Scan-Limit", strconv.Itoa(limit))
+	}
+	return res, nil
+}

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Request-path observability. serve.latency covers admitted queries
+// end to end (queue wait included — that is what a client sees);
+// serve.shed lives in admit.go next to the mechanism.
+var (
+	mRequests = metrics.GetCounter("serve.requests")
+	mBadReqs  = metrics.GetCounter("serve.bad_requests")
+	mErrors   = metrics.GetCounter("serve.errors")
+	mTimeouts = metrics.GetCounter("serve.deadline_expired")
+	mLatency  = metrics.GetTimer("serve.latency")
+)
+
+// Options bounds one Server. The zero value is usable: every field
+// defaults sanely in New.
+type Options struct {
+	// Workers is the number of queries executing at once (default
+	// GOMAXPROCS). Each admitted query runs on its request goroutine;
+	// this bounds how many hold a slot simultaneously.
+	Workers int
+	// Queue is how many requests may wait for a slot before new
+	// arrivals are shed with 429 (default 2×Workers).
+	Queue int
+	// QueryTimeout is the per-query deadline, admission wait included
+	// (default 30s). Expiry mid-query cancels the pipeline work and
+	// answers 504.
+	QueryTimeout time.Duration
+	// MaxScanDays caps a /v1/scan day span (default serve.MaxScanDays).
+	MaxScanDays int
+}
+
+// Server wires one pipeline behind the HTTP surface. All queries
+// share the pipeline's in-memory day cache, disk agg cache and rollup
+// tier; the pipeline's own locking makes that safe, and the admission
+// pool makes it bounded.
+type Server struct {
+	p     *core.Pipeline
+	opt   Options
+	adm   *admission
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server around an assembled pipeline.
+func New(p *core.Pipeline, opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Queue <= 0 {
+		opt.Queue = 2 * opt.Workers
+	}
+	if opt.QueryTimeout <= 0 {
+		opt.QueryTimeout = 30 * time.Second
+	}
+	if opt.MaxScanDays <= 0 {
+		opt.MaxScanDays = MaxScanDays
+	}
+	s := &Server{
+		p:     p,
+		opt:   opt,
+		adm:   newAdmission(opt.Workers, opt.Queue),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	// healthz and metrics bypass admission: they are how an operator
+	// (or load balancer) sees a saturated server, so they must answer
+	// while the pool is full.
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.admitted(s.queryFigure))
+	s.mux.HandleFunc("GET /v1/scan", s.admitted(s.queryScan))
+	return s
+}
+
+// Handler returns the routed HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pipeline returns the shared pipeline (tests reach through it).
+func (s *Server) Pipeline() *core.Pipeline { return s.p }
+
+// result is one fully-materialised response. Query handlers buffer
+// the whole body before a byte is written, so an error mid-query —
+// deadline, storage fault, cancelled client — yields a clean error
+// status, never a partial scan on the wire.
+type result struct {
+	contentType string
+	body        []byte
+	header      http.Header // optional extras (e.g. X-Scan-Truncated)
+}
+
+// jsonResult marshals v (indented: the bodies double as the golden
+// corpus of the serve-equivalence tier, so they stay diffable).
+func jsonResult(v any) (*result, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return &result{contentType: "application/json", body: append(b, '\n')}, nil
+}
+
+// csvResult renders a header + rows table.
+func csvResult(headers []string, rows [][]string) (*result, error) {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write(headers); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return &result{contentType: "text/csv", body: []byte(sb.String())}, nil
+}
+
+// errNotFound marks an unknown figure name (HTTP 404).
+type errNotFound struct{ msg string }
+
+func (e *errNotFound) Error() string { return e.msg }
+
+// admitted wraps a query handler with the full request discipline:
+// admission, per-query deadline, latency metrics and error mapping.
+func (s *Server) admitted(fn func(ctx context.Context, r *http.Request) (*result, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		t0 := time.Now()
+		defer func() { mLatency.ObserveSince(t0) }()
+
+		release, err := s.adm.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errShed) {
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
+				return
+			}
+			// The client vanished while queued; nobody reads an answer.
+			return
+		}
+		defer release()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.QueryTimeout)
+		defer cancel()
+		res, err := fn(ctx, r)
+		if err != nil {
+			var bad *BadRequestError
+			var nf *errNotFound
+			switch {
+			case errors.As(err, &bad):
+				mBadReqs.Inc()
+				s.writeError(w, http.StatusBadRequest, bad.Msg)
+			case errors.As(err, &nf):
+				s.writeError(w, http.StatusNotFound, nf.msg)
+			case errors.Is(err, context.DeadlineExceeded):
+				mTimeouts.Inc()
+				s.writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("query exceeded the %s deadline", s.opt.QueryTimeout))
+			case errors.Is(err, context.Canceled):
+				// Client disconnect mid-query: nothing to write.
+			default:
+				mErrors.Inc()
+				s.writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		for k, vs := range res.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set("Content-Type", res.contentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(res.body)
+	}
+}
+
+// writeError answers a JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(body, '\n'))
+}
+
+// --- registry, health, metrics ----------------------------------------------
+
+// ExperimentInfo is one /v1/experiments row.
+type ExperimentInfo struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Days   int    `json:"days"`
+	Served bool   `json:"served"` // has a /v1/figures/{id} endpoint
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	rows := make([]ExperimentInfo, 0, 16)
+	for _, e := range core.AllExperiments() {
+		rows = append(rows, ExperimentInfo{
+			ID:     e.ID,
+			Title:  e.Title,
+			Days:   len(e.Days(s.p.Stride())),
+			Served: figureSpecs[e.ID] != nil,
+		})
+	}
+	res, err := jsonResult(rows)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Write(res.body)
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	Status   string `json:"status"`
+	UptimeMs int64  `json:"uptime_ms"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	LakeDays int    `json:"lake_days"`
+	Rollups  bool   `json:"rollups"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	h := Health{
+		Status:   "ok",
+		UptimeMs: time.Since(s.start).Milliseconds(),
+		Inflight: mInflight.Load(),
+		Queued:   mQueuedG.Load(),
+		Rollups:  s.p.RollupsEnabled(),
+	}
+	if st := s.p.Storage(); st != nil {
+		if days, err := st.Days(); err == nil {
+			h.LakeDays = len(days)
+		}
+	}
+	res, err := jsonResult(h)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Write(res.body)
+}
+
+// MetricRow is one /v1/metrics entry (counters and gauges carry
+// value; histograms and timers carry the summary fields).
+type MetricRow struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Value int64  `json:"value,omitempty"`
+	Count uint64 `json:"count,omitempty"`
+	Sum   int64  `json:"sum,omitempty"`
+	P50   int64  `json:"p50,omitempty"`
+	P90   int64  `json:"p90,omitempty"`
+	P99   int64  `json:"p99,omitempty"`
+	Max   int64  `json:"max,omitempty"`
+	Unit  string `json:"unit,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		metrics.WriteText(w)
+		return
+	}
+	snap := metrics.Default.Snapshot()
+	rows := make([]MetricRow, 0, len(snap))
+	for _, m := range snap {
+		rows = append(rows, MetricRow{
+			Name: m.Name, Kind: m.Kind.String(), Value: m.Value,
+			Count: m.Count, Sum: m.Sum, P50: m.P50, P90: m.P90, P99: m.P99,
+			Max: m.Max, Unit: m.Unit,
+		})
+	}
+	res, err := jsonResult(rows)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Write(res.body)
+}
