@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos streamequiv servequiv servequiv-update serve-smoke fuzzsmoke golden cover
+.PHONY: ci vet fmt build test race claims bench benchbuild allocbudget chaos streamequiv servequiv servequiv-update cacheequiv serve-smoke fuzzsmoke golden cover
 
 ## ci: the full gate — what a PR must pass.
-ci: fmt vet build benchbuild allocbudget race claims chaos streamequiv servequiv serve-smoke fuzzsmoke cover
+ci: fmt vet build benchbuild allocbudget race claims chaos streamequiv servequiv cacheequiv serve-smoke fuzzsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -77,17 +77,30 @@ servequiv-update:
 	$(GO) test ./internal/serve -run '^TestServeEquivalenceGolden$$' -update-servequiv -count=1
 	@echo "regenerated internal/serve/testdata/golden"
 
+## cacheequiv: the cache-equivalence gate — response-cache hits are
+## byte-identical to their first computation, every mutation path
+## (WriteDay, live-ingest checkpoint/seal, admin compact) invalidates
+## against a fresh batch pipeline, the ETag/If-None-Match round trip
+## holds, and a mid-stream damaged day terminates a streamed CSV with
+## the error trailer. Plus the four serve-contract regressions
+## (queue-wait deadline, failed-day tallies, metrics format, healthz
+## day-count caching).
+cacheequiv:
+	$(GO) test ./internal/serve -run '^TestResponseCache|^TestETag|^TestStreaming|^TestAdmin|^TestDeadlineIncludesQueueWait$$|^TestScanSummaryExcludesFailedDay$$|^TestMetricsFormatStrict$$|^TestHealthzCachedDayCount$$' -count=1
+
 ## serve-smoke: boot a real edgeserve process on a free port, probe
-## every endpoint class with edgeload -smoke (200s, a 400 and a 404),
+## every endpoint class with edgeload -smoke (200s, a 400, a 404, the
+## admin token gate in both directions, and an ETag 304 round trip),
 ## and shut it down — the daemon-side liveness gate.
 serve-smoke:
 	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/edgeserve ./cmd/edgeserve; \
 	$(GO) build -o $$tmp/edgeload ./cmd/edgeload; \
-	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr -scale small -stride 240 2>$$tmp/log & pid=$$!; \
+	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr -scale small -stride 240 \
+		-rollup $$tmp/rollup -admin-token smoke-token 2>$$tmp/log & pid=$$!; \
 	for i in $$(seq 100); do [ -f $$tmp/addr ] && break; sleep 0.1; done; \
 	[ -f $$tmp/addr ] || { echo "serve-smoke: edgeserve never bound"; cat $$tmp/log; exit 1; }; \
-	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr)" -smoke; \
+	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr)" -admin-token smoke-token -smoke; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "serve-smoke ok"
 
@@ -122,9 +135,11 @@ golden:
 	@echo "regenerated internal/core/testdata/golden"
 
 ## bench: one benchmark per table/figure, 5 runs each, plus the served
-## SLO curve — edgeload sweeping concurrency against a live edgeserve
-## — with a machine-readable summary in BENCH.json alongside the raw
-## text (the sweep lands in its serve_slo field).
+## SLO curves — edgeload sweeping concurrency against a live edgeserve
+## twice: once cold (response cache disabled) and once cached (cache on,
+## ETag revalidation) — with a machine-readable summary in BENCH.json
+## alongside the raw text (the sweeps land in its serve_slo field as
+## {cold, cached}).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ -count=5 . | tee BENCH.txt
 	@scale=$$(grep '^BenchmarkPipelineScale' BENCH.txt || true); \
@@ -133,12 +148,20 @@ bench:
 	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/edgeserve ./cmd/edgeserve; \
 	$(GO) build -o $$tmp/edgeload ./cmd/edgeload; \
-	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr -scale small -stride 240 2>/dev/null & pid=$$!; \
-	for i in $$(seq 100); do [ -f $$tmp/addr ] && break; sleep 0.1; done; \
-	[ -f $$tmp/addr ] || { echo "bench: edgeserve never bound"; exit 1; }; \
-	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr)" -c 1,2,4,8,16 -n 200 -json $$tmp/slo.json 2>$$tmp/table; \
+	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr-cold -scale small -stride 240 \
+		-cache -1 2>/dev/null & pid=$$!; \
+	for i in $$(seq 100); do [ -f $$tmp/addr-cold ] && break; sleep 0.1; done; \
+	[ -f $$tmp/addr-cold ] || { echo "bench: edgeserve (cold) never bound"; exit 1; }; \
+	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr-cold)" -c 1,2,4,8,16 -n 200 -json $$tmp/slo-cold.json 2>$$tmp/table-cold; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
-	{ echo ""; echo "== served SLO curve (edgeload, p50/p99 vs concurrency) =="; \
-	  cat $$tmp/table; } >> BENCH.txt; \
-	$(GO) run ./cmd/benchjson -slo $$tmp/slo.json < BENCH.txt > BENCH.json
+	$$tmp/edgeserve -addr 127.0.0.1:0 -addr-file $$tmp/addr-hot -scale small -stride 240 2>/dev/null & pid=$$!; \
+	for i in $$(seq 100); do [ -f $$tmp/addr-hot ] && break; sleep 0.1; done; \
+	[ -f $$tmp/addr-hot ] || { echo "bench: edgeserve (cached) never bound"; exit 1; }; \
+	$$tmp/edgeload -addr "http://$$(cat $$tmp/addr-hot)" -c 1,2,4,8,16 -n 200 -etag -json $$tmp/slo-cached.json 2>$$tmp/table-cached; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	{ echo ""; echo "== served SLO curve, cold cache (edgeload, p50/p99 vs concurrency) =="; \
+	  cat $$tmp/table-cold; \
+	  echo ""; echo "== served SLO curve, response cache + ETags (edgeload -etag) =="; \
+	  cat $$tmp/table-cached; } >> BENCH.txt; \
+	$(GO) run ./cmd/benchjson -slo $$tmp/slo-cold.json -slo-cached $$tmp/slo-cached.json < BENCH.txt > BENCH.json
 	@echo "wrote BENCH.txt and BENCH.json"

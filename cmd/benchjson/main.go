@@ -37,6 +37,7 @@ type result struct {
 
 func main() {
 	sloFile := flag.String("slo", "", "embed this edgeload JSON result array as the serve_slo field")
+	sloCached := flag.String("slo-cached", "", "second edgeload sweep (response cache + ETags on); serve_slo becomes {cold, cached}")
 	flag.Parse()
 	byName := make(map[string]*result)
 	var order []string
@@ -128,6 +129,24 @@ func main() {
 			os.Exit(1)
 		}
 		out.ServeSLO = slo
+		if *sloCached != "" {
+			cached, err := os.ReadFile(*sloCached)
+			if err != nil || !json.Valid(cached) {
+				fmt.Fprintf(os.Stderr, "benchjson: -slo-cached %s: %v\n", *sloCached, err)
+				os.Exit(1)
+			}
+			// Two sweeps of the same workload — one against a cold
+			// cacheless server, one with the response cache and ETag
+			// revalidation — keyed so the curves diff against each other.
+			both, err := json.Marshal(map[string]json.RawMessage{
+				"cold": slo, "cached": cached,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			out.ServeSLO = both
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -12,7 +12,11 @@
 //	edgeserve -scale small -stride 240          # simulation-fed, no lake
 //
 // Endpoints: /v1/healthz, /v1/metrics, /v1/experiments,
-// /v1/figures/{name}, /v1/scan (see README for the parameter table).
+// /v1/figures/{name}, /v1/scan, and the token-gated POST
+// /v1/admin/{compact,rollups/prewarm} (see README for the parameter
+// table). Responses are cached per lake generation and carry strong
+// ETags; repeated dashboard queries answer from memory, 304 when the
+// client already holds the bytes.
 package main
 
 import (
@@ -43,8 +47,10 @@ func main() {
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts racing startup)")
 		qWorkers   = flag.Int("query-workers", 0, "concurrent query executors (0 = NumCPU)")
 		queue      = flag.Int("queue", 0, "queued requests before 429 shedding (0 = 2x query-workers)")
-		qTimeout   = flag.Duration("query-timeout", 30*time.Second, "per-query deadline; expiry answers 504")
+		qTimeout   = flag.Duration("query-timeout", 30*time.Second, "per-query deadline, queue wait included; expiry answers 504")
 		scanDays   = flag.Int("scan-max-days", serve.MaxScanDays, "largest /v1/scan day span")
+		cacheBytes = flag.Int64("cache", 0, "response-cache budget in bytes (0 = 64MiB default, negative disables)")
+		adminToken = flag.String("admin-token", "", "bearer token for POST /v1/admin endpoints (empty = admin disabled)")
 		seed       = flag.Uint64("seed", 1, "world seed for simulation-fed serving")
 		stride     = flag.Int("stride", 7, "default day sampling stride for full-span figures")
 		scale      = flag.String("scale", "default", "population scale: small, default, large")
@@ -136,6 +142,8 @@ func main() {
 		Queue:        *queue,
 		QueryTimeout: *qTimeout,
 		MaxScanDays:  *scanDays,
+		CacheBytes:   *cacheBytes,
+		AdminToken:   *adminToken,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -175,6 +175,13 @@ type aggEntry struct {
 	// request whose column set it covers; a narrower resolved entry is
 	// evicted and recomputed at the union of both sets.
 	cols flowrec.ColumnSet
+	// gen is the lake generation the aggregate was computed under. A
+	// resolved entry from an older generation is evicted at claim time:
+	// the lake mutated (WriteDay, quarantine, live-ingest checkpoint)
+	// since it was built, so its bytes may no longer match a fresh
+	// derivation. Batch pipelines never bump mid-run, so this only
+	// fires when a live writer shares the lake.
+	gen uint64
 }
 
 // covers reports whether the entry's aggregate satisfies a request for
@@ -247,6 +254,33 @@ func (p *Pipeline) Stride() int { return p.cfg.Stride }
 // Storage returns the wired storage backend (fault wrapper included),
 // or nil for a pure simulation pipeline.
 func (p *Pipeline) Storage() Storage { return p.storage }
+
+// FlowStore returns the underlying flowrec day store, or nil when the
+// pipeline is simulation-fed (or wired through a custom Storage). The
+// serve layer's admin compaction needs the store itself: compaction
+// rewrites day files in place, which is below the Storage surface.
+func (p *Pipeline) FlowStore() *flowrec.Store { return p.cfg.Store }
+
+// Generation returns the lake generation (see Storage.Generation);
+// 0 — a constant, never-invalidating generation — for a pure
+// simulation pipeline, whose "lake" is a deterministic world that
+// cannot mutate.
+func (p *Pipeline) Generation() uint64 {
+	if p.storage == nil {
+		return 0
+	}
+	return p.storage.Generation()
+}
+
+// BumpGeneration advances the lake generation after an out-of-band
+// mutation (admin-triggered compaction, rollup prewarm). A no-op
+// without storage.
+func (p *Pipeline) BumpGeneration() uint64 {
+	if p.storage == nil {
+		return 0
+	}
+	return p.storage.BumpGeneration()
+}
 
 // faultPlan returns the configured plan as a simnet.FaultPlan,
 // carefully nil when unset (a typed-nil interface would dodge the
@@ -333,15 +367,20 @@ func (p *Pipeline) AggregateCols(ctx context.Context, days []time.Time, cols flo
 			return nil, err
 		}
 		// Claim days nobody holds; collect the entries of the rest.
-		// A resolved entry that does not cover eff is evicted here and
+		// A resolved entry that does not cover eff — or was computed
+		// under an older lake generation — is evicted here and
 		// recomputed — at the union of its set and ours, so whoever
 		// needed the old columns still hits on the replacement.
+		curGen := p.Generation()
+		stale := func(e *aggEntry) bool {
+			return e != nil && e.resolved() && (!e.covers(eff) || e.gen != curGen)
+		}
 		entryOf := make(map[time.Time]*aggEntry, len(days))
 		var owned []time.Time
 		p.mu.Lock()
 		runEff := eff
 		for _, d := range days {
-			if e := p.cache[d]; e != nil && !e.covers(eff) && e.resolved() {
+			if e := p.cache[d]; stale(e) {
 				runEff = runEff.Norm() | e.cols.Norm()
 			}
 		}
@@ -350,12 +389,12 @@ func (p *Pipeline) AggregateCols(ctx context.Context, days []time.Time, cols flo
 				continue // duplicate day in the request
 			}
 			e := p.cache[d]
-			if e != nil && !e.covers(eff) && e.resolved() {
+			if stale(e) {
 				delete(p.cache, d)
 				e = nil
 			}
 			if e == nil {
-				e = &aggEntry{done: make(chan struct{}), cols: runEff}
+				e = &aggEntry{done: make(chan struct{}), cols: runEff, gen: curGen}
 				p.cache[d] = e
 				owned = append(owned, d)
 			}

@@ -102,6 +102,7 @@ type cancelStorage struct {
 	mu    sync.Mutex
 	fail  bool
 	reads int
+	gen   uint64
 }
 
 func (f *cancelStorage) setFail(v bool) {
@@ -155,6 +156,17 @@ func (f *cancelStorage) LoadRollup(analytics.Grain, time.Time) (*analytics.Rollu
 }
 func (f *cancelStorage) SaveRollup(*analytics.Rollup) error { return nil }
 func (f *cancelStorage) InvalidateRollups(time.Time) error  { return nil }
+func (f *cancelStorage) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+func (f *cancelStorage) BumpGeneration() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gen++
+	return f.gen
+}
 
 // TestAggregatePreCancelled: a context cancelled before the call must
 // fail fast without reserving (and thus without poisoning) any day.

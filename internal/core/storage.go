@@ -3,6 +3,11 @@ package core
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytics"
@@ -62,6 +67,17 @@ type Storage interface {
 	// cover day — called when the day's data changes (rewrite,
 	// quarantine), so no rollup keeps serving a stale merge.
 	InvalidateRollups(day time.Time) error
+	// Generation returns the lake generation: a monotonic counter that
+	// advances on every mutation (WriteDay, quarantine, compaction,
+	// live-ingest checkpoints). Anything derived from the lake — a
+	// cached HTTP response, a day count — is valid exactly as long as
+	// the generation it was computed under.
+	Generation() uint64
+	// BumpGeneration advances the generation and returns the new value.
+	// Mutation paths inside Storage call it themselves; external
+	// mutators (compaction, ingest checkpoints) call it after their
+	// change lands.
+	BumpGeneration() uint64
 }
 
 // DiskStorage is the production Storage: a flowrec day-partitioned
@@ -72,12 +88,25 @@ type DiskStorage struct {
 	store     *flowrec.Store
 	aggDir    string
 	rollupDir string
+
+	// genMu serializes generation bumps; gen holds the highest
+	// generation this process has observed. With an agg cache dir the
+	// counter is also persisted there (genPath), which is what lets a
+	// live edged writer and an edgeserve reader sharing the directory
+	// agree on lake freshness across processes.
+	genMu   sync.Mutex
+	gen     atomic.Uint64
+	genPath string
 }
 
 // NewDiskStorage wires a DiskStorage; store may be nil (no flow lake)
 // and aggDir may be empty (no aggregate cache).
 func NewDiskStorage(store *flowrec.Store, aggDir string) *DiskStorage {
-	return &DiskStorage{store: store, aggDir: aggDir}
+	d := &DiskStorage{store: store, aggDir: aggDir}
+	if aggDir != "" {
+		d.genPath = filepath.Join(aggDir, "generation")
+	}
+	return d
 }
 
 // WithRollupDir enables the rollup tier beside the day lake: persisted
@@ -129,6 +158,7 @@ func (d *DiskStorage) WriteDay(day time.Time, emit func(write func(*flowrec.Reco
 		// rollups — must go, or a repaired day keeps serving stale
 		// merges. Absent files are fine; anything else surfaces.
 		werr = d.invalidateDerived(day)
+		d.BumpGeneration()
 	}
 	return n, werr
 }
@@ -168,7 +198,11 @@ func (d *DiskStorage) QuarantineDay(day time.Time) error {
 	if d.store == nil {
 		return nil
 	}
-	return d.store.QuarantineDay(day)
+	err := d.store.QuarantineDay(day)
+	if err == nil {
+		d.BumpGeneration()
+	}
+	return err
 }
 
 // LoadAgg implements Storage. Damaged or version-mismatched cache
@@ -219,6 +253,73 @@ func (d *DiskStorage) SaveRollup(r *analytics.Rollup) error {
 		return nil
 	}
 	return saveRollup(d.rollupDir, r)
+}
+
+// Generation implements Storage: the highest generation observed in
+// memory or (when an agg cache dir is configured) persisted beside the
+// cache by any process sharing the directory.
+func (d *DiskStorage) Generation() uint64 {
+	g := d.gen.Load()
+	if fg := d.readGenFile(); fg > g {
+		// Another process (a live edged beside this edgeserve) moved
+		// the lake forward; adopt its generation so caches keyed on
+		// ours go stale too. CompareAndSwap keeps the counter
+		// monotonic against a concurrent local bump.
+		for fg > g && !d.gen.CompareAndSwap(g, fg) {
+			g = d.gen.Load()
+		}
+		return d.gen.Load()
+	}
+	return g
+}
+
+// BumpGeneration implements Storage.
+func (d *DiskStorage) BumpGeneration() uint64 {
+	d.genMu.Lock()
+	defer d.genMu.Unlock()
+	g := d.gen.Load()
+	if fg := d.readGenFile(); fg > g {
+		g = fg
+	}
+	g++
+	d.gen.Store(g)
+	d.writeGenFile(g)
+	return g
+}
+
+// readGenFile returns the persisted generation, 0 when absent,
+// unreadable, or unconfigured — a lost counter file only makes caches
+// live one generation too long in a *new* process, never serves wrong
+// bytes, so it is not worth failing a query over.
+func (d *DiskStorage) readGenFile() uint64 {
+	if d.genPath == "" {
+		return 0
+	}
+	b, err := os.ReadFile(d.genPath)
+	if err != nil {
+		return 0
+	}
+	g, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+// writeGenFile persists g atomically (temp sibling + rename). Errors
+// are swallowed for the same reason readGenFile's are.
+func (d *DiskStorage) writeGenFile(g uint64) {
+	if d.genPath == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(d.genPath), 0o755); err != nil {
+		return
+	}
+	tmp := d.genPath + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(g, 10)+"\n"), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, d.genPath)
 }
 
 // InvalidateRollups implements Storage: one covering window per grain.

@@ -180,6 +180,7 @@ type memStorage struct {
 	aggs     map[time.Time]*analytics.DayAgg
 	quarant  []time.Time
 	writeErr error
+	gen      uint64
 }
 
 func newMemStorage() *memStorage {
@@ -261,6 +262,10 @@ func (m *memStorage) LoadRollup(analytics.Grain, time.Time) (*analytics.Rollup, 
 func (m *memStorage) SaveRollup(*analytics.Rollup) error { return nil }
 
 func (m *memStorage) InvalidateRollups(time.Time) error { return nil }
+
+func (m *memStorage) Generation() uint64 { return m.gen }
+
+func (m *memStorage) BumpGeneration() uint64 { m.gen++; return m.gen }
 
 func fillDay(m *memStorage, d time.Time, n int) {
 	for i := 0; i < n; i++ {

@@ -40,6 +40,10 @@ type Storage interface {
 	LoadRollup(g analytics.Grain, start time.Time) (*analytics.Rollup, error)
 	SaveRollup(r *analytics.Rollup) error
 	InvalidateRollups(day time.Time) error
+	// Generation and BumpGeneration expose the lake generation counter
+	// (see core.Storage).
+	Generation() uint64
+	BumpGeneration() uint64
 }
 
 // FaultyStorage injects the plan's faults in front of an inner
@@ -215,6 +219,13 @@ func (s *FaultyStorage) SaveRollup(r *analytics.Rollup) error {
 func (s *FaultyStorage) InvalidateRollups(day time.Time) error {
 	return s.inner.InvalidateRollups(day)
 }
+
+// Generation passes through: the counter is bookkeeping, not I/O —
+// faulting it would only decouple caches from the lake they mirror.
+func (s *FaultyStorage) Generation() uint64 { return s.inner.Generation() }
+
+// BumpGeneration passes through, like Generation.
+func (s *FaultyStorage) BumpGeneration() uint64 { return s.inner.BumpGeneration() }
 
 // IsCorruption reports whether the fault damages data (bitflip or
 // truncation) rather than failing the operation outright.

@@ -76,6 +76,24 @@ type Compactor interface {
 	CompactDay(day time.Time, format flowrec.Format) (uint64, error)
 }
 
+// generationBumper is the optional lake-generation surface (see
+// core.Storage.BumpGeneration). The Storage interface above stays the
+// minimal write slice; when the wired backend also tracks a generation
+// (DiskStorage does), the daemon bumps it after checkpoints, recovery
+// and compactions so response caches over the shared lake go stale.
+// Seals bump implicitly through WriteDay.
+type generationBumper interface {
+	BumpGeneration() uint64
+}
+
+// bumpGeneration advances the lake generation when the backend
+// supports it.
+func (in *Ingester) bumpGeneration() {
+	if b, ok := in.cfg.Storage.(generationBumper); ok {
+		b.BumpGeneration()
+	}
+}
+
 // Config wires an Ingester.
 type Config struct {
 	// Storage receives sealed days and checkpoint partials. Required.
@@ -253,6 +271,11 @@ func Open(cfg Config) (*Ingester, error) {
 	// only records can advance makes that impossible.
 	if recovered || cur.Seq > 0 {
 		mRecoveries.Inc()
+	}
+	if recovered {
+		// Recovery may have replayed WAL tails into fresh partials;
+		// anything cached against the pre-crash lake must revalidate.
+		in.bumpGeneration()
 	}
 	mOpenDays.Set(int64(len(in.days)))
 	in.recomputeDue()
@@ -593,6 +616,9 @@ func (in *Ingester) checkpointDay(ctx context.Context, st *dayState) {
 		return
 	}
 	mCheckpoints.Inc()
+	// New partials are now visible to a hot-day reader sharing the agg
+	// cache: move the lake generation so its cached responses refetch.
+	in.bumpGeneration()
 	if err := in.writeCursor(); err != nil {
 		in.cfg.Logf("ingest: cursor: %v", err)
 	}
@@ -681,6 +707,9 @@ func (in *Ingester) compactDay(day time.Time) {
 		return
 	}
 	mCompactions.Inc()
+	// The day's physical bytes changed format; derived readers keyed
+	// on the generation must revalidate.
+	in.bumpGeneration()
 }
 
 func (in *Ingester) compactWorker() {

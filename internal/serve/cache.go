@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// The response cache: a bounded LRU of fully-materialised results
+// keyed by (endpoint path, canonical query, lake generation). The
+// generation is the whole invalidation story — every lake mutation
+// bumps it, a bumped generation changes every key, and the orphaned
+// old-generation entries age out of the LRU tail. No entry is ever
+// edited or explicitly purged, so a hit can be served with nothing
+// but a map read under a short lock.
+var (
+	mCacheHits      = metrics.GetCounter("serve.cache_hits")
+	mCacheMisses    = metrics.GetCounter("serve.cache_misses")
+	mCacheEvictions = metrics.GetCounter("serve.cache_evictions")
+	mNotModified    = metrics.GetCounter("serve.not_modified")
+)
+
+// DefaultCacheBytes bounds the response cache when Options.CacheBytes
+// is zero. 64 MiB holds thousands of figure bodies (a five-year figure
+// JSON is tens of KiB) while staying irrelevant next to the pipeline's
+// own aggregate cache.
+const DefaultCacheBytes = 64 << 20
+
+// cacheKey identifies one cacheable response. query is the
+// url.Values.Encode() canonical form — sorted by key — so equal
+// queries written in different parameter orders share an entry.
+type cacheKey struct {
+	path  string
+	query string
+	gen   uint64
+}
+
+// cacheEntry is one materialised response plus its strong ETag.
+type cacheEntry struct {
+	key  cacheKey
+	res  *result
+	etag string
+	size int64
+}
+
+// respCache is the LRU. A nil *respCache is a disabled cache: every
+// method no-ops, so call sites need no gating.
+type respCache struct {
+	mu       sync.Mutex
+	max      int64 // byte budget over body sizes
+	maxEntry int64 // largest single body worth caching
+	size     int64
+	ll       *list.List // front = most recent; values are *cacheEntry
+	items    map[cacheKey]*list.Element
+}
+
+// newRespCache sizes a cache; maxBytes <= 0 disables it (returns nil).
+func newRespCache(maxBytes int64) *respCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &respCache{
+		max:      maxBytes,
+		maxEntry: maxBytes / 8,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached entry for key, promoting it to
+// most-recently-used.
+func (c *respCache) get(key cacheKey) *cacheEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.items[key]
+	if el == nil {
+		mCacheMisses.Inc()
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	mCacheHits.Inc()
+	return el.Value.(*cacheEntry)
+}
+
+// put inserts a materialised response, evicting from the LRU tail
+// while over budget. Oversized bodies are not cached at all — one
+// uncapped scan must not wipe the figure working set.
+func (c *respCache) put(key cacheKey, res *result, etag string) {
+	if c == nil {
+		return
+	}
+	size := int64(len(res.body))
+	if size > c.maxEntry {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.items[key]; el != nil {
+		// A concurrent miss computed the same answer; keep the
+		// incumbent (byte-identical by determinism) and just promote.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, etag: etag, size: size})
+	c.items[key] = el
+	c.size += size
+	for c.size > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.size -= ent.size
+		mCacheEvictions.Inc()
+	}
+}
+
+// etagFor derives the strong ETag of a response body under a lake
+// generation: the generation makes staleness visible in the tag
+// itself, the hash makes it strong (byte-identical bodies and nothing
+// else compare equal).
+func etagFor(gen uint64, body []byte) string {
+	sum := sha256.Sum256(body)
+	return fmt.Sprintf("\"%d-%x\"", gen, sum[:12])
+}
+
+// etagMatch reports whether an If-None-Match header value matches
+// etag. Weak comparison is fine for If-None-Match per RFC 9110 — our
+// tags are strong anyway — so a W/ prefix is stripped before
+// comparing.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}

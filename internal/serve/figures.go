@@ -155,8 +155,8 @@ func (s *figureSpec) checkParams(q Query) error {
 		return badf("%s does not take service=", s.id)
 	case q.Points != 0 && !s.allowPoints:
 		return badf("%s does not take points=", s.id)
-	case q.Proto != "" || q.HasSrvPort || q.Limit != 0:
-		return badf("proto/srvport/limit apply to /v1/scan only")
+	case q.Proto != "" || q.HasSrvPort || q.Limit != 0 || q.Stream:
+		return badf("proto/srvport/limit/stream apply to /v1/scan only")
 	}
 	return nil
 }

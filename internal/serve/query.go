@@ -7,13 +7,26 @@
 // (bounded worker pool + bounded queue, 429 shedding), so N concurrent
 // readers cannot OOM one lake.
 //
+// Repeated queries are answered from a bounded in-memory response
+// cache keyed by (endpoint, canonical query, lake generation): every
+// lake mutation — WriteDay, quarantine, compaction, a live ingester's
+// checkpoint — bumps the generation, so a cached body can never
+// outlive the data it was derived from. Responses carry strong ETags
+// ("<generation>-<body hash>") and honour If-None-Match with 304.
+//
 // The endpoint surface:
 //
-//	GET /v1/healthz            liveness + lake summary (never queued)
-//	GET /v1/metrics            the metrics registry (JSON or text)
-//	GET /v1/experiments        the experiment registry
-//	GET /v1/figures/{name}     one figure's data rows (JSON or CSV)
-//	GET /v1/scan               ad-hoc record scan with pushdown filters
+//	GET  /v1/healthz                   liveness + lake summary (never queued)
+//	GET  /v1/metrics                   the metrics registry (JSON or text)
+//	GET  /v1/experiments               the experiment registry
+//	GET  /v1/figures/{name}            one figure's data rows (JSON or CSV)
+//	GET  /v1/scan                      ad-hoc record scan with pushdown filters
+//	POST /v1/admin/compact             rewrite lake days into a columnar format
+//	POST /v1/admin/rollups/prewarm     build the rollup tier ahead of queries
+//
+// Admin endpoints are token-gated (Options.AdminToken), bypass
+// admission but serialize among themselves, and bump the lake
+// generation on completion.
 package serve
 
 import (
@@ -86,6 +99,10 @@ type Query struct {
 	Limit int
 	// Format is "json" (default) or "csv".
 	Format string
+	// Stream selects chunked CSV streaming on /v1/scan: no record cap,
+	// flushed at day boundaries, completion signalled via HTTP
+	// trailers. Mutually exclusive with limit=.
+	Stream bool
 }
 
 // queryKeys is the full accepted parameter vocabulary. Unknown keys
@@ -96,7 +113,7 @@ type Query struct {
 var queryKeys = map[string]bool{
 	"from": true, "to": true, "stride": true, "service": true,
 	"tech": true, "proto": true, "quantiles": true, "points": true,
-	"srvport": true, "limit": true, "format": true,
+	"srvport": true, "limit": true, "format": true, "stream": true,
 }
 
 // ParseQuery parses and validates URL query parameters. All errors
@@ -209,6 +226,19 @@ func ParseQuery(values url.Values) (Query, error) {
 		q.Format = "csv"
 	default:
 		return q, badf("bad format=%q (want json or csv)", s)
+	}
+	switch s := values.Get("stream"); s {
+	case "", "false":
+	case "true":
+		q.Stream = true
+	default:
+		return q, badf("bad stream=%q (want true or false)", s)
+	}
+	if q.Stream && q.Format != "csv" {
+		return q, badf("stream=true requires format=csv")
+	}
+	if q.Stream && q.Limit != 0 {
+		return q, badf("stream=true and limit= are mutually exclusive (a stream is uncapped)")
 	}
 	return q, nil
 }

@@ -101,6 +101,9 @@ func (s *Server) queryScan(ctx context.Context, r *http.Request) (*result, error
 		return q.Proto == "" || rec.Web.String() == q.Proto
 	}
 
+	if q.Stream {
+		return s.scanStream(st, days, pred, match)
+	}
 	if q.Format == "csv" {
 		return s.scanCSV(ctx, st, days, pred, match, q)
 	}
@@ -145,10 +148,18 @@ func (s *Server) scanSummary(ctx context.Context, st core.Storage, days []time.T
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Each day tallies into a staging area merged only on a clean
+		// read: a day that fails mid-decode has delivered an arbitrary
+		// prefix of its records, and folding that prefix into totals
+		// reported as clean would silently mix damaged data in. A
+		// failed day contributes its name to FailedDays and nothing
+		// else.
+		var dayScanned, dayMatched uint64
+		daySvc := make(map[classify.Service]ScanSvcRow)
 		err := st.ReadDayCols(day, flowrec.ColScan{Cols: scanCols, Pred: pred}, func(rec *flowrec.Record) error {
-			resp.Scanned++
+			dayScanned++
 			mScanRecords.Inc()
-			if resp.Scanned%1024 == 0 {
+			if (resp.Scanned+dayScanned)%1024 == 0 {
 				if cerr := ctx.Err(); cerr != nil {
 					return cerr
 				}
@@ -157,24 +168,33 @@ func (s *Server) scanSummary(ctx context.Context, st core.Storage, days []time.T
 			if !match(svc, rec) {
 				return nil
 			}
-			resp.Matched++
-			row := bySvc[svc]
-			if row == nil {
-				name := string(svc)
-				if name == "" {
-					name = "(unclassified)"
-				}
-				row = &ScanSvcRow{Service: name}
-				bySvc[svc] = row
-			}
+			dayMatched++
+			row := daySvc[svc]
 			row.Flows++
 			row.DownBytes += rec.BytesDown
 			row.UpBytes += rec.BytesUp
+			daySvc[svc] = row
 			return nil
 		})
 		switch {
 		case err == nil:
 			resp.ScannedDays++
+			resp.Scanned += dayScanned
+			resp.Matched += dayMatched
+			for svc, d := range daySvc {
+				row := bySvc[svc]
+				if row == nil {
+					name := string(svc)
+					if name == "" {
+						name = "(unclassified)"
+					}
+					row = &ScanSvcRow{Service: name}
+					bySvc[svc] = row
+				}
+				row.Flows += d.Flows
+				row.DownBytes += d.DownBytes
+				row.UpBytes += d.UpBytes
+			}
 		case errors.Is(err, flowrec.ErrNoDay):
 			// A lake gap is a probe outage, not a failure.
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -262,4 +282,62 @@ func (s *Server) scanCSV(ctx context.Context, st core.Storage, days []time.Time,
 		res.header.Set("X-Scan-Limit", strconv.Itoa(limit))
 	}
 	return res, nil
+}
+
+// scanStream is the uncapped CSV export (stream=true): records go to
+// the wire as they decode, flushed at every day boundary so a
+// dashboard piping the stream sees steady progress instead of one
+// burst at the end. The connection commits to 200 before the first
+// record, so correctness travels in trailers: X-Scan-Complete: true
+// only after every requested day streamed cleanly, X-Scan-Error with
+// the failure otherwise — a mid-stream damaged day terminates the
+// export rather than presenting a truncated extract as complete.
+// Streams are never cached: they are exports, not dashboard queries,
+// and their bodies are exactly what the cache's entry-size bound
+// exists to keep out.
+func (s *Server) scanStream(st core.Storage, days []time.Time,
+	pred *flowrec.Pred, match func(classify.Service, *flowrec.Record) bool) (*result, error) {
+
+	stream := func(ctx context.Context, w http.ResponseWriter) error {
+		cw, err := flowrec.NewCSVWriter(w)
+		if err != nil {
+			return err
+		}
+		flusher, _ := w.(http.Flusher)
+		var scanned uint64
+		for _, day := range days {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			err := st.ReadDayCols(day, flowrec.ColScan{Pred: pred}, func(rec *flowrec.Record) error {
+				scanned++
+				mScanRecords.Inc()
+				if scanned%1024 == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+				}
+				if !match(analytics.ServiceOf(s.p.Cls, rec), rec) {
+					return nil
+				}
+				return cw.Write(rec)
+			})
+			switch {
+			case err == nil, errors.Is(err, flowrec.ErrNoDay):
+			default:
+				// Push what decoded cleanly so the client sees where the
+				// stream died, then fail — the error lands in the trailer.
+				_ = cw.Flush()
+				return err
+			}
+			if err := cw.Flush(); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return nil
+	}
+	return &result{contentType: "text/csv", stream: stream}, nil
 }

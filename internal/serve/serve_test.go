@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -58,6 +59,7 @@ type fakeStorage struct {
 	entered chan struct{} // receives one token per scan started
 	release chan struct{} // when non-nil, a scan blocks here first
 	endless bool          // emit records until fn returns an error
+	gen     atomic.Uint64
 }
 
 func (f *fakeStorage) ReadDay(day time.Time, fn func(*flowrec.Record) error) error {
@@ -91,6 +93,7 @@ func (f *fakeStorage) ReadDayCols(day time.Time, sc flowrec.ColScan, fn func(*fl
 }
 
 func (f *fakeStorage) WriteDay(time.Time, func(func(*flowrec.Record) error) error) (uint64, error) {
+	f.BumpGeneration()
 	return 0, nil
 }
 func (f *fakeStorage) HasDay(day time.Time) bool                    { return day.Equal(f.day) }
@@ -107,6 +110,8 @@ func (f *fakeStorage) LoadRollup(analytics.Grain, time.Time) (*analytics.Rollup,
 }
 func (f *fakeStorage) SaveRollup(*analytics.Rollup) error { return nil }
 func (f *fakeStorage) InvalidateRollups(time.Time) error  { return nil }
+func (f *fakeStorage) Generation() uint64                 { return f.gen.Load() }
+func (f *fakeStorage) BumpGeneration() uint64             { return f.gen.Add(1) }
 
 var fakeDay = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
 
